@@ -1,0 +1,379 @@
+// Package heax_test is the top-level benchmark harness: one bench target
+// per table and figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). CPU benches measure this repo's CKKS baseline;
+// HEAX benches report the cycle-exact model/simulator rates so that a
+// single `go test -bench=. -benchmem` regenerates every comparison.
+package heax_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"heax/internal/bench"
+	"heax/internal/ckks"
+	"heax/internal/core"
+	"heax/internal/hwsim"
+	"heax/internal/ring"
+)
+
+var (
+	paramsMu    sync.Mutex
+	paramsCache = map[string]*ckks.Params{}
+	kitCache    = map[string]*benchKit{}
+)
+
+type benchKit struct {
+	params *ckks.Params
+	rlk    *ckks.RelinearizationKey
+	eval   *ckks.Evaluator
+}
+
+func getParams(b *testing.B, spec ckks.ParamSpec) *ckks.Params {
+	b.Helper()
+	paramsMu.Lock()
+	defer paramsMu.Unlock()
+	if p, ok := paramsCache[spec.Name]; ok {
+		return p
+	}
+	p, err := ckks.NewParams(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paramsCache[spec.Name] = p
+	return p
+}
+
+func getKit(b *testing.B, spec ckks.ParamSpec) *benchKit {
+	b.Helper()
+	params := getParams(b, spec)
+	paramsMu.Lock()
+	defer paramsMu.Unlock()
+	if k, ok := kitCache[spec.Name]; ok {
+		return k
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	k := &benchKit{params: params, rlk: kg.GenRelinearizationKey(sk), eval: ckks.NewEvaluator(params)}
+	kitCache[spec.Name] = k
+	return k
+}
+
+func randomRow(params *ckks.Params, rng *rand.Rand) []uint64 {
+	p := params.RingQP.Basis.Primes[0]
+	row := make([]uint64, params.N)
+	for i := range row {
+		row[i] = rng.Uint64() % p
+	}
+	return row
+}
+
+func randomPoly(params *ckks.Params, rows int, rng *rand.Rand) *ring.Poly {
+	poly := params.RingQP.NewPoly(rows)
+	for i := 0; i < rows; i++ {
+		p := params.RingQP.Basis.Primes[i]
+		for j := range poly.Coeffs[i] {
+			poly.Coeffs[i][j] = rng.Uint64() % p
+		}
+	}
+	return poly
+}
+
+func randomCt(params *ckks.Params, rng *rand.Rand) *ckks.Ciphertext {
+	return &ckks.Ciphertext{
+		Polys: []*ring.Poly{randomPoly(params, params.K(), rng), randomPoly(params, params.K(), rng)},
+		Scale: params.DefaultScale(),
+		Level: params.MaxLevel(),
+	}
+}
+
+// --- Table 7 CPU columns -------------------------------------------------
+
+func BenchmarkTable7_CPU_NTT(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			params := getParams(b, spec)
+			row := randomRow(params, rand.New(rand.NewSource(1)))
+			tb := params.RingQP.Tables[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.Forward(row)
+			}
+		})
+	}
+}
+
+func BenchmarkTable7_CPU_INTT(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			params := getParams(b, spec)
+			row := randomRow(params, rand.New(rand.NewSource(2)))
+			tb := params.RingQP.Tables[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.Inverse(row)
+			}
+		})
+	}
+}
+
+func BenchmarkTable7_CPU_Dyadic(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			params := getParams(b, spec)
+			rng := rand.New(rand.NewSource(3))
+			x, y := randomRow(params, rng), randomRow(params, rng)
+			out := make([]uint64, params.N)
+			mod := params.RingQP.Basis.Mods[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range out {
+					out[j] = mod.MulMod(x[j], y[j])
+				}
+			}
+		})
+	}
+}
+
+// --- Table 8 CPU columns -------------------------------------------------
+
+func BenchmarkTable8_CPU_KeySwitch(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			kit := getKit(b, spec)
+			c := randomPoly(kit.params, kit.params.K(), rand.New(rand.NewSource(4)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kit.eval.KeySwitchPoly(c, &kit.rlk.SwitchingKey)
+			}
+		})
+	}
+}
+
+func BenchmarkTable8_CPU_MulRelin(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			kit := getKit(b, spec)
+			rng := rand.New(rand.NewSource(5))
+			ct1, ct2 := randomCt(kit.params, rng), randomCt(kit.params, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kit.eval.MulRelin(ct1, ct2, kit.rlk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- HEAX model columns (Tables 7 and 8) ---------------------------------
+
+func BenchmarkTable7_HEAX_Model(b *testing.B) {
+	for _, cfg := range core.EvaluatedConfigs() {
+		b.Run(cfg.Board.Name+"/"+cfg.Set.Name, func(b *testing.B) {
+			d, err := core.StandardDesign(cfg.Board, cfg.Set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.Perf{Design: d}
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = p.NTTOps()
+			}
+			b.ReportMetric(ops, "NTT-ops/s")
+			b.ReportMetric(p.DyadicOps(), "Dyadic-ops/s")
+		})
+	}
+}
+
+func BenchmarkTable8_HEAX_Model(b *testing.B) {
+	for _, cfg := range core.EvaluatedConfigs() {
+		b.Run(cfg.Board.Name+"/"+cfg.Set.Name, func(b *testing.B) {
+			d, err := core.StandardDesign(cfg.Board, cfg.Set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.Perf{Design: d}
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = p.KeySwitchOps()
+			}
+			b.ReportMetric(ops, "KeySwitch-ops/s")
+		})
+	}
+}
+
+// --- Static/model tables -------------------------------------------------
+
+func BenchmarkTable1_Boards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := bench.Table1Boards(); len(got.Rows) != 2 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkTable2_ParamSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2Params(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_Cores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := bench.Table3Cores(); len(got.Rows) != 3 {
+			b.Fatal("bad table 3")
+		}
+	}
+}
+
+func BenchmarkTable4_Modules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := bench.Table4Modules(); len(got.Rows) != 12 {
+			b.Fatal("bad table 4")
+		}
+	}
+}
+
+func BenchmarkTable5_ArchGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range core.EvaluatedConfigs() {
+			if _, err := core.GenerateArch(cfg.Board, cfg.Set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable6_FullDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table6Designs(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures and ablations -----------------------------------------------
+
+func BenchmarkFig2_AccessPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2AccessPattern(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_PipelineAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4PipelineAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_KeySwitchPipeline(b *testing.B) {
+	for _, cfg := range core.PaperArchitectures {
+		b.Run(cfg.Board+"/"+cfg.Set, func(b *testing.B) {
+			var set core.ParamSet
+			for _, s := range core.ParamSets {
+				if s.Name == cfg.Set {
+					set = s
+				}
+			}
+			var interval float64
+			for i := 0; i < b.N; i++ {
+				rep := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: cfg.Arch, Set: set}, 64, false)
+				interval = rep.Interval
+			}
+			b.ReportMetric(interval, "cycles/op")
+		})
+	}
+}
+
+func BenchmarkAblation_WordSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := core.WordSizeAblationTable(); len(rows) != 3 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+func BenchmarkAblation_Buffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationBuffers(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec5_DRAMStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Sec5System(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec5_HostStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.HostStreamingTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep_INTT0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range core.EvaluatedConfigs() {
+			if pts := core.SweepINTT0(cfg.Board, cfg.Set); len(pts) != 6 {
+				b.Fatal("bad sweep")
+			}
+		}
+	}
+}
+
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ScalabilityTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Multithreaded CPU ablation -------------------------------------------
+// The paper's CPU baseline is single-threaded SEAL; full-RNS rows
+// parallelize trivially (Section 2), so a multicore CPU closes part of
+// the gap. This bench quantifies it for the full-basis NTT of Set-C.
+
+func BenchmarkAblation_CPUThreads(b *testing.B) {
+	params := getParams(b, ckks.SetC)
+	ctx := params.RingQP
+	rng := rand.New(rand.NewSource(7))
+	poly := randomPoly(params, params.QPRows(), rng)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.NTTParallel(poly, workers)
+			}
+		})
+	}
+}
+
+// --- Hardware-simulator throughput (how fast the simulator itself runs) --
+
+func BenchmarkHWSim_NTTModule(b *testing.B) {
+	params := getParams(b, ckks.SetA)
+	tb := params.RingQP.Tables[0]
+	sim, err := hwsim.NewNTTModuleSim(tb, 16, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := randomRow(params, rand.New(rand.NewSource(6)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Transform(row)
+	}
+}

@@ -1,0 +1,64 @@
+// heax-arch explores the HEAX architecture generator: given a board and
+// an HE parameter shape it derives the KeySwitch architecture (Table 5),
+// its resource footprint (Table 6), memory plan (Section 5.1) and
+// throughput (Tables 7-8) — the paper's "instantiated at different scales
+// with no manual tuning" workflow.
+//
+// Usage:
+//
+//	heax-arch [-board Stratix10] [-logn 13] [-k 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"heax/internal/core"
+	"heax/internal/hwsim"
+	"heax/internal/xfer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heax-arch: ")
+	boardName := flag.String("board", "Stratix10", "FPGA board: Arria10 or Stratix10")
+	logn := flag.Int("logn", 13, "log2 of the ring degree")
+	k := flag.Int("k", 4, "number of RNS components of the ciphertext modulus")
+	flag.Parse()
+
+	board, err := core.BoardByName(*boardName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := core.ParamSet{Name: fmt.Sprintf("n=2^%d,k=%d", *logn, *k), LogN: *logn, K: *k}
+	arch, err := core.GenerateArch(board, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design := core.NewDesign(board, set, arch)
+
+	fmt.Printf("board        %s (%s)\n", board.Name, board.Chip)
+	fmt.Printf("parameters   n = 2^%d, k = %d\n", *logn, *k)
+	fmt.Printf("architecture %s\n", arch)
+	fmt.Printf("buffers      f1 = %d, f2 = %d\n", arch.F1(), arch.F2(set.LogN))
+	fmt.Printf("resources    %s\n", design.Resources().Utilization(board))
+
+	inv := design.MemoryInventory()
+	loc := "on-chip BRAM"
+	if inv.KeysOnDRAM {
+		loc = "DRAM (streamed)"
+	}
+	fmt.Printf("key storage  %s (ksk = %.1f Mb)\n", loc, float64(core.KskBits(set))/1e6)
+	if inv.KeysOnDRAM {
+		fmt.Printf("dram check   %s\n", xfer.DRAMStreaming(design))
+	}
+
+	perf := core.Perf{Design: design}
+	fmt.Printf("throughput   NTT %.0f/s  Dyadic %.0f/s  KeySwitch %.0f/s  MULT+ReLin %.0f/s\n",
+		perf.NTTOps(), perf.DyadicOps(), perf.KeySwitchOps(), perf.MulRelinOps())
+
+	rep := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: arch, Set: set}, 64, false)
+	fmt.Printf("simulated    interval %.0f cycles/op (closed form %d), INTT0 utilization %.0f%%\n",
+		rep.Interval, arch.KeySwitchCycles(set), 100*rep.Utilization["INTT0"])
+}

@@ -1,0 +1,82 @@
+// hwpipeline runs a relinearization KeySwitch through the simulated HEAX
+// hardware — INTT0 → NTT0 layer → DyadMult banks → INTT1 → NTT1 → MS —
+// verifies the result against the software evaluator bit for bit, and
+// prints the Figure-6-style pipeline occupancy of back-to-back operations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"heax/internal/ckks"
+	"heax/internal/core"
+	"heax/internal/hwsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hwpipeline: ")
+
+	// A small HEAX-shaped parameter set keeps the functional simulation
+	// quick; the pipeline timing below uses the real Set-B architecture.
+	spec := ckks.ParamSpec{Name: "demo", LogN: 11, QBits: []int{43, 40, 40, 40}, PBits: 46, LogScale: 40}
+	params, err := ckks.NewParams(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	eval := ckks.NewEvaluator(params)
+
+	set := core.ParamSet{Name: spec.Name, LogN: spec.LogN, K: len(spec.QBits)}
+	arch := core.DeriveArch(core.BoardStratix10, set, 8)
+	fmt.Printf("architecture: %s (f1=%d, f2=%d)\n", arch, arch.F1(), arch.F2(set.LogN))
+
+	// Functional run: hardware vs software on a random polynomial.
+	ctx := params.RingQP
+	rng := rand.New(rand.NewSource(2))
+	c := ctx.NewPoly(params.K())
+	for i := range c.Coeffs {
+		p := ctx.Basis.Primes[i]
+		for j := range c.Coeffs[i] {
+			c.Coeffs[i][j] = rng.Uint64() % p
+		}
+	}
+	sim := hwsim.NewKeySwitchSim(ctx, arch)
+	hw0, hw1, err := sim.Run(c, rlk.SwitchingKey.Digits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw0, sw1 := eval.KeySwitchPoly(c, &rlk.SwitchingKey)
+	fmt.Printf("hardware == software: %v\n", hw0.Equal(sw0) && hw1.Equal(sw1))
+	fmt.Printf("module work (cycles): INTT0 %d, NTT0 %d, Dyad %d, INTT1 %d, NTT1 %d, MS %d\n",
+		sim.INTT0Cycles, sim.NTT0Cycles, sim.DyadCycles, sim.INTT1Cycles, sim.NTT1Cycles, sim.MSCycles)
+
+	// Timing run on the paper's Stratix 10 / Set-B configuration.
+	setB := core.ParamSetB
+	archB, err := core.GenerateArch(core.BoardStratix10, setB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: archB, Set: setB}, 64, false)
+	closed := archB.KeySwitchCycles(setB)
+	fmt.Printf("\nStratix 10 / Set-B pipeline: interval %.0f cycles (closed form %d) -> %.0f KeySwitch/s @300MHz\n",
+		rep.Interval, closed, 300e6/rep.Interval)
+
+	var names []string
+	for name := range rep.Utilization {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("module utilization:")
+	for _, name := range names {
+		fmt.Printf("  %-8s %5.1f%%\n", name, 100*rep.Utilization[name])
+	}
+
+	trace := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: archB, Set: setB}, 6, true)
+	fmt.Println("\npipeline occupancy (6 ops, digit colored by op number):")
+	fmt.Print(hwsim.RenderGantt(trace, int64(rep.Interval)/12+1, 100))
+}

@@ -1,0 +1,197 @@
+// Logistic inference on encrypted data — the MLaaS scenario that
+// motivates HEAX (Section 1): the server scores encrypted feature vectors
+// against a plaintext model without ever decrypting them.
+//
+// Layout: feature-major batching. Slot s of ciphertext j holds feature j
+// of sample s, so one ciphertext batch scores n/2 samples at once and the
+// dot product needs no rotations. The sigmoid is the standard degree-3
+// least-squares approximation σ(t) ≈ 0.5 + 0.197·t − 0.004·t³, evaluated
+// as 0.5 + t·(0.197 − 0.004·t²) to spend only two multiplicative levels
+// after the dot product.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"heax/internal/ckks"
+)
+
+const (
+	features = 8
+	samples  = 16 // shown; the batch actually scores n/2 samples
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("logistic: ")
+
+	// Set-B: k = 4 gives the three rescaling levels this circuit needs.
+	params, err := ckks.NewParams(ckks.SetB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, 2)
+	decryptor := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params)
+
+	// A fixed model and a random batch.
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float64, features)
+	for j := range w {
+		w[j] = rng.Float64()*2 - 1
+	}
+	bias := 0.25
+	x := make([][]float64, features) // x[j][s]: feature j of sample s
+	for j := range x {
+		x[j] = make([]float64, samples)
+		for s := range x[j] {
+			x[j][s] = rng.Float64()*2 - 1
+		}
+	}
+
+	level := params.MaxLevel()
+	scale := params.DefaultScale()
+
+	// Client: encrypt each feature column.
+	cts := make([]*ckks.Ciphertext, features)
+	for j := range cts {
+		pt, err := enc.EncodeReal(x[j], level, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cts[j], err = encryptor.Encrypt(pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Server: t = Σ_j w_j ⊙ ct_j + b (one plaintext mult level).
+	var acc *ckks.Ciphertext
+	for j := range cts {
+		wj := constVec(w[j], samples)
+		ptW, err := enc.EncodeReal(wj, level, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		term, err := eval.MulPlain(cts[j], ptW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if acc == nil {
+			acc = term
+		} else if acc, err = eval.Add(acc, term); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Rescale the Δ²-scaled accumulator first, then add the bias encoded
+	// at exactly the rescaled scale so the addition is exact.
+	t, err := eval.Rescale(acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptBias, err := enc.EncodeReal(constVec(bias, samples), t.Level, t.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if t, err = eval.AddPlain(t, ptBias); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cubic term as ((c·t)·t²): each factor is rescaled so the final
+	// result lands at a small scale that fits the level-0 modulus — the
+	// scale management a CKKS application must do by hand.
+	tt, err := eval.MulRelin(t, t, rlk) // t², scale s_t²
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tt, err = eval.Rescale(tt); err != nil { // level 1
+		log.Fatal(err)
+	}
+	ptC3, err := enc.EncodeReal(constVec(-0.004, samples), t.Level, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := eval.MulPlain(t, ptC3) // -0.004·t
+	if err != nil {
+		log.Fatal(err)
+	}
+	if u, err = eval.Rescale(u); err != nil { // level 1
+		log.Fatal(err)
+	}
+	y3, err := eval.MulRelin(u, tt, rlk) // -0.004·t³
+	if err != nil {
+		log.Fatal(err)
+	}
+	if y3, err = eval.Rescale(y3); err != nil { // level 0, small scale
+		log.Fatal(err)
+	}
+
+	// Linear term at a scale engineered to match y3 exactly after one
+	// rescale: s_a = s_u·s_tt/s_t makes (s_t·s_a)/q1 == (s_u·s_tt)/q1.
+	tL1, err := eval.DropLevel(t, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptA, err := enc.EncodeReal(constVec(0.197, samples), tL1.Level, u.Scale*tt.Scale/t.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := eval.MulPlain(tL1, ptA) // 0.197·t
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v, err = eval.Rescale(v); err != nil { // level 0, same scale as y3
+		log.Fatal(err)
+	}
+
+	y, err := eval.Add(y3, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptHalf, err := enc.EncodeReal(constVec(0.5, samples), y.Level, y.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if y, err = eval.AddPlain(y, ptHalf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Client: decrypt and compare with the cleartext pipeline.
+	ptOut, err := decryptor.Decrypt(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := enc.Decode(ptOut)
+	fmt.Println("sample   encrypted-score   cleartext-score   |diff|")
+	worst := 0.0
+	for s := 0; s < samples; s++ {
+		tPlain := bias
+		for j := 0; j < features; j++ {
+			tPlain += w[j] * x[j][s]
+		}
+		want := 0.5 + 0.197*tPlain - 0.004*tPlain*tPlain*tPlain
+		g := real(got[s])
+		d := math.Abs(g - want)
+		if d > worst {
+			worst = d
+		}
+		fmt.Printf("%4d     %12.6f      %12.6f      %.2e\n", s, g, want, d)
+	}
+	fmt.Printf("max error over batch: %.2e (scores %d samples per batch)\n", worst, params.Slots())
+}
+
+func constVec(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"heax/internal/ring"
+)
+
+// RotateAny with only power-of-two keys must match direct rotation.
+func TestRotateAny(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	rng := rand.New(rand.NewSource(60))
+	slots := kit.params.Slots()
+	v := randomComplex(rng, slots, 1)
+	pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ct, _ := kit.encPk.Encrypt(pt)
+	gks := kit.kg.GenRotationKeysPow2(kit.sk)
+
+	for _, step := range []int{0, 5, 13, -3, slots + 2} {
+		rot, err := kit.eval.RotateAny(ct, step, gks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _ := kit.dec.Decrypt(rot)
+		got := kit.enc.Decode(dec)
+		want := make([]complex128, slots)
+		norm := ((step % slots) + slots) % slots
+		for i := range want {
+			want[i] = v[(i+norm)%slots]
+		}
+		if e := maxErr(got, want); e > 1e-2 {
+			t.Fatalf("step %d: error %g", step, e)
+		}
+	}
+}
+
+// Coefficient packing: round-trip and the convolution semantics of
+// multiplication.
+func TestEncodeCoeffs(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	n := kit.params.N
+	rng := rand.New(rand.NewSource(61))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	pt, err := kit.enc.EncodeCoeffs(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kit.enc.DecodeCoeffs(pt)
+	for i := range v {
+		if d := math.Abs(got[i] - v[i]); d > 1e-7 {
+			t.Fatalf("coefficient %d: error %g", i, d)
+		}
+	}
+
+	// Multiplying two sparse coefficient encodings convolves them:
+	// (a·X^2)·(b·X^3) = ab·X^5.
+	a := make([]float64, 6)
+	a[2] = 0.5
+	b := make([]float64, 6)
+	b[3] = 0.25
+	pa, _ := kit.enc.EncodeCoeffs(a, kit.params.MaxLevel(), kit.params.DefaultScale())
+	pb, _ := kit.enc.EncodeCoeffs(b, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ca, _ := kit.encPk.Encrypt(pa)
+	prod, err := kit.eval.MulPlain(ca, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := kit.dec.Decrypt(prod)
+	coeffs := kit.enc.DecodeCoeffs(dec)
+	if d := math.Abs(coeffs[5] - 0.125); d > 1e-4 {
+		t.Fatalf("convolution coefficient: %g (err %g)", coeffs[5], d)
+	}
+	for _, idx := range []int{0, 1, 2, 3, 4, 6} {
+		if math.Abs(coeffs[idx]) > 1e-4 {
+			t.Fatalf("coefficient %d should be ~0, got %g", idx, coeffs[idx])
+		}
+	}
+
+	// Errors.
+	if _, err := kit.enc.EncodeCoeffs(make([]float64, n+1), 0, 1); err == nil {
+		t.Fatal("too many coefficients should fail")
+	}
+	if _, err := kit.enc.EncodeCoeffs([]float64{1}, -1, 1); err == nil {
+		t.Fatal("bad level should fail")
+	}
+	if _, err := kit.enc.EncodeCoeffs([]float64{math.Inf(1)}, 0, 1); err == nil {
+		t.Fatal("non-finite value should fail")
+	}
+}
+
+// Noise must be (a) small for a fresh encryption, (b) larger after a
+// multiplication chain, (c) -inf for a plaintext compared to itself.
+func TestMeasureNoise(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	rng := rand.New(rand.NewSource(62))
+	v := randomComplex(rng, kit.params.Slots(), 1)
+	pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ct, _ := kit.encPk.Encrypt(pt)
+
+	fresh, err := MeasureNoise(kit.params, kit.dec, ct, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh noise is around the error distribution's magnitude, far below
+	// the scale (2^40).
+	if fresh > 30 || fresh < 2 {
+		t.Fatalf("fresh noise log2 = %.1f, expected single-digit-to-20s", fresh)
+	}
+
+	sq, _ := kit.eval.MulRelin(ct, ct, kit.rlk)
+	vv := make([]complex128, len(v))
+	for i := range v {
+		vv[i] = v[i] * v[i]
+	}
+	ptSq, _ := kit.enc.Encode(vv, kit.params.MaxLevel(), ct.Scale*ct.Scale)
+	after, err := MeasureNoise(kit.params, kit.dec, sq, ptSq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= fresh {
+		t.Fatalf("noise should grow after multiplication: %.1f vs %.1f", after, fresh)
+	}
+}
+
+// The parallel NTT must be bit-identical to the sequential one.
+func TestNTTParallelMatches(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	ctx := kit.params.RingQP
+	rng := rand.New(rand.NewSource(63))
+	p := ctx.NewPoly(kit.params.QPRows())
+	for i := range p.Coeffs {
+		prime := ctx.Basis.Primes[i]
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = rng.Uint64() % prime
+		}
+	}
+	seq := ring.CopyOf(p)
+	par := ring.CopyOf(p)
+	ctx.NTT(seq)
+	ctx.NTTParallel(par, 4)
+	if !seq.Equal(par) {
+		t.Fatal("parallel forward differs")
+	}
+	ctx.INTT(seq)
+	ctx.INTTParallel(par, 4)
+	if !seq.Equal(par) {
+		t.Fatal("parallel inverse differs")
+	}
+	// workers <= 1 falls back to sequential.
+	ctx.NTTParallel(par, 1)
+	ctx.NTT(seq)
+	if !seq.Equal(par) {
+		t.Fatal("single-worker path differs")
+	}
+}

@@ -1,0 +1,213 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+	"math/cmplx"
+
+	"heax/internal/ring"
+)
+
+// Plaintext is an encoded message: an RNS polynomial in NTT form together
+// with its scale Δ (Section 3.3: every CKKS operand carries a scale).
+type Plaintext struct {
+	Value *ring.Poly
+	Scale float64
+}
+
+// Level returns the plaintext's level (rows-1).
+func (p *Plaintext) Level() int { return p.Value.Level() }
+
+// Encoder maps vectors of n/2 complex numbers to plaintext polynomials
+// through the canonical embedding (the "special FFT" over the orbit of 5
+// in Z_2n^*) and back. Encoding and decoding are client-side operations
+// (Section 1); they exist here to drive the evaluator and its tests.
+type Encoder struct {
+	params *Params
+	slots  int
+	m      int // 2n, the cyclotomic index
+	// rotGroup[i] = 5^i mod m enumerates the slot orbit.
+	rotGroup []int
+	// roots[j] = exp(2πi j / m).
+	roots []complex128
+}
+
+// NewEncoder builds an encoder for params.
+func NewEncoder(params *Params) *Encoder {
+	slots := params.Slots()
+	m := 2 * params.N
+	e := &Encoder{
+		params:   params,
+		slots:    slots,
+		m:        m,
+		rotGroup: make([]int, slots),
+		roots:    make([]complex128, m+1),
+	}
+	g := 1
+	for i := 0; i < slots; i++ {
+		e.rotGroup[i] = g
+		g = g * 5 % m
+	}
+	for j := 0; j <= m; j++ {
+		angle := 2 * math.Pi * float64(j) / float64(m)
+		e.roots[j] = cmplx.Exp(complex(0, angle))
+	}
+	return e
+}
+
+// bitrevComplex permutes v in place by bit reversal.
+func bitrevComplex(v []complex128) {
+	n := len(v)
+	logn := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> (64 - logn))
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// specialFFT evaluates the canonical embedding: it maps the coefficient
+// representation (packed as slots complex numbers) to slot values.
+func (e *Encoder) specialFFT(v []complex128) {
+	n := len(v)
+	bitrevComplex(v)
+	for length := 2; length <= n; length <<= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * gap
+				u := v[i+j]
+				w := v[i+j+lenh] * e.roots[idx]
+				v[i+j] = u + w
+				v[i+j+lenh] = u - w
+			}
+		}
+	}
+}
+
+// specialIFFT inverts specialFFT (including the 1/n scaling).
+func (e *Encoder) specialIFFT(v []complex128) {
+	n := len(v)
+	for length := n; length >= 2; length >>= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - e.rotGroup[j]%lenq) * gap
+				u := v[i+j] + v[i+j+lenh]
+				w := (v[i+j] - v[i+j+lenh]) * e.roots[idx]
+				v[i+j] = u
+				v[i+j+lenh] = w
+			}
+		}
+	}
+	bitrevComplex(v)
+	inv := complex(1/float64(n), 0)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Encode embeds values (at most Slots of them; missing entries are zero)
+// into a fresh plaintext at the given level and scale. Encoding fails only
+// if a scaled coefficient overflows the 62-bit fast path; with sane scales
+// this means the message magnitude was far outside CKKS's useful range.
+func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaintext, error) {
+	if len(values) > e.slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), e.slots)
+	}
+	if level < 0 || level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range [0,%d]", level, e.params.MaxLevel())
+	}
+	v := make([]complex128, e.slots)
+	copy(v, values)
+	e.specialIFFT(v)
+
+	ctx := e.params.RingQP
+	pt := ctx.NewPoly(level + 1)
+	setCoeff := func(j int, x float64) error {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("ckks: non-finite coefficient at scale %g", scale)
+		}
+		if math.Abs(x) < math.Exp2(62) {
+			c := int64(math.Round(x))
+			for i := 0; i <= level; i++ {
+				pt.Coeffs[i][j] = ctx.Basis.ReduceInt64(c, i)
+			}
+			return nil
+		}
+		// Arbitrary-precision path for coefficients beyond the word
+		// range (large scales); exact as long as the float64 mantissa
+		// carried the value, which is the best any double-input encoder
+		// can do.
+		bi, _ := big.NewFloat(x).Int(nil)
+		res := ctx.Basis.DecomposeSigned(bi)
+		for i := 0; i <= level; i++ {
+			pt.Coeffs[i][j] = res[i]
+		}
+		return nil
+	}
+	for j := 0; j < e.slots; j++ {
+		if err := setCoeff(j, real(v[j])*scale); err != nil {
+			return nil, err
+		}
+		if err := setCoeff(j+e.slots, imag(v[j])*scale); err != nil {
+			return nil, err
+		}
+	}
+	ctx.NTT(pt)
+	return &Plaintext{Value: pt, Scale: scale}, nil
+}
+
+// EncodeReal is Encode for real-valued messages.
+func (e *Encoder) EncodeReal(values []float64, level int, scale float64) (*Plaintext, error) {
+	cv := make([]complex128, len(values))
+	for i, x := range values {
+		cv[i] = complex(x, 0)
+	}
+	return e.Encode(cv, level, scale)
+}
+
+// Decode recovers the complex message vector from a plaintext, using CRT
+// composition so that it remains exact at every level.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	ctx := e.params.RingQP
+	poly := ring.CopyOf(pt.Value)
+	ctx.INTT(poly)
+
+	rows := poly.Rows()
+	basis := ctx.Basis
+	if rows != basis.K() {
+		sub, err := basis.Sub(rows)
+		if err != nil {
+			panic(err)
+		}
+		basis = sub
+	}
+	res := make([]uint64, rows)
+	coeff := func(j int) float64 {
+		for i := 0; i < rows; i++ {
+			res[i] = poly.Coeffs[i][j]
+		}
+		x := basis.ComposeCentered(res)
+		f := new(big.Float).SetInt(x)
+		f.Quo(f, big.NewFloat(pt.Scale))
+		out, _ := f.Float64()
+		return out
+	}
+	v := make([]complex128, e.slots)
+	for j := 0; j < e.slots; j++ {
+		v[j] = complex(coeff(j), coeff(j+e.slots))
+	}
+	e.specialFFT(v)
+	return v
+}
+
+// Slots returns the number of message slots.
+func (e *Encoder) Slots() int { return e.slots }

@@ -1,0 +1,303 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"heax/internal/ring"
+	"heax/internal/uintmod"
+)
+
+// Evaluator implements the server-side homomorphic operations of
+// Section 3 — exactly the set HEAX accelerates. All operands stay in RNS
+// and NTT form throughout, as in SEAL.
+type Evaluator struct {
+	params *Params
+}
+
+// NewEvaluator builds an evaluator for params.
+func NewEvaluator(params *Params) *Evaluator {
+	return &Evaluator{params: params}
+}
+
+// scalesClose reports whether two scales are equal up to floating-point
+// noise; CKKS addition on mismatched scales silently corrupts results
+// (Section 3.3), so we refuse it.
+func scalesClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// alignLevels returns copies of the operands truncated to a common level.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	if a.Level == b.Level {
+		return a, b
+	}
+	level := min(a.Level, b.Level)
+	return ev.atLevel(a, level), ev.atLevel(b, level)
+}
+
+func (ev *Evaluator) atLevel(ct *Ciphertext, level int) *Ciphertext {
+	if ct.Level == level {
+		return ct
+	}
+	out := &Ciphertext{Scale: ct.Scale, Level: level}
+	for _, p := range ct.Polys {
+		out.Polys = append(out.Polys, p.Resize(level+1))
+	}
+	return out
+}
+
+// Add returns ct0 + ct1 (CKKS.Add). Operands may have different degrees;
+// levels are aligned by dropping rows of the fresher operand.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if !scalesClose(ct0.Scale, ct1.Scale) {
+		return nil, fmt.Errorf("ckks: cannot add scales %g and %g", ct0.Scale, ct1.Scale)
+	}
+	a, b := ev.alignLevels(ct0, ct1)
+	if len(a.Polys) < len(b.Polys) {
+		a, b = b, a
+	}
+	ctx := ev.params.RingQP
+	out := &Ciphertext{Scale: a.Scale, Level: a.Level}
+	for i, p := range a.Polys {
+		c := ring.CopyOf(p)
+		if i < len(b.Polys) {
+			ctx.Add(c, b.Polys[i], c)
+		}
+		out.Polys = append(out.Polys, c)
+	}
+	return out, nil
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	neg := CopyOf(ct1)
+	ctx := ev.params.RingQP
+	for _, p := range neg.Polys {
+		ctx.Neg(p, p)
+	}
+	return ev.Add(ct0, neg)
+}
+
+// AddPlain returns ct + pt.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if !scalesClose(ct.Scale, pt.Scale) {
+		return nil, fmt.Errorf("ckks: cannot add plaintext scale %g to ciphertext scale %g", pt.Scale, ct.Scale)
+	}
+	level := min(ct.Level, pt.Level())
+	out := CopyOf(ev.atLevel(ct, level))
+	ev.params.RingQP.Add(out.Polys[0], pt.Value.Resize(level+1), out.Polys[0])
+	return out, nil
+}
+
+// MulPlain returns ct ⊙ pt (ciphertext-plaintext multiplication, the C-P
+// mode of the MULT module). The result scale is the product of scales.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	level := min(ct.Level, pt.Level())
+	in := ev.atLevel(ct, level)
+	ptv := pt.Value.Resize(level + 1)
+	ctx := ev.params.RingQP
+	out := &Ciphertext{Scale: ct.Scale * pt.Scale, Level: level}
+	for _, p := range in.Polys {
+		c := ctx.NewPoly(level + 1)
+		ctx.MulCoeffs(p, ptv, c)
+		out.Polys = append(out.Polys, c)
+	}
+	return out, nil
+}
+
+// Mul returns the degree-2 product of two degree-1 ciphertexts
+// (Algorithm 5): (a0⊙b0, a0⊙b1 + a1⊙b0, a1⊙b1).
+func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if ct0.Degree() != 1 || ct1.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: Mul requires degree-1 operands (got %d and %d)",
+			ct0.Degree(), ct1.Degree())
+	}
+	a, b := ev.alignLevels(ct0, ct1)
+	ctx := ev.params.RingQP
+	rows := a.Level + 1
+	c0 := ctx.NewPoly(rows)
+	c1 := ctx.NewPoly(rows)
+	c2 := ctx.NewPoly(rows)
+	ctx.MulCoeffs(a.Polys[0], b.Polys[0], c0)
+	ctx.MulCoeffs(a.Polys[0], b.Polys[1], c1)
+	ctx.MulCoeffsAdd(a.Polys[1], b.Polys[0], c1)
+	ctx.MulCoeffs(a.Polys[1], b.Polys[1], c2)
+	return &Ciphertext{
+		Polys: []*ring.Poly{c0, c1, c2},
+		Scale: a.Scale * b.Scale,
+		Level: a.Level,
+	}, nil
+}
+
+// KeySwitchPoly runs Algorithm 7 on a single NTT-form polynomial c at
+// level c.Level(), returning the pair (c0', c1') such that
+// c0' + c1'·s ≈ c·s'. It is exported because the HEAX KeySwitch module
+// implements exactly this computation and the hardware-vs-software tests
+// compare against it.
+func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	ctx := ev.params.RingQP
+	n := ctx.N
+	level := c.Level()
+	spRow := ev.params.SpecialRow()
+
+	// Accumulators over (q_0..q_level, P); row level+1 is the special
+	// prime.
+	acc0 := ctx.NewPoly(level + 2)
+	acc1 := ctx.NewPoly(level + 2)
+
+	aCoeff := make([]uint64, n)
+	bRow := make([]uint64, n)
+	for i := 0; i <= level; i++ {
+		// Line 3: a ← INTT_{p_i}(c_i).
+		copy(aCoeff, c.Coeffs[i])
+		ctx.Tables[i].Inverse(aCoeff)
+		for jj := 0; jj <= level+1; jj++ {
+			basisIdx := jj
+			if jj == level+1 {
+				basisIdx = spRow
+			}
+			// Lines 5-10 and 14-15: convert digit i to modulus j.
+			var bNTT []uint64
+			if basisIdx == i {
+				bNTT = c.Coeffs[i]
+			} else {
+				m := ctx.Basis.Mods[basisIdx]
+				for t := 0; t < n; t++ {
+					bRow[t] = m.Reduce(aCoeff[t])
+				}
+				ctx.Tables[basisIdx].Forward(bRow)
+				bNTT = bRow
+			}
+			// Lines 11-12 and 16-17: multiply-accumulate with the keys.
+			m := ctx.Basis.Mods[basisIdx]
+			p := ctx.Basis.Primes[basisIdx]
+			d0 := swk.Digits[i][0].Coeffs[basisIdx]
+			d1 := swk.Digits[i][1].Coeffs[basisIdx]
+			o0 := acc0.Coeffs[jj]
+			o1 := acc1.Coeffs[jj]
+			for t := 0; t < n; t++ {
+				o0[t] = uintmod.AddMod(o0[t], m.MulMod(bNTT[t], d0[t]), p)
+				o1[t] = uintmod.AddMod(o1[t], m.MulMod(bNTT[t], d1[t]), p)
+			}
+		}
+	}
+	// Line 19: modulus switching — divide by the special prime.
+	rowIdx := make([]int, level+2)
+	for i := 0; i <= level; i++ {
+		rowIdx[i] = i
+	}
+	rowIdx[level+1] = spRow
+	ks0 := ctx.FloorDropRows(acc0, rowIdx, false)
+	ks1 := ctx.FloorDropRows(acc1, rowIdx, false)
+	return ks0, ks1
+}
+
+// Relinearize transforms a degree-2 ciphertext back to degree 1 using the
+// relinearization key (CKKS.Relin).
+func (ev *Evaluator) Relinearize(ct *Ciphertext, rlk *RelinearizationKey) (*Ciphertext, error) {
+	if ct.Degree() != 2 {
+		return nil, fmt.Errorf("ckks: Relinearize requires a degree-2 ciphertext (got %d)", ct.Degree())
+	}
+	ks0, ks1 := ev.KeySwitchPoly(ct.Polys[2], &rlk.SwitchingKey)
+	ctx := ev.params.RingQP
+	out := &Ciphertext{Scale: ct.Scale, Level: ct.Level}
+	c0 := ring.CopyOf(ct.Polys[0])
+	ctx.Add(c0, ks0, c0)
+	c1 := ring.CopyOf(ct.Polys[1])
+	ctx.Add(c1, ks1, c1)
+	out.Polys = []*ring.Poly{c0, c1}
+	return out, nil
+}
+
+// MulRelin is Mul followed by Relinearize — the paper's "MULT+ReLin"
+// composite operation of Table 8.
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *RelinearizationKey) (*Ciphertext, error) {
+	prod, err := ev.Mul(ct0, ct1)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(prod, rlk)
+}
+
+// SwitchKeys re-encrypts a degree-1 ciphertext under a different secret
+// key using a key generated by GenSwitchingKey(oldKey, newKey): the
+// result decrypts under the new key.
+func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: SwitchKeys requires a degree-1 ciphertext (got %d)", ct.Degree())
+	}
+	ks0, ks1 := ev.KeySwitchPoly(ct.Polys[1], swk)
+	ctx := ev.params.RingQP
+	c0 := ring.CopyOf(ct.Polys[0])
+	ctx.Add(c0, ks0, c0)
+	return &Ciphertext{Polys: []*ring.Poly{c0, ks1}, Scale: ct.Scale, Level: ct.Level}, nil
+}
+
+// Rescale divides the ciphertext by its current last prime and drops one
+// level (CKKS.Rescale, built on Algorithm 6 with rounding).
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale below level 0")
+	}
+	ctx := ev.params.RingQP
+	pLast := ev.params.Q[ct.Level]
+	out := &Ciphertext{Scale: ct.Scale / float64(pLast), Level: ct.Level - 1}
+	for _, p := range ct.Polys {
+		out.Polys = append(out.Polys, ctx.FloorDropLast(p, true))
+	}
+	return out, nil
+}
+
+// RotateLeft rotates message slots left by step positions using the
+// matching Galois key: slot i of the result holds slot i+step of the
+// input.
+func (ev *Evaluator) RotateLeft(ct *Ciphertext, step int, gks *GaloisKeySet) (*Ciphertext, error) {
+	key, err := gks.rotationKey(step)
+	if err != nil {
+		return nil, err
+	}
+	return ev.applyGalois(ct, key)
+}
+
+// RotateRight is RotateLeft with a negated step.
+func (ev *Evaluator) RotateRight(ct *Ciphertext, step int, gks *GaloisKeySet) (*Ciphertext, error) {
+	return ev.RotateLeft(ct, -step, gks)
+}
+
+// ConjugateSlots applies complex conjugation to every slot.
+func (ev *Evaluator) ConjugateSlots(ct *Ciphertext, gks *GaloisKeySet) (*Ciphertext, error) {
+	if gks == nil || gks.Conjugate == nil {
+		return nil, fmt.Errorf("ckks: no conjugation key provided")
+	}
+	return ev.applyGalois(ct, gks.Conjugate)
+}
+
+// applyGalois implements rotation (Section 3.4): apply the automorphism to
+// both components — yielding a ciphertext under s(X^g) — then switch the
+// second component back to s.
+func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d); relinearize first", ct.Degree())
+	}
+	ctx := ev.params.RingQP
+	rows := ct.Level + 1
+	table := ctx.AutomorphismNTTTable(key.GaloisElt)
+	c0g := ctx.NewPoly(rows)
+	c1g := ctx.NewPoly(rows)
+	ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
+	ctx.AutomorphismNTT(ct.Polys[1], table, c1g)
+
+	ks0, ks1 := ev.KeySwitchPoly(c1g, &key.SwitchingKey)
+	ctx.Add(c0g, ks0, c0g)
+	return &Ciphertext{Polys: []*ring.Poly{c0g, ks1}, Scale: ct.Scale, Level: ct.Level}, nil
+}
+
+// DropLevel truncates a ciphertext to the given level without scaling
+// (useful to align operands before addition).
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
+	if level < 0 || level > ct.Level {
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
+	}
+	return CopyOf(ev.atLevel(ct, level)), nil
+}

@@ -1,0 +1,85 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCiphertext hardens the deserializer against malformed input:
+// whatever the bytes, it must return an error or a structurally valid
+// ciphertext — never panic and never hand back out-of-range residues.
+// The seed corpus includes a valid blob and its truncations, so plain
+// `go test` already exercises the interesting prefixes.
+func FuzzReadCiphertext(f *testing.F) {
+	params := MustParams(ParamSpec{Name: "fuzz", LogN: 4, QBits: []int{30, 30}, PBits: 31, LogScale: 20})
+	kg := NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	enc := NewEncoder(params)
+	encr := NewSymmetricEncryptor(params, sk, 2)
+	pt, err := enc.Encode([]complex128{1, 2}, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCiphertext(&buf, ct); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 4, 11, 12, 20, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	mutated := append([]byte(nil), valid...)
+	mutated[15] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCiphertext(bytes.NewReader(data), params)
+		if err != nil {
+			return
+		}
+		if got.Degree() < 1 || got.Degree() > 2 {
+			t.Fatalf("accepted ciphertext with degree %d", got.Degree())
+		}
+		for _, p := range got.Polys {
+			if p.Rows() != got.Level+1 {
+				t.Fatal("accepted ciphertext with inconsistent rows")
+			}
+			for i, row := range p.Coeffs {
+				prime := params.RingQP.Basis.Primes[i]
+				for _, v := range row {
+					if v >= prime {
+						t.Fatal("accepted out-of-range residue")
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadParams: same contract for the parameter deserializer.
+func FuzzReadParams(f *testing.F) {
+	params := MustParams(ParamSpec{Name: "fuzz", LogN: 4, QBits: []int{30}, PBits: 31, LogScale: 20})
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, params); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadParams(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.N < 4 || got.K() < 1 {
+			t.Fatal("accepted degenerate parameters")
+		}
+	})
+}

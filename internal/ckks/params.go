@@ -1,0 +1,149 @@
+// Package ckks implements the full-RNS CKKS scheme of Section 3, matching
+// the Microsoft SEAL 3.3 formulation the paper accelerates: the canonical
+// embedding encoder, symmetric and public-key encryption, and the
+// server-side evaluation primitives HEAX implements in hardware —
+// Add, Mul (Algorithm 5), Rescale (Algorithm 6), KeySwitch (Algorithm 7),
+// Relinearize and Rotate.
+//
+// This package is the reproduction's CPU baseline: Tables 7 and 8 compare
+// HEAX against exactly these operations.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"heax/internal/primes"
+	"heax/internal/ring"
+)
+
+// Params fixes a CKKS instantiation: ring degree, the RNS ciphertext
+// modulus chain q = p_0···p_L, the special modulus P used by key
+// switching, and the default encoding scale Δ.
+type Params struct {
+	LogN int
+	N    int
+	// Q holds the ciphertext primes p_0..p_L; P is the key-switching
+	// special prime. All satisfy the Section 4 constraints for their
+	// word size.
+	Q []uint64
+	P uint64
+	// LogScale is log2 of the default encoding scale Δ.
+	LogScale int
+
+	// RingQP is the ring context over (Q..., P); the special prime is the
+	// last basis element. RingQ is the view restricted to Q.
+	RingQP *ring.Context
+}
+
+// ParamSpec describes a parameter set by bit sizes, as Table 2 does.
+type ParamSpec struct {
+	Name     string
+	LogN     int
+	QBits    []int // bit size of each ciphertext prime
+	PBits    int   // bit size of the special prime
+	LogScale int
+}
+
+// Table 2 parameter sets. Total modulus bits (Σ QBits + PBits) match the
+// paper's ⌊log qp⌋+1 column: 109, 218, 438. All primes are below 2^52 as
+// the 54-bit HEAX datapath requires.
+var (
+	// SetA: n = 2^12, 109-bit qp, k = 2.
+	SetA = ParamSpec{Name: "Set-A", LogN: 12, QBits: []int{36, 36}, PBits: 37, LogScale: 30}
+	// SetB: n = 2^13, 218-bit qp, k = 4.
+	SetB = ParamSpec{Name: "Set-B", LogN: 13, QBits: []int{43, 43, 43, 43}, PBits: 46, LogScale: 40}
+	// SetC: n = 2^14, 438-bit qp, k = 8.
+	SetC = ParamSpec{Name: "Set-C", LogN: 14, QBits: []int{49, 49, 49, 49, 49, 49, 49, 49}, PBits: 46, LogScale: 40}
+)
+
+// StandardSets lists the Table 2 parameter sets in order.
+var StandardSets = []ParamSpec{SetA, SetB, SetC}
+
+// NewParams realizes a ParamSpec: it searches for distinct NTT-friendly
+// primes of the requested sizes and builds the ring contexts.
+func NewParams(spec ParamSpec) (*Params, error) {
+	if spec.LogN < 2 || spec.LogN > 17 {
+		return nil, fmt.Errorf("ckks: LogN %d out of range", spec.LogN)
+	}
+	if len(spec.QBits) == 0 {
+		return nil, fmt.Errorf("ckks: need at least one ciphertext prime")
+	}
+	n := 1 << spec.LogN
+
+	// Count how many primes of each bit size we need, then carve the
+	// per-size candidate lists so that all primes are distinct.
+	need := map[int]int{}
+	for _, b := range spec.QBits {
+		need[b]++
+	}
+	need[spec.PBits]++
+	pool := map[int][]uint64{}
+	for b, cnt := range need {
+		ps, err := primes.NTTPrimes(b, n, cnt)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: %v", err)
+		}
+		pool[b] = ps
+	}
+	take := func(b int) uint64 {
+		p := pool[b][0]
+		pool[b] = pool[b][1:]
+		return p
+	}
+	q := make([]uint64, len(spec.QBits))
+	for i, b := range spec.QBits {
+		q[i] = take(b)
+	}
+	pSpecial := take(spec.PBits)
+
+	all := append(append([]uint64(nil), q...), pSpecial)
+	rqp, err := ring.NewContext(n, all)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{
+		LogN:     spec.LogN,
+		N:        n,
+		Q:        q,
+		P:        pSpecial,
+		LogScale: spec.LogScale,
+		RingQP:   rqp,
+	}, nil
+}
+
+// MustParams is NewParams for tests and examples, panicking on error.
+func MustParams(spec ParamSpec) *Params {
+	p, err := NewParams(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MaxLevel is L, the highest ciphertext level (k-1 ciphertext primes can
+// be dropped by rescaling).
+func (p *Params) MaxLevel() int { return len(p.Q) - 1 }
+
+// K is the number of ciphertext primes (the paper's k = L+1).
+func (p *Params) K() int { return len(p.Q) }
+
+// Slots is the number of complex message slots, n/2.
+func (p *Params) Slots() int { return p.N / 2 }
+
+// DefaultScale returns Δ.
+func (p *Params) DefaultScale() float64 { return math.Exp2(float64(p.LogScale)) }
+
+// SpecialRow is the basis row index of the special prime in RingQP.
+func (p *Params) SpecialRow() int { return len(p.Q) }
+
+// TotalModulusBits returns ⌊log qp⌋+1 as reported in Table 2.
+func (p *Params) TotalModulusBits() int {
+	bits := 0
+	qp := p.RingQP.Basis.Q()
+	bits = qp.BitLen()
+	return bits
+}
+
+// QPRows is the total number of RNS rows in RingQP (k+1).
+func (p *Params) QPRows() int { return len(p.Q) + 1 }

@@ -1,0 +1,172 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: the scheme's homomorphisms must hold for random
+// messages, random encryption randomness, and random slots — not just the
+// fixed vectors of the unit tests. A shared kit keeps key generation out
+// of the per-case cost.
+
+var propKit *testKit
+
+func getPropKit(t *testing.T) *testKit {
+	t.Helper()
+	if propKit == nil {
+		propKit = newTestKit(t, smallSpec)
+	}
+	return propKit
+}
+
+// Additive homomorphism: Dec(Enc(a) + Enc(b)) ≈ a + b.
+func TestQuickAdditiveHomomorphism(t *testing.T) {
+	kit := getPropKit(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomComplex(rng, kit.params.Slots(), 1)
+		b := randomComplex(rng, kit.params.Slots(), 1)
+		pa, err := kit.enc.Encode(a, kit.params.MaxLevel(), kit.params.DefaultScale())
+		if err != nil {
+			return false
+		}
+		pb, err := kit.enc.Encode(b, kit.params.MaxLevel(), kit.params.DefaultScale())
+		if err != nil {
+			return false
+		}
+		ca, err := kit.encPk.Encrypt(pa)
+		if err != nil {
+			return false
+		}
+		cb, err := kit.encPk.Encrypt(pb)
+		if err != nil {
+			return false
+		}
+		sum, err := kit.eval.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		dec, err := kit.dec.Decrypt(sum)
+		if err != nil {
+			return false
+		}
+		got := kit.enc.Decode(dec)
+		for i := range a {
+			if d := got[i] - (a[i] + b[i]); real(d)*real(d)+imag(d)*imag(d) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multiplicative homomorphism through relinearization and rescaling.
+func TestQuickMultiplicativeHomomorphism(t *testing.T) {
+	kit := getPropKit(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomComplex(rng, kit.params.Slots(), 1)
+		b := randomComplex(rng, kit.params.Slots(), 1)
+		pa, _ := kit.enc.Encode(a, kit.params.MaxLevel(), kit.params.DefaultScale())
+		pb, _ := kit.enc.Encode(b, kit.params.MaxLevel(), kit.params.DefaultScale())
+		ca, _ := kit.encPk.Encrypt(pa)
+		cb, _ := kit.encPk.Encrypt(pb)
+		prod, err := kit.eval.MulRelin(ca, cb, kit.rlk)
+		if err != nil {
+			return false
+		}
+		prod, err = kit.eval.Rescale(prod)
+		if err != nil {
+			return false
+		}
+		dec, err := kit.dec.Decrypt(prod)
+		if err != nil {
+			return false
+		}
+		got := kit.enc.Decode(dec)
+		for i := range a {
+			if d := got[i] - a[i]*b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rotation group laws: rot(rot(x, a), b) == rot(x, a+b), and a full orbit
+// returns to the start.
+func TestQuickRotationComposition(t *testing.T) {
+	kit := getPropKit(t)
+	slots := kit.params.Slots()
+	gks := kit.kg.GenGaloisKeySet(kit.sk, []int{1, 2, 3}, false)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomComplex(rng, slots, 1)
+		pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+		ct, _ := kit.encPk.Encrypt(pt)
+		r1, err := kit.eval.RotateLeft(ct, 1, gks)
+		if err != nil {
+			return false
+		}
+		r12, err := kit.eval.RotateLeft(r1, 2, gks)
+		if err != nil {
+			return false
+		}
+		r3, err := kit.eval.RotateLeft(ct, 3, gks)
+		if err != nil {
+			return false
+		}
+		d12, _ := kit.dec.Decrypt(r12)
+		d3, _ := kit.dec.Decrypt(r3)
+		g12 := kit.enc.Decode(d12)
+		g3 := kit.enc.Decode(d3)
+		for i := range g12 {
+			if d := g12[i] - g3[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conjugation is an involution.
+func TestQuickConjugateInvolution(t *testing.T) {
+	kit := getPropKit(t)
+	gks := kit.kg.GenGaloisKeySet(kit.sk, nil, true)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomComplex(rng, kit.params.Slots(), 1)
+		pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+		ct, _ := kit.encPk.Encrypt(pt)
+		c1, err := kit.eval.ConjugateSlots(ct, gks)
+		if err != nil {
+			return false
+		}
+		c2, err := kit.eval.ConjugateSlots(c1, gks)
+		if err != nil {
+			return false
+		}
+		dec, _ := kit.dec.Decrypt(c2)
+		got := kit.enc.Decode(dec)
+		for i := range v {
+			if d := got[i] - v[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+package ckks
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"heax/internal/ring"
+)
+
+// Binary serialization for parameters, ciphertexts and keys: the wire
+// format a client and an HEAX-accelerated server exchange over PCIe/
+// network (Section 5.2 moves exactly these objects). Format: magic,
+// version, then little-endian fixed-width fields; polynomials are raw
+// rows of 64-bit words.
+
+const (
+	serialMagic   uint32 = 0x48454158 // "HEAX"
+	serialVersion uint32 = 1
+)
+
+type objectKind uint32
+
+const (
+	kindParams objectKind = iota + 1
+	kindCiphertext
+	kindPlaintext
+	kindSecretKey
+	kindPublicKey
+	kindSwitchingKey
+	kindGaloisKey
+)
+
+func writeHeader(w io.Writer, kind objectKind) error {
+	for _, v := range []uint32{serialMagic, serialVersion, uint32(kind)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader, want objectKind) error {
+	var magic, version, kind uint32
+	for _, p := range []*uint32{&magic, &version, &kind} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	if magic != serialMagic {
+		return fmt.Errorf("ckks: bad magic %#x", magic)
+	}
+	if version != serialVersion {
+		return fmt.Errorf("ckks: unsupported version %d", version)
+	}
+	if kind != uint32(want) {
+		return fmt.Errorf("ckks: expected object kind %d, found %d", want, kind)
+	}
+	return nil
+}
+
+func writePoly(w io.Writer, p *ring.Poly) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(p.Rows())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Coeffs[0]))); err != nil {
+		return err
+	}
+	for _, row := range p.Coeffs {
+		if err := binary.Write(w, binary.LittleEndian, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
+	var rows, n uint32
+	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) != ctx.N {
+		return nil, fmt.Errorf("ckks: polynomial degree %d does not match context %d", n, ctx.N)
+	}
+	if rows == 0 || int(rows) > ctx.K() {
+		return nil, fmt.Errorf("ckks: polynomial rows %d out of range", rows)
+	}
+	p := ctx.NewPoly(int(rows))
+	for _, row := range p.Coeffs {
+		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
+			return nil, err
+		}
+	}
+	// Validate residues against the basis so corrupted blobs fail fast.
+	for i, row := range p.Coeffs {
+		prime := ctx.Basis.Primes[i]
+		for _, v := range row {
+			if v >= prime {
+				return nil, fmt.Errorf("ckks: residue %d out of range for prime %d", v, prime)
+			}
+		}
+	}
+	return p, nil
+}
+
+// WriteParams serializes the realized parameters (actual primes, so the
+// receiver reconstructs bit-identical contexts).
+func WriteParams(w io.Writer, p *Params) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindParams); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(p.LogN)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(p.LogScale)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Q))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.Q); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.P); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadParams reconstructs parameters written by WriteParams.
+func ReadParams(r io.Reader) (*Params, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindParams); err != nil {
+		return nil, err
+	}
+	var logN, logScale, k uint32
+	if err := binary.Read(br, binary.LittleEndian, &logN); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &logScale); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, err
+	}
+	if k == 0 || k > 64 {
+		return nil, fmt.Errorf("ckks: implausible prime count %d", k)
+	}
+	q := make([]uint64, k)
+	if err := binary.Read(br, binary.LittleEndian, q); err != nil {
+		return nil, err
+	}
+	var special uint64
+	if err := binary.Read(br, binary.LittleEndian, &special); err != nil {
+		return nil, err
+	}
+	return ParamsFromRaw(int(logN), q, special, int(logScale))
+}
+
+// ParamsFromRaw builds parameters from explicit primes (as a receiving
+// party does); it validates the NTT-friendliness constraints.
+func ParamsFromRaw(logN int, q []uint64, special uint64, logScale int) (*Params, error) {
+	if logN < 2 || logN > 17 {
+		return nil, fmt.Errorf("ckks: LogN %d out of range", logN)
+	}
+	n := 1 << logN
+	all := append(append([]uint64(nil), q...), special)
+	rqp, err := ring.NewContext(n, all)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{
+		LogN: logN, N: n, Q: append([]uint64(nil), q...), P: special,
+		LogScale: logScale, RingQP: rqp,
+	}, nil
+}
+
+// WriteCiphertext serializes a ciphertext.
+func WriteCiphertext(w io.Writer, ct *Ciphertext) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindCiphertext); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(ct.Scale)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ct.Level)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ct.Polys))); err != nil {
+		return err
+	}
+	for _, p := range ct.Polys {
+		if err := writePoly(bw, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCiphertext deserializes a ciphertext against params.
+func ReadCiphertext(r io.Reader, params *Params) (*Ciphertext, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindCiphertext); err != nil {
+		return nil, err
+	}
+	var scaleBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &scaleBits); err != nil {
+		return nil, err
+	}
+	var level, np uint32
+	if err := binary.Read(br, binary.LittleEndian, &level); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &np); err != nil {
+		return nil, err
+	}
+	if np < 2 || np > 3 {
+		return nil, fmt.Errorf("ckks: ciphertext with %d components", np)
+	}
+	if int(level) > params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d above maximum %d", level, params.MaxLevel())
+	}
+	ct := &Ciphertext{Scale: math.Float64frombits(scaleBits), Level: int(level)}
+	for i := 0; i < int(np); i++ {
+		p, err := readPoly(br, params.RingQP)
+		if err != nil {
+			return nil, err
+		}
+		if p.Rows() != int(level)+1 {
+			return nil, fmt.Errorf("ckks: component rows %d do not match level %d", p.Rows(), level)
+		}
+		ct.Polys = append(ct.Polys, p)
+	}
+	return ct, nil
+}
+
+// WriteSecretKey / ReadSecretKey serialize the secret key.
+func WriteSecretKey(w io.Writer, sk *SecretKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindSecretKey); err != nil {
+		return err
+	}
+	if err := writePoly(bw, sk.Value); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func ReadSecretKey(r io.Reader, params *Params) (*SecretKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindSecretKey); err != nil {
+		return nil, err
+	}
+	p, err := readPoly(br, params.RingQP)
+	if err != nil {
+		return nil, err
+	}
+	return &SecretKey{Value: p}, nil
+}
+
+// WritePublicKey / ReadPublicKey serialize the public key.
+func WritePublicKey(w io.Writer, pk *PublicKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindPublicKey); err != nil {
+		return err
+	}
+	if err := writePoly(bw, pk.B); err != nil {
+		return err
+	}
+	if err := writePoly(bw, pk.A); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func ReadPublicKey(r io.Reader, params *Params) (*PublicKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindPublicKey); err != nil {
+		return nil, err
+	}
+	b, err := readPoly(br, params.RingQP)
+	if err != nil {
+		return nil, err
+	}
+	a, err := readPoly(br, params.RingQP)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{B: b, A: a}, nil
+}
+
+func writeSwitchingKey(w io.Writer, swk *SwitchingKey) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(swk.Digits))); err != nil {
+		return err
+	}
+	for _, d := range swk.Digits {
+		if err := writePoly(w, d[0]); err != nil {
+			return err
+		}
+		if err := writePoly(w, d[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readSwitchingKey(r io.Reader, params *Params) (SwitchingKey, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return SwitchingKey{}, err
+	}
+	if int(n) != params.K() {
+		return SwitchingKey{}, fmt.Errorf("ckks: key has %d digits, params need %d", n, params.K())
+	}
+	swk := SwitchingKey{Digits: make([][2]*ring.Poly, n)}
+	for i := range swk.Digits {
+		d0, err := readPoly(r, params.RingQP)
+		if err != nil {
+			return SwitchingKey{}, err
+		}
+		d1, err := readPoly(r, params.RingQP)
+		if err != nil {
+			return SwitchingKey{}, err
+		}
+		swk.Digits[i] = [2]*ring.Poly{d0, d1}
+	}
+	return swk, nil
+}
+
+// WriteRelinearizationKey / ReadRelinearizationKey serialize rlk.
+func WriteRelinearizationKey(w io.Writer, rlk *RelinearizationKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindSwitchingKey); err != nil {
+		return err
+	}
+	if err := writeSwitchingKey(bw, &rlk.SwitchingKey); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func ReadRelinearizationKey(r io.Reader, params *Params) (*RelinearizationKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindSwitchingKey); err != nil {
+		return nil, err
+	}
+	swk, err := readSwitchingKey(br, params)
+	if err != nil {
+		return nil, err
+	}
+	return &RelinearizationKey{SwitchingKey: swk}, nil
+}
+
+// WriteGaloisKey / ReadGaloisKey serialize one rotation key.
+func WriteGaloisKey(w io.Writer, gk *GaloisKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindGaloisKey); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, gk.GaloisElt); err != nil {
+		return err
+	}
+	if err := writeSwitchingKey(bw, &gk.SwitchingKey); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func ReadGaloisKey(r io.Reader, params *Params) (*GaloisKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindGaloisKey); err != nil {
+		return nil, err
+	}
+	var elt uint64
+	if err := binary.Read(br, binary.LittleEndian, &elt); err != nil {
+		return nil, err
+	}
+	if elt&1 == 0 || elt >= uint64(2*params.N) {
+		return nil, fmt.Errorf("ckks: invalid Galois element %d", elt)
+	}
+	swk, err := readSwitchingKey(br, params)
+	if err != nil {
+		return nil, err
+	}
+	return &GaloisKey{SwitchingKey: swk, GaloisElt: elt}, nil
+}

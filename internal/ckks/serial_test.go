@@ -1,0 +1,185 @@
+package ckks
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	params := MustParams(smallSpec)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != params.N || got.P != params.P || got.LogScale != params.LogScale {
+		t.Fatal("params fields differ")
+	}
+	for i := range params.Q {
+		if got.Q[i] != params.Q[i] {
+			t.Fatal("primes differ")
+		}
+	}
+	// The reconstructed context must be functionally identical: encrypt
+	// with the original, decrypt against the reconstruction.
+	if got.RingQP.Basis.Q().Cmp(params.RingQP.Basis.Q()) != 0 {
+		t.Fatal("modulus product differs")
+	}
+}
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	rng := rand.New(rand.NewSource(30))
+	v := randomComplex(rng, kit.params.Slots(), 1)
+	pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ct, _ := kit.encPk.Encrypt(pt)
+
+	var buf bytes.Buffer
+	if err := WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCiphertext(&buf, kit.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != ct.Scale || got.Level != ct.Level || len(got.Polys) != len(ct.Polys) {
+		t.Fatal("metadata differs")
+	}
+	for i := range ct.Polys {
+		if !got.Polys[i].Equal(ct.Polys[i]) {
+			t.Fatal("polynomials differ")
+		}
+	}
+	// And it still decrypts.
+	dec, err := kit.dec.Decrypt(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(kit.enc.Decode(dec), v); e > 1e-4 {
+		t.Fatalf("decrypt-after-roundtrip error %g", e)
+	}
+}
+
+func TestKeyRoundTrips(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+
+	var buf bytes.Buffer
+	if err := WriteSecretKey(&buf, kit.sk); err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := ReadSecretKey(&buf, kit.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk2.Value.Equal(kit.sk.Value) {
+		t.Fatal("secret key differs")
+	}
+
+	buf.Reset()
+	if err := WritePublicKey(&buf, kit.pk); err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := ReadPublicKey(&buf, kit.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk2.A.Equal(kit.pk.A) || !pk2.B.Equal(kit.pk.B) {
+		t.Fatal("public key differs")
+	}
+
+	buf.Reset()
+	if err := WriteRelinearizationKey(&buf, kit.rlk); err != nil {
+		t.Fatal(err)
+	}
+	rlk2, err := ReadRelinearizationKey(&buf, kit.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range kit.rlk.Digits {
+		if !rlk2.Digits[i][0].Equal(kit.rlk.Digits[i][0]) || !rlk2.Digits[i][1].Equal(kit.rlk.Digits[i][1]) {
+			t.Fatal("relinearization key differs")
+		}
+	}
+	// The deserialized key must actually relinearize.
+	rng := rand.New(rand.NewSource(31))
+	v := randomComplex(rng, kit.params.Slots(), 1)
+	pt, _ := kit.enc.Encode(v, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ct, _ := kit.encPk.Encrypt(pt)
+	sq, err := kit.eval.MulRelin(ct, ct, rlk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := kit.dec.Decrypt(sq)
+	got := kit.enc.Decode(dec)
+	want := make([]complex128, len(v))
+	for i := range v {
+		want[i] = v[i] * v[i]
+	}
+	if e := maxErr(got, want); e > 1e-3 {
+		t.Fatalf("relin with deserialized key error %g", e)
+	}
+
+	buf.Reset()
+	gk := kit.kg.GenGaloisKey(kit.sk, 3)
+	if err := WriteGaloisKey(&buf, gk); err != nil {
+		t.Fatal(err)
+	}
+	gk2, err := ReadGaloisKey(&buf, kit.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk2.GaloisElt != gk.GaloisElt {
+		t.Fatal("galois element differs")
+	}
+}
+
+func TestSerialCorruption(t *testing.T) {
+	kit := newTestKit(t, smallSpec)
+	pt, _ := kit.enc.Encode([]complex128{1}, kit.params.MaxLevel(), kit.params.DefaultScale())
+	ct, _ := kit.encPk.Encrypt(pt)
+	var buf bytes.Buffer
+	if err := WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := ReadCiphertext(bytes.NewReader(bad), kit.params); err == nil {
+		t.Error("corrupted magic should fail")
+	}
+	// Wrong object kind (a params blob read as a ciphertext).
+	var pbuf bytes.Buffer
+	if err := WriteParams(&pbuf, kit.params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(pbuf.Bytes()), kit.params); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	// Truncated stream.
+	if _, err := ReadCiphertext(bytes.NewReader(raw[:len(raw)/2]), kit.params); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Out-of-range residue.
+	bad2 := append([]byte(nil), raw...)
+	for i := len(bad2) - 8; i < len(bad2); i++ {
+		bad2[i] = 0xff
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(bad2), kit.params); err == nil {
+		t.Error("out-of-range residue should fail")
+	}
+}
+
+func TestParamsFromRawErrors(t *testing.T) {
+	if _, err := ParamsFromRaw(1, []uint64{97}, 97, 30); err == nil {
+		t.Error("bad logN should fail")
+	}
+	if _, err := ParamsFromRaw(12, []uint64{97}, 101, 30); err == nil {
+		t.Error("non-NTT primes should fail")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// KeySwitchArch is one row of Table 5: the module composition of a
+// KeySwitch pipeline (Section 4.3 and Figure 5):
+//
+//	1×INTT(NcINTT0) → NumNTT0×NTT(NcNTT0) → NumDyad×Dyad(NcDyad)
+//	→ NumINTT1×INTT(NcINTT1) → NumNTT1×NTT(NcNTT1) → NumMS×Mult(NcMS)
+type KeySwitchArch struct {
+	NcINTT0  int // cores of the first INTT module
+	NumNTT0  int // m0: first-layer NTT module count
+	NcNTT0   int // cores per first-layer NTT module
+	NumDyad  int // DyadMult module count (m0 key modules + 1 input-poly module)
+	NcDyad   int
+	NumINTT1 int // second-layer INTT modules (one per output bank)
+	NcINTT1  int
+	NumNTT1  int
+	NcNTT1   int
+	NumMS    int // final multiply-subtract modules
+	NcMS     int
+}
+
+// String renders the architecture in Table 5 notation.
+func (a KeySwitchArch) String() string {
+	return fmt.Sprintf("1×INTT(%d)→%d×NTT(%d)→%d×Dyad(%d)→%d×INTT(%d)→%d×NTT(%d)→%d×Mult(%d)",
+		a.NcINTT0, a.NumNTT0, a.NcNTT0, a.NumDyad, a.NcDyad,
+		a.NumINTT1, a.NcINTT1, a.NumNTT1, a.NcNTT1, a.NumMS, a.NcMS)
+}
+
+// F1 is the input-polynomial buffer count of Section 4.3
+// ("Data Dependency 1"): f1 = ceil(3 + ncINTT0/ncNTT0). Its value of 4 for
+// every evaluated configuration is why Section 5.2 quadruple-buffers the
+// KeySwitch input.
+func (a KeySwitchArch) F1() int {
+	return 3 + ceilDiv(a.NcINTT0, a.NcNTT0)
+}
+
+// F2 is the DyadMult output buffer count of Section 4.3
+// ("Data Dependency 2"):
+// f2 = ceil(1 + m0·ncINTT1/ncNTT1 + ncINTT1·logn/ncMS).
+func (a KeySwitchArch) F2(logn int) int {
+	num := a.NumNTT0*a.NcINTT1*a.NcMS + a.NcINTT1*logn*a.NcNTT1
+	den := a.NcNTT1 * a.NcMS
+	return 1 + ceilDiv(num, den)
+}
+
+// nextPow2 rounds up to a power of two.
+func nextPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
+}
+
+// maxNTTCores is the per-module NTT core cap: Section 4.3 reports
+// place-and-route failures beyond 32 cores and super-linear ALM growth;
+// the evaluated designs cap NTT modules at 16 cores on Stratix 10 and 8
+// on the smaller Arria 10.
+func maxNTTCores(b Board) int {
+	if b.Name == BoardArria10.Name {
+		return 8
+	}
+	return 16
+}
+
+// DeriveArch applies the throughput-balancing rules of Section 4.3 to a
+// chosen INTT0 width:
+//
+//   - NTT0 must run k NTTs per INTT (ncNTT0·m0 = k·ncINTT0), split into m0
+//     modules of at most maxNTTCores cores;
+//   - DyadMult keeps pace when ncDYD ≥ 4·ncNTT0/log n (rounded to a power
+//     of two), with one module per NTT0 module plus one for the input
+//     polynomial;
+//   - the second layer uses ncINTT1 = ceil(ncINTT0/k), ncNTT1 = ncINTT0,
+//     and ncMS = max(ceil(2·ncNTT1/log n) rounded up to a power of two,
+//     ncDYD/2), duplicated per output bank.
+func DeriveArch(b Board, set ParamSet, ncINTT0 int) KeySwitchArch {
+	k := set.K
+	logn := set.LogN
+	cap16 := maxNTTCores(b)
+
+	ncNTT0 := k * ncINTT0
+	if ncNTT0 > cap16 {
+		ncNTT0 = cap16
+	}
+	m0 := ceilDiv(k*ncINTT0, ncNTT0)
+	ncDyad := nextPow2(ceilDiv(4*ncNTT0, logn))
+	ncINTT1 := ceilDiv(ncINTT0, k)
+	ncNTT1 := ncINTT0
+	ncMS := nextPow2(ceilDiv(2*ncNTT1, logn))
+	if half := ncDyad / 2; ncMS < half {
+		ncMS = half
+	}
+	return KeySwitchArch{
+		NcINTT0: ncINTT0,
+		NumNTT0: m0, NcNTT0: ncNTT0,
+		NumDyad: m0 + 1, NcDyad: ncDyad,
+		NumINTT1: 2, NcINTT1: ncINTT1,
+		NumNTT1: 2, NcNTT1: ncNTT1,
+		NumMS: 2, NcMS: ncMS,
+	}
+}
+
+// GenerateArch picks the widest feasible INTT0 and derives the rest,
+// reproducing the paper's "automatically instantiated at different scales
+// with no manual tuning" claim (Section 6.3). Feasibility is judged by the
+// design resource model against the board's DSP, REG and ALM capacity.
+func GenerateArch(b Board, set ParamSet) (KeySwitchArch, error) {
+	for nc := 32; nc >= 1; nc >>= 1 {
+		arch := DeriveArch(b, set, nc)
+		d := NewDesign(b, set, arch)
+		r := d.Resources()
+		if r.DSP <= b.DSP && r.REG <= b.REG && r.ALM <= b.ALM {
+			return arch, nil
+		}
+	}
+	return KeySwitchArch{}, fmt.Errorf("core: no feasible architecture for %s on %s", set.Name, b.Name)
+}
+
+// KeySwitchCycles is the steady-state initiation interval of the pipeline
+// in cycles: the INTT0 stage processes the k RNS components of one input
+// polynomial back to back, so one key switch completes every
+// k · n·log n / (2·ncINTT0) cycles (Section 4.3; this reproduces every
+// HEAX column of Table 8).
+func (a KeySwitchArch) KeySwitchCycles(set ParamSet) int {
+	n := set.N()
+	return set.K * ModuleCycles(INTTModule, a.NcINTT0, n)
+}

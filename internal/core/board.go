@@ -1,0 +1,175 @@
+// Package core models the HEAX architecture itself — the paper's primary
+// contribution: the parameterizable NTT/INTT/MULT/KeySwitch modules, the
+// rules that size and balance them (Section 4), the resource model that
+// maps an architecture onto an FPGA (Tables 3, 4, 6), the architecture
+// generator that reproduces the paper's configurations (Table 5), and the
+// performance model behind Tables 7 and 8.
+//
+// Because this reproduction has no synthesis toolchain, per-core and
+// per-module resource costs are calibrated to the paper's reported
+// synthesis results, while cycle counts and throughput are derived from
+// the dataflow (and cross-checked against the cycle-accurate simulator in
+// internal/hwsim). DESIGN.md discusses this substitution.
+package core
+
+import "fmt"
+
+// Resources is a bundle of FPGA resource quantities (Section 6.1).
+type Resources struct {
+	DSP      int // 27-bit multiplier blocks
+	REG      int // 1-bit registers
+	ALM      int // adaptive logic modules
+	BRAMBits int // on-chip memory bits in use
+	M20K     int // 20kb BRAM units in use
+}
+
+// Add returns r + s componentwise.
+func (r Resources) Add(s Resources) Resources {
+	return Resources{
+		DSP:      r.DSP + s.DSP,
+		REG:      r.REG + s.REG,
+		ALM:      r.ALM + s.ALM,
+		BRAMBits: r.BRAMBits + s.BRAMBits,
+		M20K:     r.M20K + s.M20K,
+	}
+}
+
+// Scale returns r scaled by an integer factor.
+func (r Resources) Scale(k int) Resources {
+	return Resources{
+		DSP:      r.DSP * k,
+		REG:      r.REG * k,
+		ALM:      r.ALM * k,
+		BRAMBits: r.BRAMBits * k,
+		M20K:     r.M20K * k,
+	}
+}
+
+// FitsIn reports whether r fits within a board's resources.
+func (r Resources) FitsIn(b Board) bool {
+	return r.DSP <= b.DSP && r.REG <= b.REG && r.ALM <= b.ALM &&
+		r.BRAMBits <= b.BRAMBits && r.M20K <= b.M20K
+}
+
+// Utilization formats r as percentages of a board, like Table 6 does.
+func (r Resources) Utilization(b Board) string {
+	pct := func(x, of int) int {
+		if of == 0 {
+			return 0
+		}
+		return 100 * x / of
+	}
+	return fmt.Sprintf("DSP %d (%d%%), REG %d (%d%%), ALM %d (%d%%), BRAM %d bits (%d%%), M20K %d (%d%%)",
+		r.DSP, pct(r.DSP, b.DSP), r.REG, pct(r.REG, b.REG), r.ALM, pct(r.ALM, b.ALM),
+		r.BRAMBits, pct(r.BRAMBits, b.BRAMBits), r.M20K, pct(r.M20K, b.M20K))
+}
+
+// Board describes an FPGA accelerator card (Table 1).
+type Board struct {
+	Name     string
+	Chip     string
+	DSP      int
+	REG      int
+	ALM      int
+	BRAMBits int
+	M20K     int
+	// DRAM subsystem.
+	DRAMChannels int
+	DRAMGBps     int // aggregate bandwidth, GB/s
+	DRAMBytes    int64
+	// PCIe link, unidirectional GB/s.
+	PCIeGBps float64
+	// FreqMHz is the achieved design clock (Section 6.3).
+	FreqMHz int
+}
+
+// M20KBits is the capacity of one M20K block: 512 words of 40 bits.
+const M20KBits = 512 * 40
+
+// M20KDepth and M20KWidth describe the native geometry of an M20K block.
+const (
+	M20KDepth = 512
+	M20KWidth = 40
+)
+
+// Table 1 boards. Chip resources are as printed (BRAM given in bits:
+// 53 Mb and 229 Mb).
+var (
+	BoardArria10 = Board{
+		Name: "Arria10", Chip: "Arria 10 GX 1150",
+		DSP: 1518, REG: 1_710_000, ALM: 427_000,
+		BRAMBits: 53_000_000, M20K: 2700,
+		DRAMChannels: 2, DRAMGBps: 34, DRAMBytes: 4 << 30,
+		PCIeGBps: 7.88, FreqMHz: 275,
+	}
+	BoardStratix10 = Board{
+		Name: "Stratix10", Chip: "Stratix 10 GX 2800",
+		DSP: 5760, REG: 3_730_000, ALM: 933_000,
+		BRAMBits: 229_000_000, M20K: 11_721,
+		DRAMChannels: 4, DRAMGBps: 64, DRAMBytes: 64 << 30,
+		PCIeGBps: 15.75, FreqMHz: 300,
+	}
+)
+
+// Boards lists the evaluation boards in paper order.
+var Boards = []Board{BoardArria10, BoardStratix10}
+
+// BoardByName finds a board.
+func BoardByName(name string) (Board, error) {
+	for _, b := range Boards {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Board{}, fmt.Errorf("core: unknown board %q", name)
+}
+
+// ParamSet is the slice of Table 2 the hardware model needs: ring degree
+// and RNS component count. (The cryptographic realization lives in
+// internal/ckks; the hardware model only needs shapes.)
+type ParamSet struct {
+	Name string
+	LogN int
+	K    int // number of RNS components of q
+}
+
+// N returns the ring degree.
+func (p ParamSet) N() int { return 1 << p.LogN }
+
+// ModulusBits returns ⌊log qp⌋+1 as listed in Table 2 (fixed per set).
+func (p ParamSet) ModulusBits() int {
+	switch p.Name {
+	case "Set-A":
+		return 109
+	case "Set-B":
+		return 218
+	case "Set-C":
+		return 438
+	}
+	return 0
+}
+
+// Table 2 parameter sets.
+var (
+	ParamSetA = ParamSet{Name: "Set-A", LogN: 12, K: 2}
+	ParamSetB = ParamSet{Name: "Set-B", LogN: 13, K: 4}
+	ParamSetC = ParamSet{Name: "Set-C", LogN: 14, K: 8}
+)
+
+// ParamSets lists the Table 2 sets in order.
+var ParamSets = []ParamSet{ParamSetA, ParamSetB, ParamSetC}
+
+// WordBits is the HEAX native word size (Section 4).
+const WordBits = 54
+
+// DSPPerMul54 and DSPPerMul64 count 27-bit DSP blocks per multiplier for
+// the two candidate word sizes (Section 4: "a naive construction of a
+// 64-bit multiplier requires nine 27-bit DSPs, whereas a 54-bit multiplier
+// requires only four").
+const (
+	DSPPerMul54 = 4
+	DSPPerMul64 = 9
+	// DSPPerMul64ToomCook is the Karatsuba/Toom-Cook alternative the
+	// paper mentions: five 27-bit multipliers plus extra logic.
+	DSPPerMul64ToomCook = 5
+)

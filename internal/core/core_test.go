@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoardByName(t *testing.T) {
+	b, err := BoardByName("Arria10")
+	if err != nil || b.Chip != "Arria 10 GX 1150" {
+		t.Fatalf("BoardByName: %v %v", b, err)
+	}
+	if _, err := BoardByName("Virtex"); err == nil {
+		t.Fatal("unknown board should fail")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{DSP: 1, REG: 2, ALM: 3, BRAMBits: 4, M20K: 5}
+	b := a.Add(a)
+	if b.DSP != 2 || b.M20K != 10 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+	c := a.Scale(3)
+	if c.REG != 6 || c.BRAMBits != 12 {
+		t.Fatalf("Scale wrong: %+v", c)
+	}
+	if !a.FitsIn(BoardArria10) {
+		t.Fatal("small bundle should fit")
+	}
+	if (Resources{DSP: 1 << 30}).FitsIn(BoardArria10) {
+		t.Fatal("huge bundle should not fit")
+	}
+	if s := a.Utilization(BoardArria10); s == "" {
+		t.Fatal("empty utilization string")
+	}
+}
+
+// Module DSP counts are structural: cores × Table 3 per-core DSP.
+func TestModuleDSPMatchesTable4(t *testing.T) {
+	for kind, rows := range PaperModules {
+		for _, row := range rows {
+			got := ModuleResources(kind, row.Cores, 1<<13)
+			if got.DSP != row.DSP {
+				t.Errorf("%v(%d): DSP %d want %d", kind, row.Cores, got.DSP, row.DSP)
+			}
+		}
+	}
+}
+
+// At the synthesized core counts the model must return Table 4's REG/ALM
+// exactly (they are calibration points).
+func TestModuleREGALMAtCalibrationPoints(t *testing.T) {
+	for kind, rows := range PaperModules {
+		for _, row := range rows {
+			got := ModuleResources(kind, row.Cores, 1<<13)
+			if got.REG != row.REG || got.ALM != row.ALM {
+				t.Errorf("%v(%d): REG/ALM %d/%d want %d/%d",
+					kind, row.Cores, got.REG, got.ALM, row.REG, row.ALM)
+			}
+		}
+	}
+}
+
+// Off calibration points the fitted curve must be monotone and within a
+// sane envelope (interpolation sanity, not a paper claim).
+func TestModuleREGALMFitSanity(t *testing.T) {
+	for _, kind := range []ModuleKind{MULTModule, NTTModule, INTTModule} {
+		prev := 0
+		for _, nc := range []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 64} {
+			r := ModuleResources(kind, nc, 1<<13)
+			if r.ALM <= 0 {
+				t.Fatalf("%v(%d): non-positive ALM", kind, nc)
+			}
+			if r.ALM < prev && nc > 2 {
+				t.Fatalf("%v(%d): ALM %d not monotone (prev %d)", kind, nc, r.ALM, prev)
+			}
+			prev = r.ALM
+		}
+	}
+}
+
+func TestModuleBRAMBitsMatchTable4(t *testing.T) {
+	// Table 4's BRAM bits are quoted at n = 2^13.
+	for kind, rows := range PaperModules {
+		want := rows[0].BRAMBits
+		got := ModuleResources(kind, rows[0].Cores, 1<<13)
+		if math.Abs(float64(got.BRAMBits-want))/float64(want) > 0.01 {
+			t.Errorf("%v: BRAM bits %d want %d", kind, got.BRAMBits, want)
+		}
+	}
+}
+
+// Table 4 cycle counts (n = 2^12). The MULT rows for 16/32 cores are
+// inconsistent in the paper (see paperdata.go); the model follows the
+// measured throughput of Table 7, so we check those two via Table 7
+// instead.
+func TestModuleCyclesMatchTable4(t *testing.T) {
+	n := 1 << 12
+	for kind, rows := range PaperModules {
+		for _, row := range rows {
+			if kind == MULTModule && row.Cores >= 16 {
+				continue
+			}
+			if got := ModuleCycles(kind, row.Cores, n); got != row.Cycles {
+				t.Errorf("%v(%d): cycles %d want %d", kind, row.Cores, got, row.Cycles)
+			}
+		}
+	}
+}
+
+// The architecture generator must reproduce every Table 5 row.
+func TestGenerateArchMatchesTable5(t *testing.T) {
+	for _, want := range PaperArchitectures {
+		b, err := BoardByName(want.Board)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var set ParamSet
+		for _, s := range ParamSets {
+			if s.Name == want.Set {
+				set = s
+			}
+		}
+		got, err := GenerateArch(b, set)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", want.Board, want.Set, err)
+		}
+		if got != want.Arch {
+			t.Errorf("%s/%s:\n got  %v\n want %v", want.Board, want.Set, got, want.Arch)
+		}
+	}
+}
+
+// The f1 buffer depth must be 4 for every evaluated configuration — the
+// Section 5.2 quadruple-buffering claim.
+func TestF1QuadrupleBuffering(t *testing.T) {
+	for _, cfg := range PaperArchitectures {
+		if f1 := cfg.Arch.F1(); f1 != 4 {
+			t.Errorf("%s/%s: f1 = %d, want 4", cfg.Board, cfg.Set, f1)
+		}
+	}
+}
+
+// f2 values implied by Section 4.3's formula for the evaluated configs.
+func TestF2Values(t *testing.T) {
+	want := map[string]int{
+		"Arria10/Set-A":   26,
+		"Stratix10/Set-A": 26,
+		"Stratix10/Set-B": 15,
+		"Stratix10/Set-C": 5,
+	}
+	for _, cfg := range PaperArchitectures {
+		var set ParamSet
+		for _, s := range ParamSets {
+			if s.Name == cfg.Set {
+				set = s
+			}
+		}
+		key := cfg.Board + "/" + cfg.Set
+		if got := cfg.Arch.F2(set.LogN); got != want[key] {
+			t.Errorf("%s: f2 = %d, want %d", key, got, want[key])
+		}
+	}
+}
+
+// Table 6 DSP totals: module sums plus shell DSP. Exact for three rows;
+// Set-C is 62 DSP short of the printed value (≈2.6%), a residual the
+// paper does not itemize — we assert the documented tolerance.
+func TestDesignDSPMatchesTable6(t *testing.T) {
+	for _, row := range PaperDesigns {
+		d := designFor(t, row.Board, row.Set)
+		got := d.Resources().DSP
+		if row.Set == "Set-C" {
+			if math.Abs(float64(got-row.DSP))/float64(row.DSP) > 0.03 {
+				t.Errorf("%s/%s: DSP %d want %d (±3%%)", row.Board, row.Set, got, row.DSP)
+			}
+			continue
+		}
+		if got != row.DSP {
+			t.Errorf("%s/%s: DSP %d want %d", row.Board, row.Set, got, row.DSP)
+		}
+	}
+}
+
+// Table 6 REG/ALM: Stratix 10 rows must match closely (the paper totals
+// are module sums); Arria 10's synthesis differs from the S10-calibrated
+// module table, so it gets a wide envelope.
+func TestDesignREGALMNearTable6(t *testing.T) {
+	for _, row := range PaperDesigns {
+		d := designFor(t, row.Board, row.Set)
+		r := d.Resources()
+		tol := 0.08
+		if row.Board == BoardArria10.Name {
+			// Table 4's module costs are Stratix-10 synthesis results; an
+			// Arria 10 build of the same RTL maps to ALMs differently, so
+			// the module-sum model over-predicts the A10 row by ~25-37%.
+			tol = 0.40
+		}
+		if e := relErr(r.REG, row.REG); e > tol {
+			t.Errorf("%s/%s: REG %d want %d (err %.1f%% > %.0f%%)", row.Board, row.Set, r.REG, row.REG, e*100, tol*100)
+		}
+		if e := relErr(r.ALM, row.ALM); e > tol {
+			t.Errorf("%s/%s: ALM %d want %d (err %.1f%% > %.0f%%)", row.Board, row.Set, r.ALM, row.ALM, e*100, tol*100)
+		}
+	}
+}
+
+// The memory inventory must reproduce the Section 5.1 split: keys resident
+// for Set-A/Set-B, keys on DRAM for Set-C; totals within the board.
+func TestMemoryInventory(t *testing.T) {
+	for _, row := range PaperDesigns {
+		d := designFor(t, row.Board, row.Set)
+		inv := d.MemoryInventory()
+		if row.Set == "Set-C" {
+			if !inv.KeysOnDRAM {
+				t.Errorf("Set-C must spill keys to DRAM")
+			}
+			if inv.ResidentKeyBits != 0 {
+				t.Errorf("Set-C resident keys should be 0")
+			}
+		} else if inv.KeysOnDRAM {
+			t.Errorf("%s/%s: keys should be resident", row.Board, row.Set)
+		}
+		if inv.TotalBits > d.Board.BRAMBits {
+			t.Errorf("%s/%s: inventory %d bits exceeds board %d", row.Board, row.Set, inv.TotalBits, d.Board.BRAMBits)
+		}
+		if inv.TotalBits <= 0 || inv.TotalM20K <= 0 {
+			t.Errorf("%s/%s: degenerate inventory %+v", row.Board, row.Set, inv)
+		}
+	}
+}
+
+// Ksk size formula: Section 5.1 works out ≈151 Mb for two Set-C key sets.
+func TestKskBitsSetC(t *testing.T) {
+	// The paper counts k(k+1) vectors per set at 64 bits per word:
+	// 2 · 8·9 · 2^14 · 64 = 150,994,944 bits ≈ 151 Mb. Our words are 54
+	// bits on the wire; check both the paper's arithmetic and ours.
+	paperBits := 2 * 8 * 9 * (1 << 14) * 64
+	if paperBits != 150994944 {
+		t.Fatalf("paper arithmetic: %d", paperBits)
+	}
+	got := KskBits(ParamSetC)
+	want := 2 * 8 * 9 * (1 << 14) * WordBits
+	if got != want {
+		t.Fatalf("KskBits = %d want %d", got, want)
+	}
+}
+
+// The performance model must reproduce the HEAX columns of Table 7.
+func TestPerfMatchesTable7(t *testing.T) {
+	for _, row := range PaperLowLevel {
+		p := Perf{Design: designFor(t, row.Board, row.Set)}
+		checkOps(t, row.Board+"/"+row.Set+" NTT", p.NTTOps(), row.NTTHEAX)
+		checkOps(t, row.Board+"/"+row.Set+" INTT", p.INTTOps(), row.INTTHEAX)
+		checkOps(t, row.Board+"/"+row.Set+" Dyadic", p.DyadicOps(), row.DyadicHEAX)
+	}
+}
+
+// The performance model must reproduce the HEAX columns of Table 8.
+func TestPerfMatchesTable8(t *testing.T) {
+	for _, row := range PaperHighLevel {
+		p := Perf{Design: designFor(t, row.Board, row.Set)}
+		checkOps(t, row.Board+"/"+row.Set+" KeySwitch", p.KeySwitchOps(), row.KeySwitchHEAX)
+		checkOps(t, row.Board+"/"+row.Set+" MulRelin", p.MulRelinOps(), row.MulRelinHEAX)
+	}
+}
+
+// Scalability (Section 6.3): the Stratix 10 Set-A instantiation has ~2×
+// the resources and exactly 2× the throughput of the Arria 10 one.
+func TestScalabilityClaim(t *testing.T) {
+	a10 := Perf{Design: designFor(t, "Arria10", "Set-A")}
+	s10 := Perf{Design: designFor(t, "Stratix10", "Set-A")}
+	ratio := s10.KeySwitchOps() / a10.KeySwitchOps()
+	// 2× cores at 300/275 clock: 2·300/275 ≈ 2.18.
+	if ratio < 2.0 || ratio > 2.3 {
+		t.Fatalf("S10/A10 Set-A throughput ratio %.2f outside [2.0, 2.3]", ratio)
+	}
+	ra := a10.Design.Resources()
+	rs := s10.Design.Resources()
+	if f := float64(rs.DSP) / float64(ra.DSP); f < 1.5 || f > 2.2 {
+		t.Fatalf("S10/A10 DSP ratio %.2f outside [1.5, 2.2]", f)
+	}
+}
+
+// Word-size ablation (Section 4): 1.4×–2.25× DSP reduction from 64→54-bit
+// words, net of extra RNS components.
+func TestWordSizeAblation(t *testing.T) {
+	rows := WordSizeAblationTable()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NetReduction < 1.4 || r.NetReduction > 2.25 {
+			t.Errorf("%s: net DSP reduction %.2f outside the paper's 1.4-2.25 range",
+				r.Set.Name, r.NetReduction)
+		}
+		if r.K54 < r.K64 {
+			t.Errorf("%s: k54 %d < k64 %d", r.Set.Name, r.K54, r.K64)
+		}
+	}
+	if _, err := WordSizeDSP(32); err == nil {
+		t.Error("unsupported word size should fail")
+	}
+}
+
+func TestDeriveArchRejectsNothing(t *testing.T) {
+	// DeriveArch is total; GenerateArch only fails when nothing fits.
+	tiny := Board{Name: "tiny", DSP: 1, REG: 1, ALM: 1, BRAMBits: 1, M20K: 1}
+	if _, err := GenerateArch(tiny, ParamSetA); err == nil {
+		t.Fatal("impossible board should fail")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if NTTModule.String() != "NTT" || MULTModule.String() != "MULT" || INTTModule.String() != "INTT" {
+		t.Fatal("module names wrong")
+	}
+	if DyadicCore.String() != "Dyadic" || NTTCore.String() != "NTT" || INTTCore.String() != "INTT" {
+		t.Fatal("core names wrong")
+	}
+	if CoreKind(9).String() == "" || ModuleKind(9).String() == "" {
+		t.Fatal("unknown kinds should still format")
+	}
+	if MULTModule.CoreOf() != DyadicCore || NTTModule.CoreOf() != NTTCore || INTTModule.CoreOf() != INTTCore {
+		t.Fatal("CoreOf mapping wrong")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	arch := PaperArchitectures[2].Arch // S10 Set-B
+	want := "1×INTT(16)→4×NTT(16)→5×Dyad(8)→2×INTT(4)→2×NTT(16)→2×Mult(4)"
+	if got := arch.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func designFor(t testing.TB, board, set string) *Design {
+	t.Helper()
+	b, err := BoardByName(board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps ParamSet
+	for _, s := range ParamSets {
+		if s.Name == set {
+			ps = s
+		}
+	}
+	d, err := StandardDesign(b, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func relErr(got, want int) float64 {
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+// checkOps allows 0.1% numeric slack (the paper prints rounded integers).
+func checkOps(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > 0.001 {
+		t.Errorf("%s: %.0f ops/s, want %.0f", label, got, want)
+	}
+}

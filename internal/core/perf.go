@@ -1,0 +1,78 @@
+package core
+
+// Perf computes HEAX throughput (operations per second) for a design from
+// the module cycle counts and the board clock — the model behind the HEAX
+// columns of Tables 7 and 8. The cycle counts themselves are validated
+// against the dataflow simulator in internal/hwsim.
+type Perf struct {
+	Design *Design
+}
+
+// cyclesToOps converts a steady-state initiation interval into ops/s.
+func (p Perf) cyclesToOps(cycles int) float64 {
+	return float64(p.Design.Board.FreqMHz) * 1e6 / float64(cycles)
+}
+
+// NTTOps is the standalone NTT throughput: requests from the CPU are
+// served by the (shared) NTT modules inside KeySwitch (Section 6.2), so
+// one module of NcNTT0 cores transforms a polynomial in
+// n·log n/(2·ncNTT0) cycles.
+func (p Perf) NTTOps() float64 {
+	n := p.Design.Set.N()
+	return p.cyclesToOps(ModuleCycles(NTTModule, p.Design.Arch.NcNTT0, n))
+}
+
+// INTTOps is the standalone INTT throughput. The paper reports the same
+// figure as NTT: INTT requests are also served at the NTT-module width.
+func (p Perf) INTTOps() float64 {
+	n := p.Design.Set.N()
+	return p.cyclesToOps(ModuleCycles(INTTModule, p.Design.Arch.NcNTT0, n))
+}
+
+// DyadicOps is the dyadic-multiplication throughput of the standalone
+// MULT module for one polynomial pair: n/ncDYD cycles.
+func (p Perf) DyadicOps() float64 {
+	n := p.Design.Set.N()
+	return p.cyclesToOps(ModuleCycles(MULTModule, p.Design.StandaloneMULTCores, n))
+}
+
+// KeySwitchOps is the KeySwitch throughput (Table 8): the pipeline accepts
+// a new operation every k·n·log n/(2·ncINTT0) cycles.
+func (p Perf) KeySwitchOps() float64 {
+	return p.cyclesToOps(p.Design.Arch.KeySwitchCycles(p.Design.Set))
+}
+
+// MulRelinOps is the ciphertext-multiply-plus-relinearize throughput.
+// The MULT module overlaps fully with KeySwitch (its dyadic products take
+// n/ncDYD cycles ≪ the KeySwitch interval), so the composite rate equals
+// the KeySwitch rate — as Table 8 reports.
+func (p Perf) MulRelinOps() float64 {
+	return p.KeySwitchOps()
+}
+
+// StandardDesign builds the paper's design for a board/parameter set by
+// running the architecture generator.
+func StandardDesign(b Board, set ParamSet) (*Design, error) {
+	arch, err := GenerateArch(b, set)
+	if err != nil {
+		return nil, err
+	}
+	return NewDesign(b, set, arch), nil
+}
+
+// EvaluatedConfigs enumerates the four (board, set) pairs of the paper's
+// evaluation (Tables 6-8).
+func EvaluatedConfigs() []struct {
+	Board Board
+	Set   ParamSet
+} {
+	return []struct {
+		Board Board
+		Set   ParamSet
+	}{
+		{BoardArria10, ParamSetA},
+		{BoardStratix10, ParamSetA},
+		{BoardStratix10, ParamSetB},
+		{BoardStratix10, ParamSetC},
+	}
+}

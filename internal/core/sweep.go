@@ -1,0 +1,44 @@
+package core
+
+// SweepPoint is one candidate scale of the architecture (one INTT0 width)
+// with its derived composition, resource footprint, feasibility on the
+// board, and modeled KeySwitch throughput. Sweeping ncINTT0 exposes the
+// scaling behaviour behind Section 6.3: throughput doubles with the
+// module width until a chip resource runs out.
+type SweepPoint struct {
+	NcINTT0      int
+	Arch         KeySwitchArch
+	Resources    Resources
+	Feasible     bool
+	LimitedBy    string // first exhausted resource ("" when feasible)
+	KeySwitchOps float64
+}
+
+// SweepINTT0 evaluates every power-of-two INTT0 width from 1 to 32.
+func SweepINTT0(b Board, set ParamSet) []SweepPoint {
+	var out []SweepPoint
+	for nc := 1; nc <= 32; nc <<= 1 {
+		arch := DeriveArch(b, set, nc)
+		d := NewDesign(b, set, arch)
+		r := d.Resources()
+		p := SweepPoint{
+			NcINTT0:      nc,
+			Arch:         arch,
+			Resources:    r,
+			Feasible:     true,
+			KeySwitchOps: Perf{Design: d}.KeySwitchOps(),
+		}
+		switch {
+		case r.DSP > b.DSP:
+			p.Feasible, p.LimitedBy = false, "DSP"
+		case r.REG > b.REG:
+			p.Feasible, p.LimitedBy = false, "REG"
+		case r.ALM > b.ALM:
+			p.Feasible, p.LimitedBy = false, "ALM"
+		case r.BRAMBits > b.BRAMBits:
+			p.Feasible, p.LimitedBy = false, "BRAM"
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+// The sweep must (a) double throughput with each doubling of the INTT0
+// width, (b) mark exactly the paper's chosen widths as the widest
+// feasible points, and (c) attribute infeasibility to a real resource.
+func TestSweepINTT0(t *testing.T) {
+	cases := []struct {
+		board     Board
+		set       ParamSet
+		wantWidth int
+	}{
+		{BoardArria10, ParamSetA, 8},
+		{BoardStratix10, ParamSetA, 16},
+		{BoardStratix10, ParamSetB, 16},
+		{BoardStratix10, ParamSetC, 8},
+	}
+	for _, c := range cases {
+		points := SweepINTT0(c.board, c.set)
+		if len(points) != 6 {
+			t.Fatalf("%s/%s: %d points", c.board.Name, c.set.Name, len(points))
+		}
+		widest := 0
+		for i, p := range points {
+			if i > 0 && points[i-1].Feasible && p.NcINTT0 == 2*points[i-1].NcINTT0 {
+				ratio := p.KeySwitchOps / points[i-1].KeySwitchOps
+				if ratio < 1.99 || ratio > 2.01 {
+					t.Errorf("%s/%s nc=%d: throughput ratio %.2f, want 2",
+						c.board.Name, c.set.Name, p.NcINTT0, ratio)
+				}
+			}
+			if p.Feasible {
+				widest = p.NcINTT0
+				if p.LimitedBy != "" {
+					t.Errorf("feasible point labeled limited by %s", p.LimitedBy)
+				}
+			} else if p.LimitedBy == "" {
+				t.Errorf("%s/%s nc=%d: infeasible without a limiting resource", c.board.Name, c.set.Name, p.NcINTT0)
+			}
+		}
+		if widest != c.wantWidth {
+			t.Errorf("%s/%s: widest feasible %d, want %d", c.board.Name, c.set.Name, widest, c.wantWidth)
+		}
+	}
+}
+
+// Throughput scaling claim in its pure form: ops ∝ ncINTT0.
+func TestSweepThroughputLinear(t *testing.T) {
+	points := SweepINTT0(BoardStratix10, ParamSetB)
+	base := points[0].KeySwitchOps
+	for i, p := range points {
+		want := base * float64(int(1)<<i)
+		if diff := p.KeySwitchOps/want - 1; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("nc=%d: ops %.0f, want %.0f", p.NcINTT0, p.KeySwitchOps, want)
+		}
+	}
+}

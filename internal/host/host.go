@@ -1,0 +1,198 @@
+// Package host models the CPU side of the system view (Section 5.2 and
+// Figure 7): applications enqueue homomorphic operations, polynomials are
+// batched onto PCIe by a pool of transfer threads, device buffers admit a
+// bounded number of in-flight operations (double buffering for MULT,
+// f1-deep quadruple buffering for KeySwitch), and the DRAM "memory map"
+// lets intermediate results stay on the board instead of round-tripping
+// over PCIe.
+//
+// The model answers the throughput question the paper's system design
+// exists to answer: when is an operation compute-bound vs transfer-bound,
+// and how much of the gap do batching and the memory map close?
+package host
+
+import (
+	"fmt"
+
+	"heax/internal/core"
+	"heax/internal/xfer"
+)
+
+// OpKind selects the accelerator operation being streamed.
+type OpKind int
+
+const (
+	// OpMult is a ciphertext-ciphertext multiplication on the MULT
+	// module: two ciphertexts in, three components out.
+	OpMult OpKind = iota
+	// OpKeySwitch is a KeySwitch (relinearization/rotation): one
+	// polynomial vector in, two out; keys are already on the board.
+	OpKeySwitch
+)
+
+func (k OpKind) String() string {
+	if k == OpMult {
+		return "MULT"
+	}
+	return "KeySwitch"
+}
+
+// Config parameterizes a streaming simulation.
+type Config struct {
+	Design *core.Design
+	Kind   OpKind
+	// Threads is the number of PCIe transfer threads (8 in HEAX).
+	Threads int
+	// BufferDepth is the number of device-side input buffers; zero means
+	// the paper's values (2 for MULT, f1 for KeySwitch).
+	BufferDepth int
+	// MemoryMapResults keeps operation outputs in device DRAM (the
+	// Section 5.1 memory map) instead of returning them over PCIe.
+	MemoryMapResults bool
+	// MemoryMapOperands serves operand fetches from device DRAM (operands
+	// produced by earlier operations).
+	MemoryMapOperands bool
+}
+
+// Report summarizes a streaming run.
+type Report struct {
+	Kind             OpKind
+	Ops              int
+	ComputeCyclesOp  int
+	ComputeBoundOps  float64 // fclk / compute cycles
+	TransferSecPerOp float64
+	TransferBoundOps float64
+	AchievedOps      float64
+	TransferBound    bool    // whether PCIe limits the achieved rate
+	ComputeIdleFrac  float64 // bubbles in the compute pipeline
+}
+
+// bytesPerOp returns (input, output) PCIe bytes for one operation.
+func bytesPerOp(cfg Config) (in, out int) {
+	set := cfg.Design.Set
+	switch cfg.Kind {
+	case OpMult:
+		in = 2 * xfer.CiphertextBytes(set)    // two ciphertexts
+		out = 3 * set.K * xfer.PolyBytes(set) // three components
+	default:
+		in = set.K * xfer.PolyBytes(set)      // the switched polynomial
+		out = 2 * set.K * xfer.PolyBytes(set) // resulting pair
+	}
+	if cfg.MemoryMapOperands {
+		in = 0
+	}
+	if cfg.MemoryMapResults {
+		out = 0
+	}
+	return in, out
+}
+
+// computeCycles returns the module initiation interval for the op.
+func computeCycles(cfg Config) int {
+	d := cfg.Design
+	set := d.Set
+	switch cfg.Kind {
+	case OpMult:
+		// All pairwise component products over every RNS row.
+		return 4 * set.K * core.ModuleCycles(core.MULTModule, d.StandaloneMULTCores, set.N())
+	default:
+		return d.Arch.KeySwitchCycles(set)
+	}
+}
+
+// Simulate streams ops operations through the transfer/compute pipeline
+// with the configured buffer depth and returns the achieved steady-state
+// throughput. The schedule is the classic two-stage bounded-buffer
+// pipeline: transfer o must finish before compute o starts, compute is
+// serial on the module, and transfer o+depth cannot start before compute
+// o has drained its buffer.
+func Simulate(cfg Config, ops int) (Report, error) {
+	if ops < 2 {
+		return Report{}, fmt.Errorf("host: need at least 2 operations")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	depth := cfg.BufferDepth
+	if depth == 0 {
+		if cfg.Kind == OpMult {
+			depth = 2 // double buffering (Section 5.2)
+		} else {
+			depth = cfg.Design.Arch.F1() // quadruple buffering
+		}
+	}
+
+	pcie := xfer.NewPCIeModel(cfg.Design.Board)
+	pcie.Threads = cfg.Threads
+	inBytes, outBytes := bytesPerOp(cfg)
+	msg := xfer.PolyBytes(cfg.Design.Set) // ≥1 polynomial per request
+	txSec := pcie.TransferSec(inBytes+outBytes, msg)
+
+	cyc := computeCycles(cfg)
+	freq := float64(cfg.Design.Board.FreqMHz) * 1e6
+	compSec := float64(cyc) / freq
+
+	// Event-driven schedule.
+	txFree := 0.0
+	compFree := 0.0
+	compDone := make([]float64, ops)
+	var busy float64
+	for o := 0; o < ops; o++ {
+		txReady := txFree
+		if o >= depth {
+			// The device buffer for this op frees when op o-depth has
+			// been consumed by compute.
+			if compDone[o-depth] > txReady {
+				txReady = compDone[o-depth]
+			}
+		}
+		txEnd := txReady + txSec
+		txFree = txEnd
+		start := txEnd
+		if compFree > start {
+			start = compFree
+		}
+		compDone[o] = start + compSec
+		compFree = compDone[o]
+		busy += compSec
+	}
+
+	warm := ops / 2
+	interval := (compDone[ops-1] - compDone[warm]) / float64(ops-1-warm)
+	r := Report{
+		Kind:             cfg.Kind,
+		Ops:              ops,
+		ComputeCyclesOp:  cyc,
+		ComputeBoundOps:  1 / compSec,
+		TransferSecPerOp: txSec,
+		AchievedOps:      1 / interval,
+	}
+	if txSec > 0 {
+		r.TransferBoundOps = 1 / txSec
+	}
+	r.TransferBound = txSec > compSec
+	total := compDone[ops-1]
+	r.ComputeIdleFrac = 1 - busy/total
+	return r, nil
+}
+
+// MemoryMapStudy contrasts streaming with and without the DRAM memory
+// map for a design — quantifying why Section 5.1 stores results on the
+// board.
+type MemoryMapStudy struct {
+	Plain, MapResults, MapBoth Report
+}
+
+// StudyMemoryMap runs the three configurations.
+func StudyMemoryMap(d *core.Design, kind OpKind, ops int) (MemoryMapStudy, error) {
+	var s MemoryMapStudy
+	var err error
+	if s.Plain, err = Simulate(Config{Design: d, Kind: kind}, ops); err != nil {
+		return s, err
+	}
+	if s.MapResults, err = Simulate(Config{Design: d, Kind: kind, MemoryMapResults: true}, ops); err != nil {
+		return s, err
+	}
+	s.MapBoth, err = Simulate(Config{Design: d, Kind: kind, MemoryMapResults: true, MemoryMapOperands: true}, ops)
+	return s, err
+}

@@ -1,0 +1,136 @@
+package host
+
+import (
+	"testing"
+
+	"heax/internal/core"
+)
+
+func design(t testing.TB, b core.Board, set core.ParamSet) *core.Design {
+	t.Helper()
+	d, err := core.StandardDesign(b, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateErrors(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	if _, err := Simulate(Config{Design: d}, 1); err == nil {
+		t.Fatal("ops < 2 should fail")
+	}
+}
+
+// The MULT module is transfer-bound over PCIe; with full double buffering
+// the achieved rate must equal the transfer bound, not the compute bound.
+func TestMULTIsTransferBound(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	r, err := Simulate(Config{Design: d, Kind: OpMult}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TransferBound {
+		t.Fatal("C-C MULT should be PCIe-bound")
+	}
+	if ratio := r.AchievedOps / r.TransferBoundOps; ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("achieved %.0f should track the transfer bound %.0f", r.AchievedOps, r.TransferBoundOps)
+	}
+	if r.AchievedOps >= r.ComputeBoundOps {
+		t.Fatal("achieved rate cannot exceed the compute bound")
+	}
+	if r.ComputeIdleFrac <= 0 {
+		t.Fatal("a transfer-bound pipeline must show compute bubbles")
+	}
+}
+
+// The DRAM memory map closes the gap: with results (and then operands)
+// kept on the board, throughput climbs toward the compute bound.
+func TestMemoryMapStudy(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	s, err := StudyMemoryMap(d, OpMult, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Plain.AchievedOps < s.MapResults.AchievedOps) {
+		t.Fatalf("memory-mapped results should help: %.0f vs %.0f",
+			s.Plain.AchievedOps, s.MapResults.AchievedOps)
+	}
+	if !(s.MapResults.AchievedOps < s.MapBoth.AchievedOps) {
+		t.Fatalf("memory-mapped operands should help further: %.0f vs %.0f",
+			s.MapResults.AchievedOps, s.MapBoth.AchievedOps)
+	}
+	if ratio := s.MapBoth.AchievedOps / s.MapBoth.ComputeBoundOps; ratio < 0.98 {
+		t.Fatalf("fully on-device streaming should be compute-bound (%.2f)", ratio)
+	}
+}
+
+// KeySwitch on Set-B: streaming the input and returning both outputs
+// exceeds the PCIe budget, but with results consumed on the device the
+// operation runs at its compute rate — the quantitative reason for the
+// memory map.
+func TestKeySwitchNeedsMemoryMap(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	plain, err := Simulate(Config{Design: d, Kind: OpKeySwitch}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.TransferBound {
+		t.Fatal("full-result streaming should be PCIe-bound for Set-B KeySwitch")
+	}
+	mapped, err := Simulate(Config{Design: d, Kind: OpKeySwitch, MemoryMapResults: true}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.TransferBound {
+		t.Fatal("with results on the device, KeySwitch should be compute-bound")
+	}
+	want := core.Perf{Design: d}.KeySwitchOps()
+	if ratio := mapped.AchievedOps / want; ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("achieved %.0f should equal the Table 8 rate %.0f", mapped.AchievedOps, want)
+	}
+}
+
+// Buffer-depth ablation: a single buffer serializes transfer and compute.
+func TestBufferDepthAblation(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	single, err := Simulate(Config{Design: d, Kind: OpKeySwitch, BufferDepth: 1, MemoryMapResults: true}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := Simulate(Config{Design: d, Kind: OpKeySwitch, BufferDepth: 4, MemoryMapResults: true}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.AchievedOps >= double.AchievedOps {
+		t.Fatalf("single buffering should be slower: %.0f vs %.0f",
+			single.AchievedOps, double.AchievedOps)
+	}
+	// Serialized interval = Tc + Tx.
+	wantInterval := 1/single.ComputeBoundOps + single.TransferSecPerOp
+	if ratio := (1 / single.AchievedOps) / wantInterval; ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("single-buffer interval off: %.2f", ratio)
+	}
+}
+
+// More transfer threads help until the link saturates.
+func TestThreadScaling(t *testing.T) {
+	d := design(t, core.BoardStratix10, core.ParamSetB)
+	one, err := Simulate(Config{Design: d, Kind: OpMult, Threads: 1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Simulate(Config{Design: d, Kind: OpMult, Threads: 8}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.AchievedOps >= eight.AchievedOps {
+		t.Fatalf("8 transfer threads should beat 1: %.0f vs %.0f", eight.AchievedOps, one.AchievedOps)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpMult.String() != "MULT" || OpKeySwitch.String() != "KeySwitch" {
+		t.Fatal("bad op names")
+	}
+}

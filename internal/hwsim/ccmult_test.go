@@ -1,0 +1,184 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"heax/internal/ckks"
+	"heax/internal/core"
+	"heax/internal/ring"
+)
+
+// Hardware C-C multiplication must agree with the evaluator's Algorithm 5
+// bit for bit, including the degree-2 × degree-1 generalization.
+func TestSimulateCCMultMatchesEvaluator(t *testing.T) {
+	params, _, _, _, eval := hwKit(t)
+	ctx := params.RingQP
+	rng := rand.New(rand.NewSource(40))
+
+	ct1 := randomCtAt(params, rng, params.MaxLevel())
+	ct2 := randomCtAt(params, rng, params.MaxLevel())
+	want, err := eval.Mul(ct1, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateCCMult(ctx, 16, ct1.Polys, ct2.Polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != 3 {
+		t.Fatalf("components = %d, want 3", len(got.Polys))
+	}
+	for i := range got.Polys {
+		if !got.Polys[i].Equal(want.Polys[i]) {
+			t.Fatalf("component %d differs from evaluator", i)
+		}
+	}
+	// Cycle cost: α·β products × rows × n/nc.
+	n := params.N
+	wantCycles := int64(2 * 2 * params.K() * core.ModuleCycles(core.MULTModule, 16, n))
+	if got.Cycles != wantCycles {
+		t.Fatalf("cycles %d, want %d", got.Cycles, wantCycles)
+	}
+
+	// Degree-2 × degree-1 (the "not relinearized yet" case of §4.1).
+	d2 := &ckks.Ciphertext{Polys: want.Polys, Scale: want.Scale, Level: want.Level}
+	got2, err := SimulateCCMult(ctx, 16, d2.Polys, ct1.Polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Polys) != 4 {
+		t.Fatalf("α=3,β=2 should give 4 components, got %d", len(got2.Polys))
+	}
+	// Oracle: out[t] = Σ_{i+j=t} a_i ⊙ b_j.
+	for tt := 0; tt < 4; tt++ {
+		ref := ctx.NewPoly(params.K())
+		for i := 0; i < 3; i++ {
+			j := tt - i
+			if j < 0 || j > 1 {
+				continue
+			}
+			ctx.MulCoeffsAdd(d2.Polys[i], ct1.Polys[j], ref)
+		}
+		if !got2.Polys[tt].Equal(ref) {
+			t.Fatalf("α=3 component %d differs", tt)
+		}
+	}
+}
+
+// C-P multiplication is the β=1 special case of the MULT module
+// (Section 4.1): it must agree with the evaluator's MulPlain.
+func TestSimulateCPMultMatchesEvaluator(t *testing.T) {
+	params, _, _, _, eval := hwKit(t)
+	ctx := params.RingQP
+	rng := rand.New(rand.NewSource(42))
+	ct := randomCtAt(params, rng, params.MaxLevel())
+	ptPoly := ctx.NewPoly(params.K())
+	for i := range ptPoly.Coeffs {
+		p := ctx.Basis.Primes[i]
+		for j := range ptPoly.Coeffs[i] {
+			ptPoly.Coeffs[i][j] = rng.Uint64() % p
+		}
+	}
+	want, err := eval.MulPlain(ct, &ckks.Plaintext{Value: ptPoly, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateCCMult(ctx, 16, ct.Polys, []*ring.Poly{ptPoly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != 2 {
+		t.Fatalf("C-P should keep 2 components, got %d", len(got.Polys))
+	}
+	for i := range got.Polys {
+		if !got.Polys[i].Equal(want.Polys[i]) {
+			t.Fatalf("C-P component %d differs", i)
+		}
+	}
+}
+
+func TestSimulateCCMultErrors(t *testing.T) {
+	params, _, _, _, _ := hwKit(t)
+	ctx := params.RingQP
+	if _, err := SimulateCCMult(ctx, 16, nil, nil); err == nil {
+		t.Error("empty operands should fail")
+	}
+	a := []*ring.Poly{ctx.NewPoly(2)}
+	b := []*ring.Poly{ctx.NewPoly(3)}
+	if _, err := SimulateCCMult(ctx, 16, a, b); err == nil {
+		t.Error("level mismatch should fail")
+	}
+}
+
+// The Section 4.1 transfer accounting: HEAX's layout moves strictly fewer
+// words whenever α·β+min > α+β (i.e. any real multiplication).
+func TestCCMultTransferWords(t *testing.T) {
+	cases := []struct{ alpha, beta int }{{2, 2}, {3, 2}, {3, 3}}
+	n := 1 << 13
+	for _, c := range cases {
+		heax, naive := CCMultTransferWords(c.alpha, c.beta, n)
+		if heax != (c.alpha+c.beta)*n {
+			t.Fatalf("heax words wrong for %+v", c)
+		}
+		if naive <= heax {
+			t.Fatalf("α=%d β=%d: expected the minimum-BRAM layout to transfer more (%d vs %d)",
+				c.alpha, c.beta, naive, heax)
+		}
+	}
+}
+
+// Hardware rotation must agree with the software RotateLeft exactly.
+func TestSimulateRotationMatchesEvaluator(t *testing.T) {
+	params, kg, sk, _, eval := hwKit(t)
+	ctx := params.RingQP
+	rng := rand.New(rand.NewSource(41))
+	arch := core.DeriveArch(core.BoardStratix10, core.ParamSet{Name: "hw", LogN: params.LogN, K: params.K()}, 8)
+
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewSymmetricEncryptor(params, sk, 42)
+	values := make([]complex128, params.Slots())
+	for i := range values {
+		values[i] = complex(rng.Float64()*2-1, 0)
+	}
+	pt, err := enc.Encode(values, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := 2
+	gks := kg.GenGaloisKeySet(sk, []int{step}, false)
+	want, err := eval.RotateLeft(ct, step, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := gks.Rotations[step]
+	table := ctx.AutomorphismNTTTable(key.GaloisElt)
+	r0, r1, err := SimulateRotation(ctx, arch, ct.Polys[0], ct.Polys[1], table, key.SwitchingKey.Digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r0.Equal(want.Polys[0]) || !r1.Equal(want.Polys[1]) {
+		t.Fatal("hardware rotation differs from software")
+	}
+}
+
+func randomCtAt(params *ckks.Params, rng *rand.Rand, level int) *ckks.Ciphertext {
+	ctx := params.RingQP
+	mk := func() *ring.Poly {
+		p := ctx.NewPoly(level + 1)
+		for i := range p.Coeffs {
+			prime := ctx.Basis.Primes[i]
+			for j := range p.Coeffs[i] {
+				p.Coeffs[i][j] = rng.Uint64() % prime
+			}
+		}
+		return p
+	}
+	return &ckks.Ciphertext{Polys: []*ring.Poly{mk(), mk()}, Scale: params.DefaultScale(), Level: level}
+}

@@ -1,0 +1,145 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"heax/internal/core"
+	"heax/internal/ring"
+	"heax/internal/uintmod"
+)
+
+// KeySwitchSim executes Algorithm 7 through the hardware module
+// simulators (Figure 5's dataflow): INTT0 per digit, the NTT0 layer per
+// target modulus, DyadMult accumulation into the two BRAM bank sets, then
+// modulus switching through INTT1 → NTT1 → MS. Its outputs must equal the
+// software evaluator's KeySwitchPoly bit for bit; the test suite enforces
+// that.
+type KeySwitchSim struct {
+	Ctx  *ring.Context // the QP context: primes (q_0..q_L, p_special)
+	Arch core.KeySwitchArch
+
+	// Cycle counters per module class, accumulated across runs.
+	INTT0Cycles, NTT0Cycles, DyadCycles int64
+	INTT1Cycles, NTT1Cycles, MSCycles   int64
+}
+
+// NewKeySwitchSim builds a functional simulator over the QP ring context.
+func NewKeySwitchSim(ctx *ring.Context, arch core.KeySwitchArch) *KeySwitchSim {
+	return &KeySwitchSim{Ctx: ctx, Arch: arch}
+}
+
+// Run key-switches polynomial c (NTT form, level c.Level()) with the
+// switching key digits, returning (ks0, ks1). digits[i] is the pair
+// (d_{i,0}, d_{i,1}) over the full QP basis.
+func (s *KeySwitchSim) Run(c *ring.Poly, digits [][2]*ring.Poly) (ks0, ks1 *ring.Poly, err error) {
+	ctx := s.Ctx
+	level := c.Level()
+	spRow := ctx.K() - 1 // special prime is the last basis element
+	if level+1 > spRow {
+		return nil, nil, fmt.Errorf("hwsim: level %d leaves no special prime", level)
+	}
+	if len(digits) < level+1 {
+		return nil, nil, fmt.Errorf("hwsim: %d key digits < level+1 = %d", len(digits), level+1)
+	}
+	n := ctx.N
+
+	acc0 := ctx.NewPoly(level + 2)
+	acc1 := ctx.NewPoly(level + 2)
+	rowBasis := func(jj int) int {
+		if jj == level+1 {
+			return spRow
+		}
+		return jj
+	}
+
+	aCoeff := make([]uint64, n)
+	bRow := make([]uint64, n)
+	for i := 0; i <= level; i++ {
+		// INTT0: bring digit i to the coefficient domain.
+		intt0, err := NewNTTModuleSim(ctx.Tables[i], s.Arch.NcINTT0, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(aCoeff, c.Coeffs[i])
+		intt0.Transform(aCoeff)
+		s.INTT0Cycles += intt0.Cycles
+
+		for jj := 0; jj <= level+1; jj++ {
+			basisIdx := rowBasis(jj)
+			var bNTT []uint64
+			if basisIdx == i {
+				bNTT = c.Coeffs[i] // line 9: reuse the NTT-form input
+			} else {
+				m := ctx.Basis.Mods[basisIdx]
+				for t := 0; t < n; t++ {
+					bRow[t] = m.Reduce(aCoeff[t])
+				}
+				ntt0, err := NewNTTModuleSim(ctx.Tables[basisIdx], s.Arch.NcNTT0, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				ntt0.Transform(bRow)
+				s.NTT0Cycles += ntt0.Cycles
+				bNTT = bRow
+			}
+			dy, err := NewMULTModuleSim(ctx.Basis.Primes[basisIdx], s.Arch.NcDyad)
+			if err != nil {
+				return nil, nil, err
+			}
+			dy.DyadicAcc(bNTT, digits[i][0].Coeffs[basisIdx], acc0.Coeffs[jj])
+			dy.DyadicAcc(bNTT, digits[i][1].Coeffs[basisIdx], acc1.Coeffs[jj])
+			s.DyadCycles += dy.Cycles
+		}
+	}
+
+	ks0, err = s.floor(acc0, level, spRow)
+	if err != nil {
+		return nil, nil, err
+	}
+	ks1, err = s.floor(acc1, level, spRow)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ks0, ks1, nil
+}
+
+// floor is the modulus-switching half of the pipeline (Algorithm 6 /
+// Figure 5's second layer): INTT1 on the special row, NTT1 per remaining
+// prime, and the MS modules' fused (a - r̃)·p⁻¹.
+func (s *KeySwitchSim) floor(acc *ring.Poly, level, spRow int) (*ring.Poly, error) {
+	ctx := s.Ctx
+	n := ctx.N
+	pSp := ctx.Basis.Primes[spRow]
+
+	intt1, err := NewNTTModuleSim(ctx.Tables[spRow], s.Arch.NcINTT1, true)
+	if err != nil {
+		return nil, err
+	}
+	tail := append([]uint64(nil), acc.Coeffs[level+1]...)
+	intt1.Transform(tail)
+	s.INTT1Cycles += intt1.Cycles
+
+	out := ctx.NewPoly(level + 1)
+	r := make([]uint64, n)
+	for i := 0; i <= level; i++ {
+		m := ctx.Basis.Mods[i]
+		for t := 0; t < n; t++ {
+			r[t] = m.Reduce(tail[t])
+		}
+		ntt1, err := NewNTTModuleSim(ctx.Tables[i], s.Arch.NcNTT1, false)
+		if err != nil {
+			return nil, err
+		}
+		ntt1.Transform(r)
+		s.NTT1Cycles += ntt1.Cycles
+
+		ms, err := NewMULTModuleSim(ctx.Basis.Primes[i], s.Arch.NcMS)
+		if err != nil {
+			return nil, err
+		}
+		pInv := m.InvMod(m.Reduce(pSp))
+		ms.MulSub(acc.Coeffs[i], r, pInv, uintmod.ShoupPrecomp54(pInv, m.P), out.Coeffs[i])
+		s.MSCycles += ms.Cycles
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"heax/internal/uintmod"
+)
+
+// MULTModuleSim is the MULT module of Section 4.1: NC dyadic cores that
+// each cycle consume one memory element from each operand bank and emit
+// one result ME. Operands and result are held in separate BRAM banks, so
+// the two reads and one write proceed in the same cycle.
+type MULTModuleSim struct {
+	NC  int
+	Mod uintmod.Modulus
+
+	// Cycles accumulates occupied cycles across calls.
+	Cycles int64
+	// FillLatency is the dyadic core pipeline depth (Table 3).
+	FillLatency int
+}
+
+// NewMULTModuleSim validates geometry and datapath constraints.
+func NewMULTModuleSim(p uint64, nc int) (*MULTModuleSim, error) {
+	if nc < 1 || nc&(nc-1) != 0 {
+		return nil, fmt.Errorf("hwsim: core count %d must be a power of two", nc)
+	}
+	if p >= 1<<uintmod.MaxModulusBits54 {
+		return nil, fmt.Errorf("hwsim: modulus %d exceeds the 52-bit datapath limit", p)
+	}
+	return &MULTModuleSim{NC: nc, Mod: uintmod.NewModulus(p), FillLatency: 23}, nil
+}
+
+// Dyadic computes out = a ⊙ b on the 54-bit datapath: each product is a
+// 54×54 multiply followed by Barrett reduction (Algorithm 1), exactly the
+// dyadic core of Figure 1. Cycle cost: n/NC (NC coefficients per cycle).
+func (s *MULTModuleSim) Dyadic(a, b, out []uint64) {
+	if len(a) != len(b) || len(a) != len(out) {
+		panic("hwsim: operand length mismatch")
+	}
+	if len(a)%s.NC != 0 {
+		panic("hwsim: polynomial length must be a multiple of the core count")
+	}
+	for me := 0; me < len(a); me += s.NC {
+		for lane := 0; lane < s.NC; lane++ {
+			j := me + lane
+			hi, lo := uintmod.Mul54(a[j], b[j])
+			out[j] = uintmod.Reduce54(hi, lo, s.Mod)
+		}
+		s.Cycles++
+	}
+}
+
+// DyadicAcc computes acc += a ⊙ b, the accumulate mode the DyadMult
+// modules of KeySwitch use (Algorithm 7, lines 11-12). Same cycle cost as
+// Dyadic: the accumulation add rides the same pipeline.
+func (s *MULTModuleSim) DyadicAcc(a, b, acc []uint64) {
+	if len(a) != len(b) || len(a) != len(acc) {
+		panic("hwsim: operand length mismatch")
+	}
+	p := s.Mod.P
+	for me := 0; me < len(a); me += s.NC {
+		for lane := 0; lane < s.NC; lane++ {
+			j := me + lane
+			hi, lo := uintmod.Mul54(a[j], b[j])
+			acc[j] = uintmod.AddMod(acc[j], uintmod.Reduce54(hi, lo, s.Mod), p)
+		}
+		s.Cycles++
+	}
+}
+
+// MulSub computes out = (a - b) · c on the 54-bit datapath, the fused
+// multiply-subtract of the MS module (Section 4.3: the flooring step
+// subtracts the reduced special-prime polynomial and multiplies by the
+// prime's inverse). c is a per-call constant with its Shoup precomputation.
+func (s *MULTModuleSim) MulSub(a, b []uint64, c, cShoup54 uint64, out []uint64) {
+	if len(a) != len(b) || len(a) != len(out) {
+		panic("hwsim: operand length mismatch")
+	}
+	p := s.Mod.P
+	for me := 0; me < len(a); me += s.NC {
+		for lane := 0; lane < s.NC; lane++ {
+			j := me + lane
+			out[j] = uintmod.MulRed54(uintmod.SubMod(a[j], b[j], p), c, cShoup54, p)
+		}
+		s.Cycles++
+	}
+}
+
+// ResetCounters clears the cycle counter.
+func (s *MULTModuleSim) ResetCounters() { s.Cycles = 0 }

@@ -1,0 +1,240 @@
+package hwsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heax/internal/core"
+)
+
+// PipelineConfig parameterizes the KeySwitch pipeline cycle model
+// (Figure 6). F1 and F2 default to the architecture's formulas when zero;
+// overriding them smaller reproduces the data-dependency stalls the
+// buffers exist to hide.
+type PipelineConfig struct {
+	Arch core.KeySwitchArch
+	Set  core.ParamSet
+	F1   int // input-polynomial buffers ("Data Dependency 1")
+	F2   int // DyadMult output bank sets ("Data Dependency 2")
+}
+
+// GanttSegment is one module-busy interval of the pipeline trace.
+type GanttSegment struct {
+	Module string
+	Op     int
+	Digit  int // -1 for non-digit work
+	Start  int64
+	End    int64
+}
+
+// PipelineReport summarizes a pipeline simulation.
+type PipelineReport struct {
+	Ops         int
+	TotalCycles int64
+	// Interval is the measured steady-state initiation interval in
+	// cycles per KeySwitch.
+	Interval float64
+	// Utilization maps module names to busy fraction over the run.
+	Utilization map[string]float64
+	Segments    []GanttSegment
+}
+
+// server is a single hardware module instance with greedy FIFO service.
+type server struct {
+	name string
+	free int64
+	busy int64
+}
+
+func (s *server) run(ready int64, dur int64) (start, end int64) {
+	start = ready
+	if s.free > start {
+		start = s.free
+	}
+	end = start + dur
+	s.free = end
+	s.busy += dur
+	return start, end
+}
+
+// SimulateKeySwitchPipeline schedules ops back-to-back KeySwitch
+// operations through the module pipeline, honoring:
+//
+//   - module occupancy (each module serves one polynomial at a time;
+//     stage-to-stage handoff is buffered by each module's output memory
+//     with the rate-conversion machinery of Section 4.3, so draining one
+//     result overlaps computing the next),
+//   - the f1-deep input buffers (an operation is admitted only when the
+//     buffer of the operation f1 earlier has been released), and
+//   - the f2-deep accumulation banks (DyadMult for operation o waits for
+//     the MS stage of operation o-f2 to free a bank set).
+//
+// With the paper's f1/f2 values the measured interval equals the
+// INTT0-bound closed form k·n·log n/(2·ncINTT0); with shrunken buffers
+// the stalls reappear, which is the Figure 6 ablation.
+func SimulateKeySwitchPipeline(cfg PipelineConfig, ops int, trace bool) PipelineReport {
+	a := cfg.Arch
+	set := cfg.Set
+	n := set.N()
+	k := set.K
+	if cfg.F1 == 0 {
+		cfg.F1 = a.F1()
+	}
+	if cfg.F2 == 0 {
+		cfg.F2 = a.F2(set.LogN)
+	}
+
+	tINTT0 := int64(core.ModuleCycles(core.INTTModule, a.NcINTT0, n))
+	tNTT0 := int64(core.ModuleCycles(core.NTTModule, a.NcNTT0, n))
+	tDyad := 2 * int64(core.ModuleCycles(core.MULTModule, a.NcDyad, n)) // both key columns
+	tINTT1 := int64(core.ModuleCycles(core.INTTModule, a.NcINTT1, n))
+	tNTT1 := int64(core.ModuleCycles(core.NTTModule, a.NcNTT1, n))
+	tMS := int64(core.ModuleCycles(core.MULTModule, a.NcMS, n))
+
+	intt0 := &server{name: "INTT0"}
+	ntt0 := make([]*server, a.NumNTT0)
+	dyad := make([]*server, a.NumNTT0) // key-dyad modules paired with NTT0
+	for i := range ntt0 {
+		ntt0[i] = &server{name: fmt.Sprintf("NTT0.%d", i)}
+		dyad[i] = &server{name: fmt.Sprintf("Dyad.%d", i)}
+	}
+	dyadIn := &server{name: "Dyad.in"}
+	intt1 := [2]*server{{name: "INTT1.0"}, {name: "INTT1.1"}}
+	ntt1 := [2]*server{{name: "NTT1.0"}, {name: "NTT1.1"}}
+	ms := [2]*server{{name: "MS.0"}, {name: "MS.1"}}
+
+	var segments []GanttSegment
+	note := func(srv *server, op, digit int, start, end int64) {
+		if trace {
+			segments = append(segments, GanttSegment{srv.name, op, digit, start, end})
+		}
+	}
+
+	inputFreed := make([]int64, ops) // input buffer release per op
+	bankFreed := make([]int64, ops)  // accumulation bank release per op
+	complete := make([]int64, ops)
+
+	for o := 0; o < ops; o++ {
+		var admit int64
+		if o >= cfg.F1 {
+			admit = inputFreed[o-cfg.F1]
+		}
+		var bankReady int64
+		if o >= cfg.F2 {
+			bankReady = bankFreed[o-cfg.F2]
+		}
+
+		var lastDyadOfOp int64
+		var lastInputDyad int64
+		nttIdx := 0
+		for digit := 0; digit < k; digit++ {
+			_, iEnd := intt0.run(admit, tINTT0)
+			note(intt0, o, digit, iEnd-tINTT0, iEnd)
+
+			// The input-poly dyad for this digit (the i == j term) needs
+			// no NTT; it reads the input buffer and the bank.
+			ready := maxi64(iEnd, bankReady)
+			st, en := dyadIn.run(ready, tDyad)
+			note(dyadIn, o, digit, st, en)
+			lastInputDyad = en
+			if en > lastDyadOfOp {
+				lastDyadOfOp = en
+			}
+
+			// k cross-modulus NTTs, round-robin over the NTT0 modules,
+			// each drained by its paired DyadMult.
+			for tgt := 0; tgt < k; tgt++ {
+				mIdx := nttIdx % a.NumNTT0
+				nttIdx++
+				nst, nen := ntt0[mIdx].run(iEnd, tNTT0)
+				note(ntt0[mIdx], o, digit, nst, nen)
+				dst, den := dyad[mIdx].run(maxi64(nen, bankReady), tDyad)
+				note(dyad[mIdx], o, digit, dst, den)
+				if den > lastDyadOfOp {
+					lastDyadOfOp = den
+				}
+			}
+		}
+		inputFreed[o] = lastInputDyad
+
+		// Modulus switching on both bank sets.
+		var opEnd int64
+		for b := 0; b < 2; b++ {
+			_, i1End := intt1[b].run(lastDyadOfOp, tINTT1)
+			note(intt1[b], o, -1, i1End-tINTT1, i1End)
+			var msEnd int64
+			for prime := 0; prime < k; prime++ {
+				_, nEnd := ntt1[b].run(i1End, tNTT1)
+				note(ntt1[b], o, -1, nEnd-tNTT1, nEnd)
+				_, mEnd := ms[b].run(nEnd, tMS)
+				note(ms[b], o, -1, mEnd-tMS, mEnd)
+				msEnd = mEnd
+			}
+			if msEnd > opEnd {
+				opEnd = msEnd
+			}
+		}
+		bankFreed[o] = opEnd
+		complete[o] = opEnd
+	}
+
+	report := PipelineReport{Ops: ops, TotalCycles: complete[ops-1], Segments: segments}
+	warm := ops / 2
+	if ops-1 > warm {
+		report.Interval = float64(complete[ops-1]-complete[warm]) / float64(ops-1-warm)
+	} else {
+		report.Interval = float64(complete[ops-1])
+	}
+	report.Utilization = map[string]float64{}
+	total := float64(complete[ops-1])
+	for _, s := range allServers(intt0, ntt0, dyad, dyadIn, intt1, ntt1, ms) {
+		report.Utilization[s.name] = float64(s.busy) / total
+	}
+	return report
+}
+
+func allServers(intt0 *server, ntt0, dyad []*server, dyadIn *server, intt1, ntt1, ms [2]*server) []*server {
+	out := []*server{intt0, dyadIn, intt1[0], intt1[1], ntt1[0], ntt1[1], ms[0], ms[1]}
+	out = append(out, ntt0...)
+	out = append(out, dyad...)
+	return out
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderGantt produces a coarse text rendering of the pipeline trace (a
+// Figure 6 analogue): one row per module, one column per bucket cycles.
+func RenderGantt(r PipelineReport, bucket int64, maxCols int) string {
+	if len(r.Segments) == 0 {
+		return "(no trace recorded)"
+	}
+	byModule := map[string][]GanttSegment{}
+	var names []string
+	for _, s := range r.Segments {
+		if _, ok := byModule[s.Module]; !ok {
+			names = append(names, s.Module)
+		}
+		byModule[s.Module] = append(byModule[s.Module], s)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		row := make([]byte, maxCols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range byModule[name] {
+			for c := s.Start / bucket; c <= (s.End-1)/bucket && c < int64(maxCols); c++ {
+				row[c] = byte('0' + s.Op%10)
+			}
+		}
+		fmt.Fprintf(&b, "%-8s |%s|\n", name, row)
+	}
+	return b.String()
+}

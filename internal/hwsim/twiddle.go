@@ -1,0 +1,102 @@
+package hwsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Twiddle-factor access planning (Section 4.2): twiddles are stored in
+// batches of nc (one per NTT core) per memory element, and the set of MEs
+// a stage touches falls into four groups:
+//
+//	(i)   2^stage < nc:      only ME0 is read; one or more factors are
+//	                         broadcast to several cores;
+//	(ii)  2^stage == nc:     only ME1 is read, one factor per core;
+//	(iii) nc < 2^stage < n/2: 2^stage/nc distinct MEs are read over the
+//	                         stage;
+//	(iv)  2^stage == n/2:    a fresh ME is read every step.
+type TwiddleGroup int
+
+const (
+	TwiddleBroadcast TwiddleGroup = iota + 1 // group (i)
+	TwiddleSingleME                          // group (ii)
+	TwiddleMultiME                           // group (iii)
+	TwiddlePerStep                           // group (iv)
+)
+
+func (g TwiddleGroup) String() string {
+	switch g {
+	case TwiddleBroadcast:
+		return "broadcast(ME0)"
+	case TwiddleSingleME:
+		return "single(ME1)"
+	case TwiddleMultiME:
+		return "multi-ME"
+	case TwiddlePerStep:
+		return "per-step"
+	}
+	return fmt.Sprintf("TwiddleGroup(%d)", int(g))
+}
+
+// TwiddleStagePlan describes the twiddle traffic of one forward-NTT
+// stage.
+type TwiddleStagePlan struct {
+	Stage     int
+	Group     TwiddleGroup
+	UniqueMEs int // distinct twiddle MEs read during the stage
+	Broadcast int // how many cores share one factor (1 = no broadcast)
+}
+
+// TwiddleAccessPlan classifies every stage of an n-point NTT on an
+// nc-core module. The forward stage s uses the 2^s twiddle factors at
+// indices [2^s, 2^{s+1}), stored nc to an ME.
+func TwiddleAccessPlan(n, nc int) ([]TwiddleStagePlan, error) {
+	if n < 2 || n&(n-1) != 0 || nc < 1 || nc&(nc-1) != 0 {
+		return nil, fmt.Errorf("hwsim: n and nc must be powers of two")
+	}
+	if nc > n/2 {
+		return nil, fmt.Errorf("hwsim: nc = %d too large for n = %d", nc, n)
+	}
+	logn := bits.Len(uint(n)) - 1
+	plans := make([]TwiddleStagePlan, logn)
+	for s := 0; s < logn; s++ {
+		unique := 1 << s
+		p := TwiddleStagePlan{Stage: s, UniqueMEs: (unique + nc - 1) / nc, Broadcast: 1}
+		switch {
+		case unique < nc:
+			p.Group = TwiddleBroadcast
+			p.Broadcast = nc / unique
+			p.UniqueMEs = 1
+		case unique == nc:
+			p.Group = TwiddleSingleME
+		case unique == n/2:
+			p.Group = TwiddlePerStep
+		default:
+			p.Group = TwiddleMultiME
+		}
+		plans[s] = p
+	}
+	return plans, nil
+}
+
+// TwiddleMEForStep returns the twiddle ME index read at (stage, step) of
+// the forward NTT: the factors for the butterfly groups processed in that
+// step. Steps advance one data-ME transaction at a time (n/(2nc)
+// per stage); the paper's Addr{MEw} formula reduces to this.
+func TwiddleMEForStep(n, nc, stage, step int) int {
+	unique := 1 << stage // factors this stage
+	if unique <= nc {
+		// Groups (i)-(ii): the whole stage reads one ME (0 until the
+		// factors fill an ME, then 1).
+		return unique / nc
+	}
+	// Butterfly groups per step: each step covers 2nc coefficients =
+	// 2nc/(2t) groups where t = n >> (stage+1).
+	t := n >> (stage + 1)
+	groupsPerStep := 2 * nc / (2 * t)
+	if groupsPerStep < 1 {
+		groupsPerStep = 1
+	}
+	firstGroup := step * groupsPerStep
+	return (unique + firstGroup) / nc
+}

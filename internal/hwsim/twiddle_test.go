@@ -1,0 +1,90 @@
+package hwsim
+
+import "testing"
+
+func TestTwiddleAccessPlanGroups(t *testing.T) {
+	// n = 4096, nc = 8: stages 0..11; log nc = 3.
+	plans, err := TwiddleAccessPlan(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 12 {
+		t.Fatalf("stages = %d", len(plans))
+	}
+	for _, p := range plans {
+		var want TwiddleGroup
+		switch {
+		case p.Stage < 3: // 2^s < nc
+			want = TwiddleBroadcast
+		case p.Stage == 3: // 2^s == nc
+			want = TwiddleSingleME
+		case p.Stage == 11: // 2^s == n/2
+			want = TwiddlePerStep
+		default:
+			want = TwiddleMultiME
+		}
+		if p.Group != want {
+			t.Errorf("stage %d: group %v, want %v", p.Stage, p.Group, want)
+		}
+	}
+	// Broadcast width halves each stage of group (i): 8, 4, 2 cores per
+	// factor.
+	for s, wantB := range []int{8, 4, 2} {
+		if plans[s].Broadcast != wantB {
+			t.Errorf("stage %d: broadcast %d, want %d", s, plans[s].Broadcast, wantB)
+		}
+		if plans[s].UniqueMEs != 1 {
+			t.Errorf("stage %d: group (i) must read only ME0", s)
+		}
+	}
+	// Group (iii) reads 2^(s - log nc) MEs; the last stage reads one new
+	// ME per step: n/2 factors / nc per ME = 256 MEs over 256 steps.
+	if plans[5].UniqueMEs != 4 {
+		t.Errorf("stage 5: unique MEs %d, want 4", plans[5].UniqueMEs)
+	}
+	steps := 4096 / (2 * 8)
+	if plans[11].UniqueMEs != steps {
+		t.Errorf("stage 11: unique MEs %d, want %d (one per step)", plans[11].UniqueMEs, steps)
+	}
+}
+
+func TestTwiddleAccessPlanErrors(t *testing.T) {
+	if _, err := TwiddleAccessPlan(1000, 8); err == nil {
+		t.Error("non-power-of-two n should fail")
+	}
+	if _, err := TwiddleAccessPlan(16, 16); err == nil {
+		t.Error("nc > n/2 should fail")
+	}
+}
+
+func TestTwiddleMEForStep(t *testing.T) {
+	n, nc := 4096, 8
+	// Group (i)/(ii): constant ME per stage.
+	if me := TwiddleMEForStep(n, nc, 0, 5); me != 0 {
+		t.Fatalf("stage 0 must read ME0, got %d", me)
+	}
+	if me := TwiddleMEForStep(n, nc, 3, 7); me != 1 {
+		t.Fatalf("stage log nc must read ME1, got %d", me)
+	}
+	// Last stage: a new ME each step, starting at (n/2)/nc.
+	base := (n / 2) / nc
+	for _, step := range []int{0, 1, 17} {
+		if me := TwiddleMEForStep(n, nc, 11, step); me != base+step {
+			t.Fatalf("stage 11 step %d: ME %d, want %d", step, me, base+step)
+		}
+	}
+	// Monotone, non-decreasing within any stage.
+	for stage := 0; stage < 12; stage++ {
+		prev := -1
+		for step := 0; step < n/(2*nc); step++ {
+			me := TwiddleMEForStep(n, nc, stage, step)
+			if me < prev {
+				t.Fatalf("stage %d: ME sequence not monotone", stage)
+			}
+			prev = me
+		}
+	}
+	if TwiddleGroup(9).String() == "" {
+		t.Fatal("unknown group should still format")
+	}
+}

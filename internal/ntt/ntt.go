@@ -1,0 +1,210 @@
+// Package ntt implements the negacyclic number-theoretic transform of
+// paper Algorithms 3 (NTT) and 4 (INTT) in the Longa–Naehrig form that
+// Microsoft SEAL uses and that the HEAX NTT/INTT cores implement in
+// hardware.
+//
+// The forward transform is a Cooley–Tukey decimation-in-time network whose
+// twiddle factors are powers of a primitive 2n-th root of unity ψ stored
+// in bit-reversed order; its output is in bit-reversed order. The inverse
+// transform is the matching Gentleman–Sande network; as in Algorithm 4,
+// every stage halves the running values ((ã_j + ã_{j+t})/2, with the ½
+// folded into the stored ψ^{-1} powers for the other branch), so after
+// log n stages the 1/n scaling has been applied with no extra pass.
+//
+// Keeping operands "in NTT form" turns ring multiplication into the dyadic
+// (coefficient-wise) products the MULT module computes; see Section 3.1.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"heax/internal/primes"
+	"heax/internal/uintmod"
+)
+
+// Tables holds the per-modulus precomputed twiddle factors for ring degree
+// N, in the exact layout the transforms index: entry m+i of the forward
+// table is the twiddle of butterfly group i in the stage with m groups.
+type Tables struct {
+	N   int
+	Mod uintmod.Modulus
+	// Psi is the canonical (numerically smallest) primitive 2N-th root of
+	// unity mod P; PsiInv its inverse.
+	Psi, PsiInv uint64
+
+	psiRev      []uint64 // ψ^bitrev(i), forward twiddles
+	psiRevShoup []uint64 // Algorithm 2 precomputation, w=64
+
+	psiInvRevHalf      []uint64 // ψ^{-bitrev(i)} · 2^{-1}, inverse twiddles
+	psiInvRevHalfShoup []uint64
+
+	// w=54 Shoup precomputations (populated when P < 2^52) so the
+	// hardware simulator can run the same tables through the 54-bit
+	// datapath.
+	psiRevShoup54        []uint64
+	psiInvRevHalfShoup54 []uint64
+}
+
+// NewTables builds NTT tables for ring degree n (a power of two >= 2) and
+// prime modulus p ≡ 1 (mod 2n).
+func NewTables(p uint64, n int) (*Tables, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: n = %d must be a power of two >= 2", n)
+	}
+	psi, err := primes.MinimalPrimitiveRoot2N(p, n)
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	m := uintmod.NewModulus(p)
+	t := &Tables{
+		N:   n,
+		Mod: m,
+		Psi: psi,
+	}
+	t.PsiInv = m.InvMod(psi)
+	logn := bits.Len(uint(n)) - 1
+	inv2 := m.InvMod(2)
+
+	t.psiRev = make([]uint64, n)
+	t.psiRevShoup = make([]uint64, n)
+	t.psiInvRevHalf = make([]uint64, n)
+	t.psiInvRevHalfShoup = make([]uint64, n)
+
+	pow := uint64(1)
+	powInv := uint64(1)
+	for i := 0; i < n; i++ {
+		r := int(bitrev(uint(i), logn))
+		t.psiRev[r] = pow
+		t.psiInvRevHalf[r] = m.MulMod(powInv, inv2)
+		pow = m.MulMod(pow, psi)
+		powInv = m.MulMod(powInv, t.PsiInv)
+	}
+	for i := 0; i < n; i++ {
+		t.psiRevShoup[i] = uintmod.ShoupPrecomp(t.psiRev[i], p)
+		t.psiInvRevHalfShoup[i] = uintmod.ShoupPrecomp(t.psiInvRevHalf[i], p)
+	}
+	if bits.Len64(p) <= uintmod.MaxModulusBits54 {
+		t.psiRevShoup54 = make([]uint64, n)
+		t.psiInvRevHalfShoup54 = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			t.psiRevShoup54[i] = uintmod.ShoupPrecomp54(t.psiRev[i], p)
+			t.psiInvRevHalfShoup54[i] = uintmod.ShoupPrecomp54(t.psiInvRevHalf[i], p)
+		}
+	}
+	return t, nil
+}
+
+// bitrev reverses the low width bits of x.
+func bitrev(x uint, width int) uint {
+	return bits.Reverse(x) >> (bits.UintSize - width)
+}
+
+// BitrevPermute permutes a in place by bit reversal of indices. The
+// transforms themselves never need this (bit-reversed order cancels
+// between NTT and INTT); it is exported for tests and for the hardware
+// simulator's output-ordering checks.
+func BitrevPermute(a []uint64) {
+	n := len(a)
+	logn := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		j := int(bitrev(uint(i), logn))
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}
+
+// Forward computes the in-place negacyclic NTT of a (Algorithm 3): the
+// output, in bit-reversed order, is ã_j = Σ_i a_i ψ^{(2i+1)·j'} where j'
+// is the bit-reversal of j.
+func (t *Tables) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	p := t.Mod.P
+	step := t.N
+	for m := 1; m < t.N; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			j2 := j1 + step
+			w := t.psiRev[m+i]
+			ws := t.psiRevShoup[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := uintmod.MulRed(a[j+step], w, ws, p)
+				a[j] = uintmod.AddMod(u, v, p)
+				a[j+step] = uintmod.SubMod(u, v, p)
+			}
+		}
+	}
+}
+
+// Inverse computes the in-place negacyclic INTT of a bit-reversed-order
+// input (Algorithm 4), returning coefficients in standard order with the
+// 1/n factor already applied via per-stage halving.
+func (t *Tables) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	p := t.Mod.P
+	step := 1
+	for m := t.N >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			j2 := j1 + step
+			w := t.psiInvRevHalf[m+i]
+			ws := t.psiInvRevHalfShoup[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = uintmod.Half(uintmod.AddMod(u, v, p), p)
+				a[j+step] = uintmod.MulRed(uintmod.SubMod(u, v, p), w, ws, p)
+			}
+		}
+		step <<= 1
+	}
+}
+
+// ForwardTwiddle returns the forward twiddle (value, w=64 Shoup, w=54
+// Shoup) at table index idx; the hardware simulator reads twiddles through
+// this accessor so that it shares the exact tables the reference transform
+// uses. The w=54 precomputation is 0 when the modulus exceeds 2^52.
+func (t *Tables) ForwardTwiddle(idx int) (w, shoup64, shoup54 uint64) {
+	w, shoup64 = t.psiRev[idx], t.psiRevShoup[idx]
+	if t.psiRevShoup54 != nil {
+		shoup54 = t.psiRevShoup54[idx]
+	}
+	return w, shoup64, shoup54
+}
+
+// InverseTwiddle is ForwardTwiddle for the inverse tables (ψ^{-1}·2^{-1}
+// powers).
+func (t *Tables) InverseTwiddle(idx int) (w, shoup64, shoup54 uint64) {
+	w, shoup64 = t.psiInvRevHalf[idx], t.psiInvRevHalfShoup[idx]
+	if t.psiInvRevHalfShoup54 != nil {
+		shoup54 = t.psiInvRevHalfShoup54[idx]
+	}
+	return w, shoup64, shoup54
+}
+
+// NegacyclicConvolution computes c = a·b in Z_p[X]/(X^n+1) by the O(n^2)
+// schoolbook formula from Section 3.1. It exists as an independent oracle
+// for testing the transforms and is not used on any fast path.
+func NegacyclicConvolution(a, b []uint64, p uint64) []uint64 {
+	n := len(a)
+	m := uintmod.NewModulus(p)
+	c := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		var acc uint64
+		for i := 0; i <= j; i++ {
+			acc = uintmod.AddMod(acc, m.MulMod(a[i], b[j-i]), p)
+		}
+		for i := j + 1; i < n; i++ {
+			acc = uintmod.SubMod(acc, m.MulMod(a[i], b[j-i+n]), p)
+		}
+		c[j] = acc
+	}
+	return c
+}

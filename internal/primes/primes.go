@@ -1,0 +1,154 @@
+// Package primes generates the NTT-friendly prime moduli HEAX computes
+// with and finds primitive roots of unity in their multiplicative groups.
+//
+// Section 4 of the paper requires every ciphertext modulus p_i to satisfy
+// two constraints: p_i < 2^52 (so the 54-bit datapath of Algorithm 2 is
+// correct) and p_i ≡ 1 (mod 2n) (so a negacyclic NTT of length n exists).
+// The CPU baseline relaxes the first constraint to p_i < 2^62.
+package primes
+
+import (
+	"fmt"
+	"math/bits"
+
+	"heax/internal/uintmod"
+)
+
+// millerRabinBases is a deterministic witness set for all 64-bit integers
+// (Sinclair, 2011; verified for n < 3.3*10^24).
+var millerRabinBases = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether p is prime, deterministically for all uint64.
+func IsPrime(p uint64) bool {
+	if p < 2 {
+		return false
+	}
+	for _, small := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if p == small {
+			return true
+		}
+		if p%small == 0 {
+			return false
+		}
+	}
+	// p-1 = d * 2^s with d odd.
+	d := p - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	for _, a := range millerRabinBases {
+		x := powModAny(a, d, p)
+		if x == 1 || x == p-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = mulModAny(x, x, p)
+			if x == p-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// mulModAny returns a*b mod p for any p >= 2 (including p >= 2^62, where
+// the Barrett routines in uintmod do not apply) via 128-bit division.
+func mulModAny(a, b, p uint64) uint64 {
+	hi, lo := bits.Mul64(a%p, b%p)
+	_, rem := bits.Div64(hi, lo, p) // hi < p, so the quotient fits
+	return rem
+}
+
+// powModAny returns base^exp mod p for any p >= 2.
+func powModAny(base, exp, p uint64) uint64 {
+	result := uint64(1 % p)
+	b := base % p
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulModAny(result, b, p)
+		}
+		b = mulModAny(b, b, p)
+		exp >>= 1
+	}
+	return result
+}
+
+// NTTPrimes returns count primes of exactly bitSize bits with
+// p ≡ 1 (mod 2n), searching downward from 2^bitSize. It returns an error
+// if the search space is exhausted or the arguments are out of range.
+func NTTPrimes(bitSize, n, count int) ([]uint64, error) {
+	if bitSize < 2 || bitSize > 62 {
+		return nil, fmt.Errorf("primes: bitSize %d out of range [2,62]", bitSize)
+	}
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("primes: n = %d must be a power of two >= 2", n)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("primes: count %d must be positive", count)
+	}
+	step := uint64(2 * n)
+	upper := uint64(1) << uint(bitSize)
+	lower := uint64(1) << uint(bitSize-1)
+	// Largest candidate ≡ 1 mod 2n below 2^bitSize.
+	c := (upper-2)/step*step + 1
+	var out []uint64
+	for ; c > lower; c -= step {
+		if IsPrime(c) {
+			out = append(out, c)
+			if len(out) == count {
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("primes: only found %d of %d %d-bit primes ≡ 1 mod %d",
+		len(out), count, bitSize, 2*n)
+}
+
+// PrimitiveRoot2N returns a primitive 2n-th root of unity ψ modulo p, i.e.
+// ψ^n ≡ -1 (mod p). p must be prime with p ≡ 1 (mod 2n).
+func PrimitiveRoot2N(p uint64, n int) (uint64, error) {
+	if (p-1)%uint64(2*n) != 0 {
+		return 0, fmt.Errorf("primes: p = %d is not ≡ 1 mod %d", p, 2*n)
+	}
+	m := uintmod.NewModulus(p)
+	exp := (p - 1) / uint64(2*n)
+	// Deterministic scan: raise candidates to the (p-1)/2n power; the
+	// result is a 2n-th root of unity, primitive iff its n-th power is -1.
+	for g := uint64(2); g < p; g++ {
+		psi := m.PowMod(g, exp)
+		if m.PowMod(psi, uint64(n)) == p-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("primes: no primitive 2n-th root mod %d", p)
+}
+
+// MinimalPrimitiveRoot2N returns the numerically smallest primitive 2n-th
+// root of unity mod p, which makes precomputed tables reproducible across
+// runs and platforms (mirrors SEAL's choice of a canonical root).
+func MinimalPrimitiveRoot2N(p uint64, n int) (uint64, error) {
+	psi, err := PrimitiveRoot2N(p, n)
+	if err != nil {
+		return 0, err
+	}
+	m := uintmod.NewModulus(p)
+	// All primitive 2n-th roots are psi^k for odd k; walk the orbit via
+	// psi^2 steps and keep the minimum.
+	gen := m.MulMod(psi, psi)
+	best := psi
+	cur := psi
+	for i := 1; i < n; i++ {
+		cur = m.MulMod(cur, gen) // psi^(2i+1)
+		if cur < best {
+			best = cur
+		}
+	}
+	return best, nil
+}

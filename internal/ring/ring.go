@@ -1,0 +1,405 @@
+// Package ring implements arithmetic in R_q = Z_q[X]/(X^n+1) in RNS
+// representation: the polynomial-level substrate beneath the CKKS scheme
+// and the HEAX modules. A Poly stores one residue polynomial per basis
+// prime; a Context bundles the ring degree, the RNS basis, and one set of
+// NTT tables per prime.
+//
+// All evaluation-path operations work level-wise (on the first level+1
+// primes) exactly as the full-RNS CKKS of Section 3 requires, and
+// polynomials are kept in NTT form whenever possible so multiplications
+// are dyadic.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"heax/internal/ntt"
+	"heax/internal/rns"
+	"heax/internal/uintmod"
+)
+
+// Context carries everything needed for R_q arithmetic over a basis.
+type Context struct {
+	N     int
+	LogN  int
+	Basis *rns.Basis
+	// Tables[i] transforms residues mod Basis.Primes[i].
+	Tables []*ntt.Tables
+}
+
+// NewContext builds a Context for ring degree n over the given primes,
+// each of which must be ≡ 1 (mod 2n).
+func NewContext(n int, primeList []uint64) (*Context, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: n = %d must be a power of two >= 2", n)
+	}
+	basis, err := rns.NewBasis(primeList)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{
+		N:     n,
+		LogN:  bits.Len(uint(n)) - 1,
+		Basis: basis,
+	}
+	ctx.Tables = make([]*ntt.Tables, basis.K())
+	for i, p := range basis.Primes {
+		t, err := ntt.NewTables(p, n)
+		if err != nil {
+			return nil, fmt.Errorf("ring: prime %d: %w", p, err)
+		}
+		ctx.Tables[i] = t
+	}
+	return ctx, nil
+}
+
+// K returns the number of primes in the context's basis.
+func (c *Context) K() int { return c.Basis.K() }
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo prime i.
+// The number of rows determines the poly's level (rows-1).
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial with the given number of RNS rows.
+func (c *Context) NewPoly(rows int) *Poly {
+	if rows < 1 || rows > c.K() {
+		panic(fmt.Sprintf("ring: rows %d out of range [1,%d]", rows, c.K()))
+	}
+	backing := make([]uint64, rows*c.N)
+	p := &Poly{Coeffs: make([][]uint64, rows)}
+	for i := range p.Coeffs {
+		p.Coeffs[i], backing = backing[:c.N:c.N], backing[c.N:]
+	}
+	return p
+}
+
+// Rows returns the number of RNS components.
+func (p *Poly) Rows() int { return len(p.Coeffs) }
+
+// Level returns Rows()-1, the CKKS level of the polynomial.
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// CopyOf returns a deep copy of p.
+func CopyOf(p *Poly) *Poly {
+	q := &Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	for i := range p.Coeffs {
+		q.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return q
+}
+
+// Resize returns a view of p truncated to rows RNS components (sharing
+// storage) or panics if p has fewer.
+func (p *Poly) Resize(rows int) *Poly {
+	if rows > len(p.Coeffs) {
+		panic("ring: cannot grow a poly with Resize")
+	}
+	return &Poly{Coeffs: p.Coeffs[:rows]}
+}
+
+// Equal reports deep equality.
+func (p *Poly) Equal(q *Poly) bool {
+	if len(p.Coeffs) != len(q.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != q.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NTT transforms p in place (all rows) to the evaluation domain.
+func (c *Context) NTT(p *Poly) {
+	for i := range p.Coeffs {
+		c.Tables[i].Forward(p.Coeffs[i])
+	}
+}
+
+// INTT transforms p in place back to the coefficient domain.
+func (c *Context) INTT(p *Poly) {
+	for i := range p.Coeffs {
+		c.Tables[i].Inverse(p.Coeffs[i])
+	}
+}
+
+// NTTParallel is NTT with the independent RNS rows transformed on up to
+// workers goroutines — the "full-RNS variants parallelize trivially"
+// observation of Section 2, realized on a multicore CPU. It is the
+// multithreaded-baseline counterpart to the paper's single-threaded SEAL
+// measurements.
+func (c *Context) NTTParallel(p *Poly, workers int) {
+	c.transformParallel(p, workers, false)
+}
+
+// INTTParallel is the inverse counterpart of NTTParallel.
+func (c *Context) INTTParallel(p *Poly, workers int) {
+	c.transformParallel(p, workers, true)
+}
+
+func (c *Context) transformParallel(p *Poly, workers int, inverse bool) {
+	rows := len(p.Coeffs)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		if inverse {
+			c.INTT(p)
+		} else {
+			c.NTT(p)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, rows)
+	for i := 0; i < rows; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if inverse {
+					c.Tables[i].Inverse(p.Coeffs[i])
+				} else {
+					c.Tables[i].Forward(p.Coeffs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// rowsOf returns the common row count of the operands, panicking on
+// mismatch; helpers below use it so shape errors fail loudly at the call
+// site rather than corrupting data.
+func rowsOf(ps ...*Poly) int {
+	r := len(ps[0].Coeffs)
+	for _, p := range ps[1:] {
+		if len(p.Coeffs) != r {
+			panic("ring: operand row mismatch")
+		}
+	}
+	return r
+}
+
+// Add sets out = a + b.
+func (c *Context) Add(a, b, out *Poly) {
+	for i := 0; i < rowsOf(a, b, out); i++ {
+		p := c.Basis.Primes[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = uintmod.AddMod(ai[j], bi[j], p)
+		}
+	}
+}
+
+// Sub sets out = a - b.
+func (c *Context) Sub(a, b, out *Poly) {
+	for i := 0; i < rowsOf(a, b, out); i++ {
+		p := c.Basis.Primes[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = uintmod.SubMod(ai[j], bi[j], p)
+		}
+	}
+}
+
+// Neg sets out = -a.
+func (c *Context) Neg(a, out *Poly) {
+	for i := 0; i < rowsOf(a, out); i++ {
+		p := c.Basis.Primes[i]
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = uintmod.NegMod(ai[j], p)
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b (dyadic product; both operands must be in the
+// same domain, normally NTT).
+func (c *Context) MulCoeffs(a, b, out *Poly) {
+	for i := 0; i < rowsOf(a, b, out); i++ {
+		m := c.Basis.Mods[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = m.MulMod(ai[j], bi[j])
+		}
+	}
+}
+
+// MulCoeffsAdd sets out += a ⊙ b, the multiply-accumulate at the heart of
+// the key-switching inner loop (Algorithm 7 lines 11-12).
+func (c *Context) MulCoeffsAdd(a, b, out *Poly) {
+	for i := 0; i < rowsOf(a, b, out); i++ {
+		m := c.Basis.Mods[i]
+		p := c.Basis.Primes[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = uintmod.AddMod(oi[j], m.MulMod(ai[j], bi[j]), p)
+		}
+	}
+}
+
+// MulScalar sets out = a * s for a word-sized scalar.
+func (c *Context) MulScalar(a *Poly, s uint64, out *Poly) {
+	for i := 0; i < rowsOf(a, out); i++ {
+		m := c.Basis.Mods[i]
+		si := m.Reduce(s)
+		sh := uintmod.ShoupPrecomp(si, m.P)
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = uintmod.MulRed(ai[j], si, sh, m.P)
+		}
+	}
+}
+
+// GaloisElement returns the Galois group element used to rotate CKKS slots
+// left by step positions: 5^step mod 2n (Section 3.4; the plaintext slots
+// are indexed along the orbit of 5 in Z_{2n}^*).
+func GaloisElement(step, n int) uint64 {
+	m := uint64(2 * n)
+	g := uint64(1)
+	step = ((step % n) + n) % n // the orbit of 5 has order n/2; normalize
+	for i := 0; i < step; i++ {
+		g = g * 5 % m
+	}
+	return g
+}
+
+// GaloisConjugate is the Galois element of complex conjugation, 2n-1.
+func GaloisConjugate(n int) uint64 { return uint64(2*n - 1) }
+
+// Automorphism applies X -> X^g to a coefficient-domain polynomial.
+// g must be odd (all Galois elements of the power-of-two cyclotomic are).
+func (c *Context) Automorphism(a *Poly, g uint64, out *Poly) {
+	if g&1 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(c.N)
+	mask := 2*n - 1
+	for i := 0; i < rowsOf(a, out); i++ {
+		p := c.Basis.Primes[i]
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			e := j * g & mask
+			v := ai[j]
+			if e < n {
+				oi[e] = v
+			} else {
+				oi[e-n] = uintmod.NegMod(v, p)
+			}
+		}
+	}
+}
+
+// AutomorphismNTTTable precomputes the slot permutation implementing
+// X -> X^g directly on bit-reversed NTT-domain polynomials:
+// out[i] = in[table[i]].
+func (c *Context) AutomorphismNTTTable(g uint64) []int {
+	n := uint64(c.N)
+	logn := c.LogN
+	table := make([]int, n)
+	for i := uint64(0); i < n; i++ {
+		rev := uint64(bits.Reverse64(i) >> (64 - logn))
+		idx := g * (2*rev + 1) // odd, so (idx-1)/2 == idx>>1
+		idx = idx >> 1 & (n - 1)
+		table[i] = int(bits.Reverse64(idx) >> (64 - logn))
+	}
+	return table
+}
+
+// AutomorphismNTT applies a precomputed table to an NTT-domain poly.
+func (c *Context) AutomorphismNTT(a *Poly, table []int, out *Poly) {
+	if a == out {
+		panic("ring: AutomorphismNTT cannot run in place")
+	}
+	for i := 0; i < rowsOf(a, out); i++ {
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = ai[table[j]]
+		}
+	}
+}
+
+// FloorDropLast implements RNS flooring (Algorithm 6): given a polynomial
+// over rows primes in NTT form whose last row is the prime being dropped
+// (p), it returns ⌊p^{-1}·a⌋ over the first rows-1 primes, in NTT form.
+// When round is true the result is ⌊p^{-1}·a⌉ instead (add ⌊p/2⌋ before
+// dividing), which is what rescaling uses to keep the approximation error
+// centered.
+//
+// The polynomial's rows correspond to the first rows primes of the basis.
+func (c *Context) FloorDropLast(a *Poly, round bool) *Poly {
+	idx := make([]int, a.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	return c.FloorDropRows(a, idx, round)
+}
+
+// FloorDropRows is FloorDropLast for polynomials whose rows map to an
+// arbitrary subset of the basis primes: rowPrimes[i] is the basis index of
+// row i, and the last row is the prime being dropped. Key switching needs
+// this (Algorithm 7 line 19): its accumulators live over
+// (p_0..p_level, p_special), which is not a basis prefix below the top
+// level.
+func (c *Context) FloorDropRows(a *Poly, rowPrimes []int, round bool) *Poly {
+	rows := a.Rows()
+	if rows < 2 {
+		panic("ring: FloorDropRows needs at least two rows")
+	}
+	if len(rowPrimes) != rows {
+		panic("ring: rowPrimes length mismatch")
+	}
+	last := rowPrimes[rows-1]
+	pLast := c.Basis.Primes[last]
+	// Line 1: bring the dropped-prime residue to the coefficient domain.
+	tail := append([]uint64(nil), a.Coeffs[rows-1]...)
+	c.Tables[last].Inverse(tail)
+	if round {
+		half := pLast >> 1
+		for j := range tail {
+			tail[j] = uintmod.AddMod(tail[j], half, pLast)
+		}
+	}
+	out := c.NewPoly(rows - 1)
+	r := make([]uint64, c.N)
+	for i := 0; i < rows-1; i++ {
+		m := c.Basis.Mods[rowPrimes[i]]
+		p := c.Basis.Primes[rowPrimes[i]]
+		var halfModPi uint64
+		if round {
+			halfModPi = m.Reduce(pLast >> 1)
+		}
+		// Lines 3-4: r = [a (+⌊p/2⌋)]_{p} reduced mod p_i, then NTT. In
+		// rounding mode, subtract the ⌊p/2⌋ shift again per coefficient
+		// here (in the coefficient domain), so that a_i - r̃ below equals
+		// (a+⌊p/2⌋) - [a+⌊p/2⌋]_p, i.e. the rounded numerator.
+		for j := range r {
+			r[j] = m.Reduce(tail[j])
+			if round {
+				r[j] = uintmod.SubMod(r[j], halfModPi, p)
+			}
+		}
+		c.Tables[rowPrimes[i]].Forward(r)
+		// Lines 5-6: (a_i - r̃) * p^{-1} mod p_i.
+		pinv := m.InvMod(m.Reduce(pLast))
+		pinvShoup := uintmod.ShoupPrecomp(pinv, p)
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			v := uintmod.SubMod(ai[j], r[j], p)
+			oi[j] = uintmod.MulRed(v, pinv, pinvShoup, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+package ring
+
+import (
+	"math/big"
+	"testing"
+
+	"heax/internal/primes"
+)
+
+func testContext(t testing.TB, n, k, bits int) *Context {
+	t.Helper()
+	ps, err := primes.NTTPrimes(bits, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestNewContextErrors(t *testing.T) {
+	if _, err := NewContext(100, []uint64{97}); err == nil {
+		t.Error("non-power-of-two n should fail")
+	}
+	if _, err := NewContext(64, []uint64{97}); err == nil {
+		t.Error("prime not 1 mod 2n should fail")
+	}
+	if _, err := NewContext(64, nil); err == nil {
+		t.Error("empty basis should fail")
+	}
+}
+
+func TestPolyLifecycle(t *testing.T) {
+	ctx := testContext(t, 64, 3, 30)
+	p := ctx.NewPoly(3)
+	if p.Rows() != 3 || p.Level() != 2 {
+		t.Fatalf("rows=%d level=%d", p.Rows(), p.Level())
+	}
+	ctx.SetCoeffInt64(p, 5, -7)
+	q := CopyOf(p)
+	if !p.Equal(q) {
+		t.Fatal("copy not equal")
+	}
+	q.Coeffs[0][5] = 1
+	if p.Equal(q) {
+		t.Fatal("mutating copy affected original")
+	}
+	v := p.Resize(2)
+	if v.Rows() != 2 {
+		t.Fatal("resize failed")
+	}
+	if &v.Coeffs[0][0] != &p.Coeffs[0][0] {
+		t.Fatal("resize should share storage")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	ctx := testContext(t, 64, 2, 30)
+	s := NewSampler(ctx, 1)
+	a, b := s.Uniform(2), s.Uniform(2)
+	sum := ctx.NewPoly(2)
+	ctx.Add(a, b, sum)
+	diff := ctx.NewPoly(2)
+	ctx.Sub(sum, b, diff)
+	if !diff.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	neg := ctx.NewPoly(2)
+	ctx.Neg(a, neg)
+	zero := ctx.NewPoly(2)
+	ctx.Add(a, neg, zero)
+	for i := range zero.Coeffs {
+		for _, v := range zero.Coeffs[i] {
+			if v != 0 {
+				t.Fatal("a + (-a) != 0")
+			}
+		}
+	}
+}
+
+// NTT-domain dyadic product must equal the negacyclic product of the
+// underlying integer polynomials, checked through CRT composition.
+func TestMulCoeffsMatchesBigPoly(t *testing.T) {
+	n := 16
+	ctx := testContext(t, n, 3, 30)
+	s := NewSampler(ctx, 2)
+	a, b := s.Uniform(3), s.Uniform(3)
+
+	// Reference: big-int negacyclic convolution mod q.
+	q := ctx.Basis.Q()
+	abig := composeAll(ctx, a)
+	bbig := composeAll(ctx, b)
+	want := make([]*big.Int, n)
+	for j := range want {
+		want[j] = new(big.Int)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t := new(big.Int).Mul(abig[i], bbig[j])
+			if i+j < n {
+				want[i+j].Add(want[i+j], t)
+			} else {
+				want[i+j-n].Sub(want[i+j-n], t)
+			}
+		}
+	}
+	for j := range want {
+		want[j].Mod(want[j], q)
+	}
+
+	ctx.NTT(a)
+	ctx.NTT(b)
+	prod := ctx.NewPoly(3)
+	ctx.MulCoeffs(a, b, prod)
+	ctx.INTT(prod)
+	got := composeAll(ctx, prod)
+	for j := range want {
+		if got[j].Cmp(want[j]) != 0 {
+			t.Fatalf("coefficient %d: got %v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func composeAll(ctx *Context, p *Poly) []*big.Int {
+	basis := ctx.Basis
+	if p.Rows() != basis.K() {
+		sub, err := basis.Sub(p.Rows())
+		if err != nil {
+			panic(err)
+		}
+		basis = sub
+	}
+	out := make([]*big.Int, ctx.N)
+	res := make([]uint64, p.Rows())
+	for j := 0; j < ctx.N; j++ {
+		for i := 0; i < p.Rows(); i++ {
+			res[i] = p.Coeffs[i][j]
+		}
+		out[j] = basis.Compose(res)
+	}
+	return out
+}
+
+func TestMulCoeffsAdd(t *testing.T) {
+	ctx := testContext(t, 32, 2, 30)
+	s := NewSampler(ctx, 3)
+	a, b := s.Uniform(2), s.Uniform(2)
+	acc := ctx.NewPoly(2)
+	ctx.MulCoeffsAdd(a, b, acc)
+	ctx.MulCoeffsAdd(a, b, acc)
+	twice := ctx.NewPoly(2)
+	ctx.MulCoeffs(a, b, twice)
+	ctx.Add(twice, twice, twice)
+	if !acc.Equal(twice) {
+		t.Fatal("MulCoeffsAdd twice != 2ab")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	ctx := testContext(t, 32, 2, 30)
+	s := NewSampler(ctx, 4)
+	a := s.Uniform(2)
+	out := ctx.NewPoly(2)
+	ctx.MulScalar(a, 3, out)
+	sum := ctx.NewPoly(2)
+	ctx.Add(a, a, sum)
+	ctx.Add(sum, a, sum)
+	if !out.Equal(sum) {
+		t.Fatal("3a != a+a+a")
+	}
+}
+
+func TestAutomorphismCoeffDomain(t *testing.T) {
+	n := 16
+	ctx := testContext(t, n, 1, 30)
+	p := ctx.Basis.Primes[0]
+	a := ctx.NewPoly(1)
+	// a = X
+	a.Coeffs[0][1] = 1
+	out := ctx.NewPoly(1)
+	// X -> X^3: expect coefficient 1 at position 3.
+	ctx.Automorphism(a, 3, out)
+	if out.Coeffs[0][3] != 1 {
+		t.Fatal("X under g=3 should be X^3")
+	}
+	// a = X^(n-1); X^{(n-1)*3} = X^{3n-3} = X^{2n + (n-3)} = +X^{n-3}
+	// since X^{2n} = 1 and X^n = -1: 3n-3 = 2n + (n-3) -> sign +.
+	b := ctx.NewPoly(1)
+	b.Coeffs[0][n-1] = 1
+	ctx.Automorphism(b, 3, out)
+	if out.Coeffs[0][n-3] != 1 {
+		t.Fatalf("X^{n-1} under g=3: got row %v", out.Coeffs[0])
+	}
+	// Composition: applying g then its inverse is identity.
+	s := NewSampler(ctx, 5)
+	r := s.Uniform(1)
+	tmp := ctx.NewPoly(1)
+	ctx.Automorphism(r, 5, tmp)
+	// inverse of 5 mod 2n
+	gInv := new(big.Int).ModInverse(big.NewInt(5), big.NewInt(int64(2*n))).Uint64()
+	back := ctx.NewPoly(1)
+	ctx.Automorphism(tmp, gInv, back)
+	if !back.Equal(r) {
+		t.Fatal("automorphism inverse failed")
+	}
+	_ = p
+}
+
+// The NTT-domain permutation must agree with INTT -> automorphism -> NTT.
+func TestAutomorphismNTTMatchesCoeffDomain(t *testing.T) {
+	n := 64
+	ctx := testContext(t, n, 2, 30)
+	s := NewSampler(ctx, 6)
+	for _, g := range []uint64{3, 5, 25, GaloisElement(1, n), GaloisElement(3, n), GaloisConjugate(n)} {
+		a := s.Uniform(2)
+
+		viaCoeff := CopyOf(a)
+		out1 := ctx.NewPoly(2)
+		ctx.Automorphism(viaCoeff, g, out1)
+		ctx.NTT(out1)
+
+		viaNTT := CopyOf(a)
+		ctx.NTT(viaNTT)
+		out2 := ctx.NewPoly(2)
+		ctx.AutomorphismNTT(viaNTT, ctx.AutomorphismNTTTable(g), out2)
+
+		if !out1.Equal(out2) {
+			t.Fatalf("g=%d: NTT-domain automorphism mismatch", g)
+		}
+	}
+}
+
+func TestGaloisElement(t *testing.T) {
+	n := 16
+	if g := GaloisElement(0, n); g != 1 {
+		t.Fatalf("step 0 should give identity, got %d", g)
+	}
+	if g := GaloisElement(1, n); g != 5 {
+		t.Fatalf("step 1 should give 5, got %d", g)
+	}
+	if g := GaloisElement(2, n); g != 25 {
+		t.Fatalf("step 2 should give 25, got %d", g)
+	}
+	// Negative steps wrap within the orbit.
+	gNeg := GaloisElement(-1, n)
+	if gNeg*5%uint64(2*n) != 1 {
+		// 5^(n-1) * 5 = 5^n; orbit of 5 mod 2n has order n/2, so
+		// 5^(n/2) = 1 mod 2n -> g(-1)*g(1) = 5^(n) = (5^{n/2})^2 = 1.
+		t.Fatalf("GaloisElement(-1)=%d is not inverse of 5 mod %d", gNeg, 2*n)
+	}
+	if g := GaloisConjugate(n); g != uint64(2*n-1) {
+		t.Fatal("conjugate element wrong")
+	}
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	ctx := testContext(t, 1024, 2, 30)
+	s := NewSampler(ctx, 7)
+
+	tern := s.Ternary(2)
+	counts := map[uint64]int{}
+	p0 := ctx.Basis.Primes[0]
+	for _, v := range tern.Coeffs[0] {
+		counts[v]++
+	}
+	if counts[0] == 0 || counts[1] == 0 || counts[p0-1] == 0 {
+		t.Fatal("ternary sampler missing a value")
+	}
+	if counts[0]+counts[1]+counts[p0-1] != ctx.N {
+		t.Fatal("ternary sampler produced out-of-range value")
+	}
+	// Consistency across rows: same signed value in both rows.
+	p1 := ctx.Basis.Primes[1]
+	for j := 0; j < ctx.N; j++ {
+		v0, v1 := tern.Coeffs[0][j], tern.Coeffs[1][j]
+		s0 := signedOf(v0, p0)
+		s1 := signedOf(v1, p1)
+		if s0 != s1 {
+			t.Fatal("ternary rows disagree")
+		}
+	}
+
+	errPoly := s.Error(2)
+	var sum, sumSq float64
+	for j := 0; j < ctx.N; j++ {
+		e := float64(signedOf(errPoly.Coeffs[0][j], p0))
+		sum += e
+		sumSq += e * e
+		if e > 25 || e < -25 {
+			t.Fatalf("error coefficient %v out of plausible CBD range", e)
+		}
+	}
+	mean := sum / float64(ctx.N)
+	variance := sumSq/float64(ctx.N) - mean*mean
+	if mean > 1 || mean < -1 {
+		t.Fatalf("error mean %f too far from 0", mean)
+	}
+	if variance < 5 || variance > 20 {
+		t.Fatalf("error variance %f outside [5,20] (expected ~10.5)", variance)
+	}
+
+	u := s.Uniform(2)
+	var acc float64
+	for _, v := range u.Coeffs[0] {
+		acc += float64(v) / float64(p0)
+	}
+	if m := acc / float64(ctx.N); m < 0.4 || m > 0.6 {
+		t.Fatalf("uniform mean %f implausible", m)
+	}
+}
+
+func signedOf(v, p uint64) int64 {
+	if v > p/2 {
+		return -int64(p - v)
+	}
+	return int64(v)
+}
+
+// Flooring: compose, divide with floor/round in big-int, compare.
+func TestFloorDropLast(t *testing.T) {
+	n := 16
+	ctx := testContext(t, n, 3, 30)
+	s := NewSampler(ctx, 8)
+	for _, round := range []bool{false, true} {
+		a := s.Uniform(3)
+		want := composeAll(ctx, a) // values in [0, q)
+		pLast := new(big.Int).SetUint64(ctx.Basis.Primes[2])
+
+		ntt := CopyOf(a)
+		ctx.NTT(ntt)
+		got := ctx.FloorDropLast(ntt, round)
+		ctx.INTT(got)
+		gotBig := composeAll(ctx, got)
+
+		q2 := ctx.Basis.QAtLevel(1)
+		for j := 0; j < n; j++ {
+			w := new(big.Int).Set(want[j])
+			if round {
+				w.Add(w, new(big.Int).Rsh(pLast, 1))
+			}
+			w.Div(w, pLast)
+			w.Mod(w, q2)
+			if gotBig[j].Cmp(w) != 0 {
+				t.Fatalf("round=%v coeff %d: got %v want %v", round, j, gotBig[j], w)
+			}
+		}
+	}
+}
+
+func TestFloorDropLastPanicsOnSingleRow(t *testing.T) {
+	ctx := testContext(t, 16, 1, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctx.FloorDropLast(ctx.NewPoly(1), false)
+}
+
+func TestInfNormSigned(t *testing.T) {
+	ctx := testContext(t, 16, 2, 30)
+	p := ctx.NewPoly(2)
+	ctx.SetCoeffInt64(p, 3, -1000)
+	ctx.SetCoeffInt64(p, 7, 999)
+	if got := ctx.InfNormSigned(p); got != 1000 {
+		t.Fatalf("InfNormSigned = %f, want 1000", got)
+	}
+}
+
+func TestConstPoly(t *testing.T) {
+	ctx := testContext(t, 16, 2, 30)
+	p := ctx.ConstPoly(-5, 2)
+	for i := 0; i < 2; i++ {
+		want := ctx.Basis.Primes[i] - 5
+		if p.Coeffs[i][0] != want {
+			t.Fatalf("row %d const = %d want %d", i, p.Coeffs[i][0], want)
+		}
+	}
+}
+
+func TestMulRedRow(t *testing.T) {
+	ctx := testContext(t, 16, 1, 30)
+	p := ctx.Basis.Primes[0]
+	row := []uint64{1, 2, 3}
+	MulRedRow(row, 5, p)
+	if row[0] != 5 || row[1] != 10 || row[2] != 15 {
+		t.Fatalf("MulRedRow wrong: %v", row)
+	}
+}
+
+func BenchmarkMulCoeffs(b *testing.B) {
+	ctx := testContext(b, 1<<13, 4, 44)
+	s := NewSampler(ctx, 9)
+	x, y := s.Uniform(4), s.Uniform(4)
+	out := ctx.NewPoly(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MulCoeffs(x, y, out)
+	}
+}
+
+func BenchmarkNTTFullBasis(b *testing.B) {
+	ctx := testContext(b, 1<<13, 4, 44)
+	s := NewSampler(ctx, 10)
+	x := s.Uniform(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.NTT(x)
+	}
+}

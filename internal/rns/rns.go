@@ -1,0 +1,188 @@
+// Package rns implements the residue number system machinery of
+// Section 2: a basis of pairwise-coprime word-sized primes p_0..p_L
+// representing Z_q with q = Π p_i, CRT composition/decomposition against
+// big integers, and the precomputed per-prime constants (π_i, [π_i^{-1}]_{p_i},
+// cross-prime reductions and inverses) that the CKKS evaluation algorithms
+// consume.
+//
+// Full-RNS operation is what makes the HEAX architecture possible: every
+// Func(a, b) on R_q decomposes into independent per-prime computations
+// (the paper's "ring isomorphism" argument in Section 7), which is exactly
+// the parallelism the FPGA modules exploit and the reason on-chip memory
+// holds one residue polynomial at a time.
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"heax/internal/uintmod"
+)
+
+// Basis is an ordered set of distinct NTT-friendly primes.
+type Basis struct {
+	Primes []uint64
+	Mods   []uintmod.Modulus
+
+	q *big.Int // product of all primes
+
+	// CRT reconstruction constants: punc[i] = q/p_i mod p_j for all j is
+	// not materialized; we keep big-int puncture products for compose and
+	// the word-sized inverses for decompose-style operations.
+	punctured []*big.Int // π_i = q / p_i
+	invPunc   []uint64   // [π_i^{-1}]_{p_i}
+}
+
+// NewBasis builds a basis from primes, which must be distinct and at most
+// 62 bits wide.
+func NewBasis(ps []uint64) (*Basis, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("rns: empty basis")
+	}
+	seen := make(map[uint64]bool, len(ps))
+	b := &Basis{
+		Primes: append([]uint64(nil), ps...),
+		Mods:   make([]uintmod.Modulus, len(ps)),
+		q:      big.NewInt(1),
+	}
+	for i, p := range ps {
+		if seen[p] {
+			return nil, fmt.Errorf("rns: duplicate prime %d", p)
+		}
+		if p>>uintmod.MaxModulusBits64 != 0 {
+			return nil, fmt.Errorf("rns: prime %d exceeds %d bits", p, uintmod.MaxModulusBits64)
+		}
+		seen[p] = true
+		b.Mods[i] = uintmod.NewModulus(p)
+		b.q.Mul(b.q, new(big.Int).SetUint64(p))
+	}
+	b.punctured = make([]*big.Int, len(ps))
+	b.invPunc = make([]uint64, len(ps))
+	for i, p := range ps {
+		pi := new(big.Int).Div(b.q, new(big.Int).SetUint64(p))
+		b.punctured[i] = pi
+		rem := new(big.Int).Mod(pi, new(big.Int).SetUint64(p)).Uint64()
+		b.invPunc[i] = b.Mods[i].InvMod(rem)
+	}
+	return b, nil
+}
+
+// K returns the number of primes in the basis.
+func (b *Basis) K() int { return len(b.Primes) }
+
+// Q returns a copy of the basis product q = Π p_i.
+func (b *Basis) Q() *big.Int { return new(big.Int).Set(b.q) }
+
+// QAtLevel returns Π_{i<=level} p_i.
+func (b *Basis) QAtLevel(level int) *big.Int {
+	q := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		q.Mul(q, new(big.Int).SetUint64(b.Primes[i]))
+	}
+	return q
+}
+
+// Sub returns the basis consisting of the first k primes.
+func (b *Basis) Sub(k int) (*Basis, error) {
+	if k < 1 || k > len(b.Primes) {
+		return nil, fmt.Errorf("rns: sub-basis size %d out of range", k)
+	}
+	return NewBasis(b.Primes[:k])
+}
+
+// Decompose maps a non-negative big integer to its residues.
+func (b *Basis) Decompose(x *big.Int) []uint64 {
+	out := make([]uint64, len(b.Primes))
+	tmp := new(big.Int)
+	for i, p := range b.Primes {
+		out[i] = tmp.Mod(x, new(big.Int).SetUint64(p)).Uint64()
+	}
+	return out
+}
+
+// DecomposeSigned maps a possibly negative big integer to residues of its
+// value mod q.
+func (b *Basis) DecomposeSigned(x *big.Int) []uint64 {
+	if x.Sign() >= 0 {
+		return b.Decompose(x)
+	}
+	t := new(big.Int).Mod(x, b.q) // Go's Mod is Euclidean: result in [0, q)
+	return b.Decompose(t)
+}
+
+// DecomposeInt64 maps a signed word to residues, avoiding big.Int.
+func (b *Basis) DecomposeInt64(x int64) []uint64 {
+	out := make([]uint64, len(b.Primes))
+	for i := range b.Primes {
+		out[i] = b.ReduceInt64(x, i)
+	}
+	return out
+}
+
+// ReduceInt64 returns x mod p_i in [0, p_i).
+func (b *Basis) ReduceInt64(x int64, i int) uint64 {
+	p := b.Primes[i]
+	if x >= 0 {
+		return b.Mods[i].Reduce(uint64(x))
+	}
+	r := b.Mods[i].Reduce(uint64(-x))
+	return uintmod.NegMod(r, p)
+}
+
+// Compose reconstructs the unique x in [0, q) with x ≡ residues[i]
+// (mod p_i) using the CRT formula of Section 2:
+// x = Σ residues_i · π_i · [π_i^{-1}]_{p_i} (mod q).
+func (b *Basis) Compose(residues []uint64) *big.Int {
+	if len(residues) != len(b.Primes) {
+		panic("rns: residue count mismatch")
+	}
+	acc := new(big.Int)
+	term := new(big.Int)
+	for i := range b.Primes {
+		c := b.Mods[i].MulMod(residues[i], b.invPunc[i])
+		term.SetUint64(c)
+		term.Mul(term, b.punctured[i])
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, b.q)
+}
+
+// ComposeCentered is Compose followed by centering into (-q/2, q/2].
+func (b *Basis) ComposeCentered(residues []uint64) *big.Int {
+	x := b.Compose(residues)
+	half := new(big.Int).Rsh(b.q, 1)
+	if x.Cmp(half) > 0 {
+		x.Sub(x, b.q)
+	}
+	return x
+}
+
+// CrossReduce returns [p_i]_{p_j}: the prime at index i reduced modulo the
+// prime at index j. The key-switching inner loop (Algorithm 7, line 6)
+// reduces residues of one prime modulo another; callers precompute with
+// this helper.
+func (b *Basis) CrossReduce(i, j int) uint64 {
+	return b.Mods[j].Reduce(b.Primes[i])
+}
+
+// InvOf returns [x^{-1}]_{p_j} for an arbitrary value x (reduced first).
+func (b *Basis) InvOf(x uint64, j int) uint64 {
+	return b.Mods[j].InvMod(b.Mods[j].Reduce(x))
+}
+
+// GadgetVector returns the RNS gadget vector of Section 3.4 for the first
+// (level+1) primes: g_i = π_i · [π_i^{-1}]_{p_i} over q_level, as big
+// integers. It is used by tests to check the gadget identity
+// a = <g, g^{-1}(a)> (mod q_level).
+func (b *Basis) GadgetVector(level int) []*big.Int {
+	q := b.QAtLevel(level)
+	out := make([]*big.Int, level+1)
+	for i := 0; i <= level; i++ {
+		pi := new(big.Int).Div(q, new(big.Int).SetUint64(b.Primes[i]))
+		rem := new(big.Int).Mod(pi, new(big.Int).SetUint64(b.Primes[i])).Uint64()
+		inv := b.Mods[i].InvMod(rem)
+		g := new(big.Int).Mul(pi, new(big.Int).SetUint64(inv))
+		out[i] = g.Mod(g, q)
+	}
+	return out
+}

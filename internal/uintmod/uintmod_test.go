@@ -1,0 +1,287 @@
+package uintmod
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testModuli covers small, medium, 36-bit (Set-A-like), 52-bit (HEAX max)
+// and 61-bit (SEAL-like) primes.
+var testModuli = []uint64{
+	2, 3, 17, 257, 65537,
+	0xffffee001,         // 36-bit SEAL prime 68719230977
+	1125899903500289,    // ~2^50
+	4503599626321921,    // ~2^52 (p = 1 mod 2^13)
+	2305843009213554689, // 61-bit prime
+}
+
+func bigMod(x *big.Int, p uint64) uint64 {
+	return new(big.Int).Mod(x, new(big.Int).SetUint64(p)).Uint64()
+}
+
+func TestNewModulusRatio(t *testing.T) {
+	for _, p := range testModuli {
+		m := NewModulus(p)
+		want := new(big.Int).Lsh(big.NewInt(1), 128)
+		want.Div(want, new(big.Int).SetUint64(p))
+		gotLo := new(big.Int).SetUint64(m.ratio[0])
+		gotHi := new(big.Int).SetUint64(m.ratio[1])
+		got := new(big.Int).Lsh(gotHi, 64)
+		got.Add(got, gotLo)
+		if got.Cmp(want) != 0 {
+			t.Errorf("p=%d: ratio = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestNewModulusPanicsOnSmall(t *testing.T) {
+	for _, p := range []uint64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModulus(%d) did not panic", p)
+				}
+			}()
+			NewModulus(p)
+		}()
+	}
+}
+
+func TestReduceSingleWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range testModuli {
+		m := NewModulus(p)
+		for i := 0; i < 200; i++ {
+			x := rng.Uint64()
+			if got, want := m.Reduce(x), x%p; got != want {
+				t.Fatalf("p=%d Reduce(%d) = %d, want %d", p, x, got, want)
+			}
+		}
+		// Boundary values.
+		for _, x := range []uint64{0, 1, p - 1, p, p + 1, ^uint64(0)} {
+			if got, want := m.Reduce(x), x%p; got != want {
+				t.Fatalf("p=%d Reduce(%d) = %d, want %d", p, x, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range testModuli {
+		m := NewModulus(p)
+		for i := 0; i < 300; i++ {
+			hi, lo := rng.Uint64(), rng.Uint64()
+			x := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+			x.Add(x, new(big.Int).SetUint64(lo))
+			if got, want := m.ReduceWide(hi, lo), bigMod(x, p); got != want {
+				t.Fatalf("p=%d ReduceWide(%d,%d) = %d, want %d", p, hi, lo, got, want)
+			}
+		}
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range testModuli {
+		m := NewModulus(p)
+		for i := 0; i < 200; i++ {
+			x, y := rng.Uint64()%p, rng.Uint64()%p
+			want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+			if got := m.MulMod(x, y); got != bigMod(want, p) {
+				t.Fatalf("p=%d MulMod(%d,%d) = %d, want %d", p, x, y, got, bigMod(want, p))
+			}
+		}
+	}
+}
+
+func TestAddSubNegHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range testModuli {
+		for i := 0; i < 200; i++ {
+			x, y := rng.Uint64()%p, rng.Uint64()%p
+			if got, want := AddMod(x, y, p), (x+y)%p; got != want {
+				t.Fatalf("AddMod(%d,%d,%d)=%d want %d", x, y, p, got, want)
+			}
+			wantSub := (x + p - y) % p
+			if got := SubMod(x, y, p); got != wantSub {
+				t.Fatalf("SubMod(%d,%d,%d)=%d want %d", x, y, p, got, wantSub)
+			}
+			if got, want := NegMod(x, p), (p-x)%p; got != want {
+				t.Fatalf("NegMod(%d,%d)=%d want %d", x, p, got, want)
+			}
+			if p%2 == 1 {
+				h := Half(x, p)
+				if AddMod(h, h, p) != x {
+					t.Fatalf("Half(%d,%d)=%d does not double back", x, p, h)
+				}
+			}
+		}
+	}
+}
+
+func TestPowInv(t *testing.T) {
+	for _, p := range testModuli {
+		if p < 3 {
+			continue
+		}
+		m := NewModulus(p)
+		rng := rand.New(rand.NewSource(int64(p)))
+		for i := 0; i < 50; i++ {
+			x := 1 + rng.Uint64()%(p-1)
+			inv := m.InvMod(x)
+			if m.MulMod(x, inv) != 1 {
+				t.Fatalf("p=%d InvMod(%d)=%d not an inverse", p, x, inv)
+			}
+		}
+		if got := m.PowMod(2, 10); got != 1024%p {
+			t.Fatalf("p=%d PowMod(2,10)=%d", p, got)
+		}
+		if got := m.PowMod(5, 0); got != 1%p {
+			t.Fatalf("p=%d PowMod(5,0)=%d", p, got)
+		}
+	}
+}
+
+func TestInvModZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InvMod(0) did not panic")
+		}
+	}()
+	NewModulus(17).InvMod(0)
+}
+
+func TestShoupMulRed64(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range testModuli {
+		if bits.Len64(p) > MaxModulusBits64 {
+			continue
+		}
+		m := NewModulus(p)
+		for i := 0; i < 300; i++ {
+			x, y := rng.Uint64()%p, rng.Uint64()%p
+			ys := ShoupPrecomp(y, p)
+			want := m.MulMod(x, y)
+			if got := MulRed(x, y, ys, p); got != want {
+				t.Fatalf("p=%d MulRed(%d,%d)=%d want %d", p, x, y, got, want)
+			}
+			if got := MulRedLazy(x, y, ys, p) % p; got != want {
+				t.Fatalf("p=%d MulRedLazy(%d,%d) mod p = %d want %d", p, x, y, got, want)
+			}
+			if lz := MulRedLazy(x, y, ys, p); lz >= 2*p {
+				t.Fatalf("p=%d MulRedLazy(%d,%d)=%d not in [0,2p)", p, x, y, lz)
+			}
+		}
+	}
+}
+
+func TestShoupMulRed54(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, p := range testModuli {
+		if bits.Len64(p) > MaxModulusBits54 {
+			continue
+		}
+		m := NewModulus(p)
+		for i := 0; i < 300; i++ {
+			x, y := rng.Uint64()%p, rng.Uint64()%p
+			ys := ShoupPrecomp54(y, p)
+			want := m.MulMod(x, y)
+			if got := MulRed54(x, y, ys, p); got != want {
+				t.Fatalf("p=%d MulRed54(%d,%d)=%d want %d", p, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestReduce54MatchesWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range testModuli {
+		if bits.Len64(p) > MaxModulusBits54 {
+			continue
+		}
+		m := NewModulus(p)
+		for i := 0; i < 300; i++ {
+			x, y := rng.Uint64()%p, rng.Uint64()%p
+			hi, lo := Mul54(x, y)
+			if hi>>Word54 != 0 || lo>>Word54 != 0 {
+				t.Fatalf("Mul54(%d,%d) produced words wider than 54 bits", x, y)
+			}
+			if got, want := Reduce54(hi, lo, m), m.MulMod(x, y); got != want {
+				t.Fatalf("p=%d Reduce54 of %d*%d = %d, want %d", p, x, y, got, want)
+			}
+		}
+	}
+}
+
+// Property: the w=54 and w=64 Shoup paths agree on all valid inputs.
+func TestQuickMulRedAgreement(t *testing.T) {
+	const p = 4503599626321921 // 52-bit prime
+	m := NewModulus(p)
+	f := func(a, b uint64) bool {
+		x, y := a%p, b%p
+		r64 := MulRed(x, y, ShoupPrecomp(y, p), p)
+		r54 := MulRed54(x, y, ShoupPrecomp54(y, p), p)
+		return r64 == r54 && r64 == m.MulMod(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: modular ring axioms hold under the Barrett implementation.
+func TestQuickRingAxioms(t *testing.T) {
+	const p = 1125899903500289
+	m := NewModulus(p)
+	assoc := func(a, b, c uint64) bool {
+		x, y, z := a%p, b%p, c%p
+		return m.MulMod(m.MulMod(x, y), z) == m.MulMod(x, m.MulMod(y, z))
+	}
+	distrib := func(a, b, c uint64) bool {
+		x, y, z := a%p, b%p, c%p
+		return m.MulMod(x, AddMod(y, z, p)) == AddMod(m.MulMod(x, y), m.MulMod(x, z), p)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(distrib, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	m := NewModulus(2305843009213554689)
+	x, y := uint64(1234567891011), uint64(987654321)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = m.MulMod(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkMulRed64(b *testing.B) {
+	const p = 2305843009213554689
+	y := uint64(987654321)
+	ys := ShoupPrecomp(y, p)
+	x := uint64(1234567891011)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MulRed(x, y, ys, p)
+	}
+	_ = x
+}
+
+func BenchmarkMulRed54(b *testing.B) {
+	const p = 4503599626321921
+	y := uint64(987654321)
+	ys := ShoupPrecomp54(y, p)
+	x := uint64(1234567891011)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MulRed54(x, y, ys, p)
+	}
+	_ = x
+}
