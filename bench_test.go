@@ -118,6 +118,37 @@ func BenchmarkTable7_CPU_INTT(b *testing.B) {
 	}
 }
 
+// Strict-reduction oracles, kept as the baseline column so the recorded
+// BENCH_1.json shows the lazy-engine speedup directly.
+
+func BenchmarkTable7_CPU_NTT_Strict(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			params := getParams(b, spec)
+			row := randomRow(params, rand.New(rand.NewSource(1)))
+			tb := params.RingQP.Tables[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.ForwardStrict(row)
+			}
+		})
+	}
+}
+
+func BenchmarkTable7_CPU_INTT_Strict(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			params := getParams(b, spec)
+			row := randomRow(params, rand.New(rand.NewSource(2)))
+			tb := params.RingQP.Tables[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.InverseStrict(row)
+			}
+		})
+	}
+}
+
 func BenchmarkTable7_CPU_Dyadic(b *testing.B) {
 	for _, spec := range ckks.StandardSets {
 		b.Run(spec.Name, func(b *testing.B) {

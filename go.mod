@@ -1,0 +1,3 @@
+module heax
+
+go 1.21

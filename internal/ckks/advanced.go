@@ -105,27 +105,33 @@ func (ev *Evaluator) DecomposeForKeySwitch(c *ring.Poly) *HoistedDecomposition {
 	level := c.Level()
 	spRow := ev.params.SpecialRow()
 	hd := &HoistedDecomposition{level: level, digits: make([]*ring.Poly, level+1)}
-	aCoeff := make([]uint64, n)
+	aBuf := ctx.GetPolyNoZero(1)
+	defer ctx.PutPoly(aBuf)
+	aCoeff := aBuf.Coeffs[0]
+	var digit *ring.Poly
+	var digitIdx int
+	convertRow := func(jj int) {
+		basisIdx := jj
+		if jj == level+1 {
+			basisIdx = spRow
+		}
+		row := digit.Coeffs[jj]
+		if basisIdx == digitIdx {
+			copy(row, c.Coeffs[digitIdx])
+			return
+		}
+		m := ctx.Basis.Mods[basisIdx]
+		for t := 0; t < n; t++ {
+			row[t] = m.Reduce(aCoeff[t])
+		}
+		ctx.Tables[basisIdx].Forward(row)
+	}
 	for i := 0; i <= level; i++ {
 		copy(aCoeff, c.Coeffs[i])
 		ctx.Tables[i].Inverse(aCoeff)
-		digit := ctx.NewPoly(level + 2)
-		for jj := 0; jj <= level+1; jj++ {
-			basisIdx := jj
-			if jj == level+1 {
-				basisIdx = spRow
-			}
-			row := digit.Coeffs[jj]
-			if basisIdx == i {
-				copy(row, c.Coeffs[i])
-				continue
-			}
-			m := ctx.Basis.Mods[basisIdx]
-			for t := 0; t < n; t++ {
-				row[t] = m.Reduce(aCoeff[t])
-			}
-			ctx.Tables[basisIdx].Forward(row)
-		}
+		digit = ctx.NewPoly(level + 2) // cached in hd, not pooled
+		digitIdx = i
+		ctx.RunRows(level+2, convertRow)
 		hd.digits[i] = digit
 	}
 	return hd
@@ -138,41 +144,35 @@ func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomposition, swk *SwitchingKe
 	ctx := ev.params.RingQP
 	n := ctx.N
 	level := hd.level
-	spRow := ev.params.SpecialRow()
-	acc0 := ctx.NewPoly(level + 2)
-	acc1 := ctx.NewPoly(level + 2)
-	perm := make([]uint64, n)
-	for i := 0; i <= level; i++ {
-		for jj := 0; jj <= level+1; jj++ {
-			basisIdx := jj
-			if jj == level+1 {
-				basisIdx = spRow
-			}
-			src := hd.digits[i].Coeffs[jj]
-			if table != nil {
-				for t := 0; t < n; t++ {
-					perm[t] = src[table[t]]
-				}
-				src = perm
-			}
-			m := ctx.Basis.Mods[basisIdx]
-			p := ctx.Basis.Primes[basisIdx]
-			d0 := swk.Digits[i][0].Coeffs[basisIdx]
-			d1 := swk.Digits[i][1].Coeffs[basisIdx]
-			o0 := acc0.Coeffs[jj]
-			o1 := acc1.Coeffs[jj]
+	shoup := swk.ensureShoup(ctx)
+	acc0 := ctx.GetPoly(level + 2)
+	acc1 := ctx.GetPoly(level + 2)
+	defer ctx.PutPoly(acc0)
+	defer ctx.PutPoly(acc1)
+	rowIdx := ev.rowIdx[level]
+	var digitIdx int
+	macRow := func(jj int) {
+		basisIdx := rowIdx[jj]
+		src := hd.digits[digitIdx].Coeffs[jj]
+		if table != nil {
+			pBuf := ctx.GetPolyNoZero(1)
+			defer ctx.PutPoly(pBuf)
+			perm := pBuf.Coeffs[0]
 			for t := 0; t < n; t++ {
-				o0[t] = uintmod.AddMod(o0[t], m.MulMod(src[t], d0[t]), p)
-				o1[t] = uintmod.AddMod(o1[t], m.MulMod(src[t], d1[t]), p)
+				perm[t] = src[table[t]]
 			}
+			src = perm
 		}
+		d0, d1 := swk.Digits[digitIdx][0], swk.Digits[digitIdx][1]
+		s0, s1 := shoup[digitIdx][0], shoup[digitIdx][1]
+		ctx.MulAddLazyRow(src, d0.Coeffs[basisIdx], s0.Coeffs[basisIdx], acc0.Coeffs[jj], basisIdx)
+		ctx.MulAddLazyRow(src, d1.Coeffs[basisIdx], s1.Coeffs[basisIdx], acc1.Coeffs[jj], basisIdx)
 	}
-	rowIdx := make([]int, level+2)
 	for i := 0; i <= level; i++ {
-		rowIdx[i] = i
+		digitIdx = i
+		ctx.RunRows(level+2, macRow)
 	}
-	rowIdx[level+1] = spRow
-	return ctx.FloorDropRows(acc0, rowIdx, false), ctx.FloorDropRows(acc1, rowIdx, false)
+	return ctx.FloorDropRowsPair(acc0, acc1, rowIdx, false, true)
 }
 
 // RotateHoisted rotates one ciphertext by many steps, sharing a single

@@ -5,19 +5,35 @@ import (
 	"math"
 
 	"heax/internal/ring"
-	"heax/internal/uintmod"
 )
 
 // Evaluator implements the server-side homomorphic operations of
 // Section 3 — exactly the set HEAX accelerates. All operands stay in RNS
-// and NTT form throughout, as in SEAL.
+// and NTT form throughout, as in SEAL. An Evaluator is not safe for
+// concurrent use; the ring context underneath already spreads each
+// operation across worker goroutines.
 type Evaluator struct {
 	params *Params
+	// rowIdx[level] maps key-switch accumulator rows to basis indices:
+	// (0..level, specialRow). Precomputed so the hot path allocates
+	// nothing for it.
+	rowIdx [][]int
 }
 
 // NewEvaluator builds an evaluator for params.
 func NewEvaluator(params *Params) *Evaluator {
-	return &Evaluator{params: params}
+	ev := &Evaluator{params: params}
+	sp := params.SpecialRow()
+	ev.rowIdx = make([][]int, params.K())
+	for level := 0; level < params.K(); level++ {
+		idx := make([]int, level+2)
+		for i := 0; i <= level; i++ {
+			idx[i] = i
+		}
+		idx[level+1] = sp
+		ev.rowIdx[level] = idx
+	}
+	return ev
 }
 
 // scalesClose reports whether two scales are equal up to floating-point
@@ -135,62 +151,67 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 // c0' + c1'·s ≈ c·s'. It is exported because the HEAX KeySwitch module
 // implements exactly this computation and the hardware-vs-software tests
 // compare against it.
+//
+// This is the hot path of Table 8: the accumulators are lazily reduced
+// (rows stay in [0, 2p) until one closing pass), the per-coefficient
+// Barrett MAC is replaced by fused Shoup multiplies against the key's
+// precomputed constants, all scratch comes from the ring's buffer pool,
+// and the target-modulus loop fans out across the ring's workers.
 func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingQP
 	n := ctx.N
 	level := c.Level()
-	spRow := ev.params.SpecialRow()
+	shoup := swk.ensureShoup(ctx)
 
 	// Accumulators over (q_0..q_level, P); row level+1 is the special
-	// prime.
-	acc0 := ctx.NewPoly(level + 2)
-	acc1 := ctx.NewPoly(level + 2)
+	// prime. Rows hold lazy [0, 2p) values until the closing reduction.
+	acc0 := ctx.GetPoly(level + 2)
+	acc1 := ctx.GetPoly(level + 2)
+	defer ctx.PutPoly(acc0)
+	defer ctx.PutPoly(acc1)
 
-	aCoeff := make([]uint64, n)
-	bRow := make([]uint64, n)
+	aBuf := ctx.GetPolyNoZero(1)
+	defer ctx.PutPoly(aBuf)
+	aCoeff := aBuf.Coeffs[0]
+	rowIdx := ev.rowIdx[level]
+
+	// The closure is hoisted out of the digit loop (one allocation, not
+	// k) and reads the current digit through `digit`.
+	var digit int
+	macRow := func(jj int) {
+		basisIdx := rowIdx[jj]
+		// Lines 5-10 and 14-15: convert digit i to modulus j.
+		var bNTT []uint64
+		if basisIdx == digit {
+			bNTT = c.Coeffs[digit]
+		} else {
+			bBuf := ctx.GetPolyNoZero(1)
+			defer ctx.PutPoly(bBuf)
+			bRow := bBuf.Coeffs[0]
+			m := ctx.Basis.Mods[basisIdx]
+			for t := 0; t < n; t++ {
+				bRow[t] = m.Reduce(aCoeff[t])
+			}
+			ctx.Tables[basisIdx].Forward(bRow)
+			bNTT = bRow
+		}
+		// Lines 11-12 and 16-17: multiply-accumulate with the keys.
+		d0, d1 := swk.Digits[digit][0], swk.Digits[digit][1]
+		s0, s1 := shoup[digit][0], shoup[digit][1]
+		ctx.MulAddLazyRow(bNTT, d0.Coeffs[basisIdx], s0.Coeffs[basisIdx], acc0.Coeffs[jj], basisIdx)
+		ctx.MulAddLazyRow(bNTT, d1.Coeffs[basisIdx], s1.Coeffs[basisIdx], acc1.Coeffs[jj], basisIdx)
+	}
 	for i := 0; i <= level; i++ {
 		// Line 3: a ← INTT_{p_i}(c_i).
 		copy(aCoeff, c.Coeffs[i])
 		ctx.Tables[i].Inverse(aCoeff)
-		for jj := 0; jj <= level+1; jj++ {
-			basisIdx := jj
-			if jj == level+1 {
-				basisIdx = spRow
-			}
-			// Lines 5-10 and 14-15: convert digit i to modulus j.
-			var bNTT []uint64
-			if basisIdx == i {
-				bNTT = c.Coeffs[i]
-			} else {
-				m := ctx.Basis.Mods[basisIdx]
-				for t := 0; t < n; t++ {
-					bRow[t] = m.Reduce(aCoeff[t])
-				}
-				ctx.Tables[basisIdx].Forward(bRow)
-				bNTT = bRow
-			}
-			// Lines 11-12 and 16-17: multiply-accumulate with the keys.
-			m := ctx.Basis.Mods[basisIdx]
-			p := ctx.Basis.Primes[basisIdx]
-			d0 := swk.Digits[i][0].Coeffs[basisIdx]
-			d1 := swk.Digits[i][1].Coeffs[basisIdx]
-			o0 := acc0.Coeffs[jj]
-			o1 := acc1.Coeffs[jj]
-			for t := 0; t < n; t++ {
-				o0[t] = uintmod.AddMod(o0[t], m.MulMod(bNTT[t], d0[t]), p)
-				o1[t] = uintmod.AddMod(o1[t], m.MulMod(bNTT[t], d1[t]), p)
-			}
-		}
+		digit = i
+		ctx.RunRows(level+2, macRow)
 	}
-	// Line 19: modulus switching — divide by the special prime.
-	rowIdx := make([]int, level+2)
-	for i := 0; i <= level; i++ {
-		rowIdx[i] = i
-	}
-	rowIdx[level+1] = spRow
-	ks0 := ctx.FloorDropRows(acc0, rowIdx, false)
-	ks1 := ctx.FloorDropRows(acc1, rowIdx, false)
-	return ks0, ks1
+	// Line 19: modulus switching — divide by the special prime. The pair
+	// variant folds the closing reduction of the lazy accumulators into
+	// its own row pass.
+	return ctx.FloorDropRowsPair(acc0, acc1, rowIdx, false, true)
 }
 
 // Relinearize transforms a degree-2 ciphertext back to degree 1 using the
@@ -284,7 +305,8 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, e
 	rows := ct.Level + 1
 	table := ctx.AutomorphismNTTTable(key.GaloisElt)
 	c0g := ctx.NewPoly(rows)
-	c1g := ctx.NewPoly(rows)
+	c1g := ctx.GetPolyNoZero(rows) // scratch: dies once key switching is done
+	defer ctx.PutPoly(c1g)
 	ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
 	ctx.AutomorphismNTT(ct.Polys[1], table, c1g)
 

@@ -25,6 +25,26 @@ type PublicKey struct {
 type SwitchingKey struct {
 	// Digits[i] = (d_{i,0}, d_{i,1}).
 	Digits [][2]*ring.Poly
+
+	// shoup caches the per-coefficient Shoup constants of the digits —
+	// the keys are the fixed operands of the key-switch inner loop, so
+	// precomputing once turns every MAC into a fused lazy Shoup multiply.
+	// Keys from KeyGenerator or the deserializer arrive with this
+	// populated; hand-built keys get it on first use (not safe for
+	// concurrent first use).
+	shoup [][2]*ring.Poly
+}
+
+// ensureShoup returns the digit Shoup tables, building them if absent.
+func (swk *SwitchingKey) ensureShoup(ctx *ring.Context) [][2]*ring.Poly {
+	if swk.shoup == nil {
+		shoup := make([][2]*ring.Poly, len(swk.Digits))
+		for i, d := range swk.Digits {
+			shoup[i] = [2]*ring.Poly{ctx.ShoupPoly(d[0]), ctx.ShoupPoly(d[1])}
+		}
+		swk.shoup = shoup
+	}
+	return swk.shoup
 }
 
 // RelinearizationKey switches s^2 → s (CKKS.RlkGen).
@@ -107,6 +127,7 @@ func (kg *KeyGenerator) genSwitchingKey(sPrime, s *ring.Poly) SwitchingKey {
 		}
 		swk.Digits[i] = [2]*ring.Poly{d0, a}
 	}
+	swk.ensureShoup(ctx)
 	return swk
 }
 

@@ -331,6 +331,9 @@ func readSwitchingKey(r io.Reader, params *Params) (SwitchingKey, error) {
 		}
 		swk.Digits[i] = [2]*ring.Poly{d0, d1}
 	}
+	// Rebuild the digit Shoup tables eagerly so deserialized keys are as
+	// hot-path-ready (and as concurrency-safe) as freshly generated ones.
+	swk.ensureShoup(params.RingQP)
 	return swk, nil
 }
 

@@ -1,0 +1,9 @@
+//go:build amd64
+
+package ntt
+
+// Stage kernels implemented in ifma_amd64.s. Availability is gated by
+// uintmod.IFMAUsable; see the Tables.ifma field.
+
+func fwdStageIFMA(a, w, wShoup *uint64, m, step int, p uint64)
+func invStageIFMA(a, w, wShoup *uint64, m, step int, p uint64)

@@ -1,0 +1,111 @@
+// AVX-512 IFMA butterfly stage kernels.
+//
+// Each kernel runs one whole transform stage whose butterfly stride
+// (step) is a multiple of 8: the m groups are walked in assembly, the
+// group twiddle (value + 2^52-scaled Shoup constant) is broadcast once
+// per group, and the inner loop does eight Harvey butterflies per
+// iteration. Lazy invariants are identical to the scalar path in
+// lazy.go: forward keeps coefficients in [0, 4p), inverse in [0, 2p).
+// Requires p < 2^50 so the whole lazy range fits a 52-bit lane.
+
+#include "textflag.h"
+
+// func fwdStageIFMA(a, w, wShoup *uint64, m, step int, p uint64)
+// a is the polynomial base; w and wShoup point at the stage's first
+// twiddle (&psi[m], &psiShoup52[m]); the stage has m groups of stride
+// step (step % 8 == 0).
+TEXT ·fwdStageIFMA(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), DI
+	MOVQ w+8(FP), R8
+	MOVQ wShoup+16(FP), R9
+	MOVQ m+24(FP), BX
+	MOVQ step+32(FP), R10
+	MOVQ p+40(FP), AX
+	VPBROADCASTQ AX, Z12            // p
+	VPADDQ Z12, Z12, Z13            // 2p
+	MOVQ $0x000FFFFFFFFFFFFF, AX
+	VPBROADCASTQ AX, Z14            // 2^52 - 1
+group:
+	VPBROADCASTQ (R8), Z10          // w
+	VPBROADCASTQ (R9), Z11          // w' (2^52 scale)
+	ADDQ $8, R8
+	ADDQ $8, R9
+	LEAQ (DI)(R10*8), SI            // y half starts step words in
+	MOVQ R10, CX
+	SHRQ $3, CX
+inner:
+	VMOVDQU64 (SI), Z1              // v in [0, 4p)
+	VMOVDQU64 (DI), Z0              // u in [0, 4p)
+	VPXORQ Z2, Z2, Z2
+	VPMADD52HUQ Z11, Z1, Z2         // t = floor(v*w'/2^52)
+	VPXORQ Z3, Z3, Z3
+	VPMADD52LUQ Z10, Z1, Z3         // lo52(v*w)
+	VPXORQ Z4, Z4, Z4
+	VPMADD52LUQ Z12, Z2, Z4         // lo52(t*p)
+	VPSUBQ Z4, Z3, Z3
+	VPANDQ Z14, Z3, Z3              // wv = v*w - t*p in [0, 2p)
+	VPSUBQ Z13, Z0, Z5
+	VPMINUQ Z5, Z0, Z0              // fold u to [0, 2p)
+	VPADDQ Z3, Z0, Z6               // X = u + wv
+	VMOVDQU64 Z6, (DI)
+	VPADDQ Z13, Z0, Z7
+	VPSUBQ Z3, Z7, Z7               // Y = u - wv + 2p
+	VMOVDQU64 Z7, (SI)
+	ADDQ $64, DI
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  inner
+	MOVQ SI, DI                     // next group starts where y ended
+	DECQ BX
+	JNZ  group
+	VZEROUPPER
+	RET
+
+// func invStageIFMA(a, w, wShoup *uint64, m, step int, p uint64)
+// The Gentleman–Sande counterpart: x, y = fold2p(u+v), w·(u-v+2p).
+TEXT ·invStageIFMA(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), DI
+	MOVQ w+8(FP), R8
+	MOVQ wShoup+16(FP), R9
+	MOVQ m+24(FP), BX
+	MOVQ step+32(FP), R10
+	MOVQ p+40(FP), AX
+	VPBROADCASTQ AX, Z12            // p
+	VPADDQ Z12, Z12, Z13            // 2p
+	MOVQ $0x000FFFFFFFFFFFFF, AX
+	VPBROADCASTQ AX, Z14
+group:
+	VPBROADCASTQ (R8), Z10          // w
+	VPBROADCASTQ (R9), Z11          // w'
+	ADDQ $8, R8
+	ADDQ $8, R9
+	LEAQ (DI)(R10*8), SI
+	MOVQ R10, CX
+	SHRQ $3, CX
+inner:
+	VMOVDQU64 (DI), Z0              // u in [0, 2p)
+	VMOVDQU64 (SI), Z1              // v in [0, 2p)
+	VPADDQ Z1, Z0, Z5               // u + v in [0, 4p)
+	VPSUBQ Z13, Z5, Z6
+	VPMINUQ Z6, Z5, Z5              // fold to [0, 2p)
+	VMOVDQU64 Z5, (DI)
+	VPADDQ Z13, Z0, Z7
+	VPSUBQ Z1, Z7, Z7               // d = u - v + 2p in (0, 4p)
+	VPXORQ Z2, Z2, Z2
+	VPMADD52HUQ Z11, Z7, Z2         // t = floor(d*w'/2^52)
+	VPXORQ Z3, Z3, Z3
+	VPMADD52LUQ Z10, Z7, Z3         // lo52(d*w)
+	VPXORQ Z4, Z4, Z4
+	VPMADD52LUQ Z12, Z2, Z4         // lo52(t*p)
+	VPSUBQ Z4, Z3, Z3
+	VPANDQ Z14, Z3, Z3              // y = d*w - t*p in [0, 2p)
+	VMOVDQU64 Z3, (SI)
+	ADDQ $64, DI
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  inner
+	MOVQ SI, DI
+	DECQ BX
+	JNZ  group
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package ntt
+
+// Stage-kernel stubs for non-amd64 builds; Tables.ifma is always false
+// there (uintmod.IFMAUsable reports false), so these never run.
+
+func fwdStageIFMA(a, w, wShoup *uint64, m, step int, p uint64) {
+	panic("ntt: fwdStageIFMA without IFMA support")
+}
+
+func invStageIFMA(a, w, wShoup *uint64, m, step int, p uint64) {
+	panic("ntt: invStageIFMA without IFMA support")
+}

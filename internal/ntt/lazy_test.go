@@ -1,0 +1,113 @@
+package ntt
+
+// White-box tests for the lazy-reduction hot path: the strict transforms
+// are the oracle, and the lazy ones must match them bit for bit across
+// ring degrees, modulus widths (w=54-eligible primes below 2^52, IFMA
+// primes below 2^50, and full w=64 primes up to 62 bits), and both the
+// scalar and, where supported, the AVX-512 IFMA kernels.
+
+import (
+	"math/rand"
+	"testing"
+
+	"heax/internal/uintmod"
+)
+
+func TestLazyForwardMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bitsize := range []int{30, 36, 43, 49, 52, 60, 62} {
+		for _, n := range []int{16, 64, 1024, 4096} {
+			tb := newTestTables(t, bitsize, n)
+			for trial := 0; trial < 4; trial++ {
+				a := randomPoly(rng, n, tb.Mod.P)
+				want := append([]uint64(nil), a...)
+				tb.ForwardStrict(want)
+				tb.Forward(a)
+				for i := range a {
+					if a[i] != want[i] {
+						t.Fatalf("bits=%d n=%d (ifma=%v): forward mismatch at %d: %d != %d",
+							bitsize, n, tb.ifma, i, a[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLazyInverseMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, bitsize := range []int{30, 36, 43, 49, 52, 60, 62} {
+		for _, n := range []int{16, 64, 1024, 4096} {
+			tb := newTestTables(t, bitsize, n)
+			for trial := 0; trial < 4; trial++ {
+				a := randomPoly(rng, n, tb.Mod.P)
+				want := append([]uint64(nil), a...)
+				tb.InverseStrict(want)
+				tb.Inverse(a)
+				for i := range a {
+					if a[i] != want[i] {
+						t.Fatalf("bits=%d n=%d (ifma=%v): inverse mismatch at %d: %d != %d",
+							bitsize, n, tb.ifma, i, a[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The IFMA dispatch must be exercised on eligible primes when the CPU
+// supports it — a silent fall back to scalar would let kernel bugs hide.
+func TestIFMADispatchActive(t *testing.T) {
+	if !uintmod.HasIFMA() {
+		t.Skip("no AVX-512 IFMA on this CPU")
+	}
+	tb := newTestTables(t, 49, 64)
+	if !tb.ifma {
+		t.Fatal("49-bit modulus should take the IFMA path")
+	}
+	big := newTestTables(t, 52, 64)
+	if big.ifma {
+		t.Fatal("52-bit modulus must not take the IFMA path (lazy range exceeds 52-bit lanes)")
+	}
+}
+
+// FuzzLazyButterfly cross-checks the forward and inverse lazy butterflies
+// against direct modular arithmetic, including the range invariants.
+func FuzzLazyButterfly(f *testing.F) {
+	f.Add(uint64(3), uint64(5), uint64(2), uint64(1)<<40+9)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(97))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), uint64(1)<<61+85)
+	f.Fuzz(func(t *testing.T, uRaw, vRaw, wRaw, pRaw uint64) {
+		p := (pRaw >> 2) | 3 // odd, in [3, 2^62)
+		twoP := 2 * p
+		u := uRaw % (4 * p)
+		v := vRaw % (4 * p)
+		w := wRaw % p
+		ws := uintmod.ShoupPrecomp(w, p)
+		m := uintmod.NewModulus(p)
+
+		x, y := butterfly(u, v, w, ws, p, twoP)
+		if x >= 4*p || y >= 4*p {
+			t.Fatalf("forward outputs escaped [0, 4p): x=%d y=%d p=%d", x, y, p)
+		}
+		um, vm := m.Reduce(u), m.Reduce(v)
+		wantX := uintmod.AddMod(um, m.MulMod(w, vm), p)
+		wantY := uintmod.SubMod(um, m.MulMod(w, vm), p)
+		if m.Reduce(x) != wantX || m.Reduce(y) != wantY {
+			t.Fatalf("forward butterfly incongruent: u=%d v=%d w=%d p=%d", u, v, w, p)
+		}
+
+		u2 := uRaw % twoP
+		v2 := vRaw % twoP
+		xi, yi := invButterfly(u2, v2, w, ws, p, twoP)
+		if xi >= twoP || yi >= twoP {
+			t.Fatalf("inverse outputs escaped [0, 2p): x=%d y=%d p=%d", xi, yi, p)
+		}
+		um2, vm2 := m.Reduce(u2), m.Reduce(v2)
+		wantXi := uintmod.AddMod(um2, vm2, p)
+		wantYi := m.MulMod(w, uintmod.SubMod(um2, vm2, p))
+		if m.Reduce(xi) != wantXi || m.Reduce(yi) != wantYi {
+			t.Fatalf("inverse butterfly incongruent: u=%d v=%d w=%d p=%d", u2, v2, w, p)
+		}
+	})
+}

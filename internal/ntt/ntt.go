@@ -6,10 +6,31 @@
 // The forward transform is a Cooley–Tukey decimation-in-time network whose
 // twiddle factors are powers of a primitive 2n-th root of unity ψ stored
 // in bit-reversed order; its output is in bit-reversed order. The inverse
-// transform is the matching Gentleman–Sande network; as in Algorithm 4,
-// every stage halves the running values ((ã_j + ã_{j+t})/2, with the ½
-// folded into the stored ψ^{-1} powers for the other branch), so after
-// log n stages the 1/n scaling has been applied with no extra pass.
+// transform is the matching Gentleman–Sande network.
+//
+// Two implementations coexist:
+//
+//   - Forward/Inverse: the production hot path, using Harvey-style lazy
+//     reduction. Forward keeps operands in [0, 4p) through every stage,
+//     with the last stage emitting fully reduced outputs; Inverse keeps
+//     operands in [0, 2p) and folds both the final reduction and the 1/n
+//     scaling into the last stage's fused twiddles. Inner loops are 8-way
+//     unrolled with re-sliced operands so the compiler drops bounds
+//     checks, the first and last stages (where the butterfly stride
+//     degenerates) have specialized code paths, and stages whose stride
+//     is a vector multiple run on AVX-512 IFMA kernels when the CPU and
+//     modulus allow (see lazy.go and ifma_amd64.s). Requires p < 2^62 so
+//     4p fits a word — which MaxModulusBits64 already guarantees for
+//     every modulus here.
+//
+//   - ForwardStrict/InverseStrict: the original per-butterfly
+//     strict-reduction transforms, retained verbatim as the test oracle
+//     (and as the closest software mirror of the paper's per-stage
+//     datapath: InverseStrict halves every stage as Algorithm 4 does).
+//
+// Both produce bit-identical outputs in [0, p); the property tests in this
+// package and the top-level lazy_equiv_test.go assert it across all Table
+// 2 parameter sets and both w=64 and w=54 moduli.
 //
 // Keeping operands "in NTT form" turns ring multiplication into the dyadic
 // (coefficient-wise) products the MULT module computes; see Section 3.1.
@@ -39,11 +60,28 @@ type Tables struct {
 	psiInvRevHalf      []uint64 // ψ^{-bitrev(i)} · 2^{-1}, inverse twiddles
 	psiInvRevHalfShoup []uint64
 
+	// Lazy-path inverse tables: the raw ψ^{-bitrev(i)} powers without the
+	// per-stage ½ folding (lazy halving would need exact parities), plus
+	// n^{-1} for the single closing scale-and-reduce pass.
+	psiInvRev       []uint64
+	psiInvRevShoup  []uint64
+	nInv, nInvShoup uint64
+	// ψ^{-bitrev(1)}·n^{-1}, the fused twiddle of the last inverse stage
+	// (folding the 1/n scaling into the stage saves a full closing pass).
+	psi1NInv, psi1NInvShoup uint64
+
 	// w=54 Shoup precomputations (populated when P < 2^52) so the
 	// hardware simulator can run the same tables through the 54-bit
 	// datapath.
 	psiRevShoup54        []uint64
 	psiInvRevHalfShoup54 []uint64
+
+	// 2^52-scaled Shoup twiddles for the AVX-512 IFMA stage kernels,
+	// populated when p < 2^50 (every Table 2 prime); ifma additionally
+	// requires CPU support and n >= 16.
+	psiRevShoup52    []uint64
+	psiInvRevShoup52 []uint64
+	ifma             bool
 }
 
 // NewTables builds NTT tables for ring degree n (a power of two >= 2) and
@@ -70,26 +108,43 @@ func NewTables(p uint64, n int) (*Tables, error) {
 	t.psiRevShoup = make([]uint64, n)
 	t.psiInvRevHalf = make([]uint64, n)
 	t.psiInvRevHalfShoup = make([]uint64, n)
+	t.psiInvRev = make([]uint64, n)
+	t.psiInvRevShoup = make([]uint64, n)
 
 	pow := uint64(1)
 	powInv := uint64(1)
 	for i := 0; i < n; i++ {
 		r := int(bitrev(uint(i), logn))
 		t.psiRev[r] = pow
+		t.psiInvRev[r] = powInv
 		t.psiInvRevHalf[r] = m.MulMod(powInv, inv2)
 		pow = m.MulMod(pow, psi)
 		powInv = m.MulMod(powInv, t.PsiInv)
 	}
 	for i := 0; i < n; i++ {
 		t.psiRevShoup[i] = uintmod.ShoupPrecomp(t.psiRev[i], p)
+		t.psiInvRevShoup[i] = uintmod.ShoupPrecomp(t.psiInvRev[i], p)
 		t.psiInvRevHalfShoup[i] = uintmod.ShoupPrecomp(t.psiInvRevHalf[i], p)
 	}
+	t.nInv = m.InvMod(uint64(n))
+	t.nInvShoup = uintmod.ShoupPrecomp(t.nInv, p)
+	t.psi1NInv = m.MulMod(t.psiInvRev[1], t.nInv)
+	t.psi1NInvShoup = uintmod.ShoupPrecomp(t.psi1NInv, p)
 	if bits.Len64(p) <= uintmod.MaxModulusBits54 {
 		t.psiRevShoup54 = make([]uint64, n)
 		t.psiInvRevHalfShoup54 = make([]uint64, n)
 		for i := 0; i < n; i++ {
 			t.psiRevShoup54[i] = uintmod.ShoupPrecomp54(t.psiRev[i], p)
 			t.psiInvRevHalfShoup54[i] = uintmod.ShoupPrecomp54(t.psiInvRevHalf[i], p)
+		}
+	}
+	if uintmod.IFMAUsable(p, n) && n >= 16 {
+		t.ifma = true
+		t.psiRevShoup52 = make([]uint64, n)
+		t.psiInvRevShoup52 = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			t.psiRevShoup52[i] = uintmod.ShoupPrecomp52(t.psiRev[i], p)
+			t.psiInvRevShoup52[i] = uintmod.ShoupPrecomp52(t.psiInvRev[i], p)
 		}
 	}
 	return t, nil
@@ -115,10 +170,11 @@ func BitrevPermute(a []uint64) {
 	}
 }
 
-// Forward computes the in-place negacyclic NTT of a (Algorithm 3): the
-// output, in bit-reversed order, is ã_j = Σ_i a_i ψ^{(2i+1)·j'} where j'
-// is the bit-reversal of j.
-func (t *Tables) Forward(a []uint64) {
+// ForwardStrict computes the in-place negacyclic NTT of a (Algorithm 3)
+// with strict per-butterfly reduction: the output, in bit-reversed order,
+// is ã_j = Σ_i a_i ψ^{(2i+1)·j'} where j' is the bit-reversal of j. It is
+// the test oracle for the lazy Forward and is not on any hot path.
+func (t *Tables) ForwardStrict(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
 	}
@@ -141,10 +197,12 @@ func (t *Tables) Forward(a []uint64) {
 	}
 }
 
-// Inverse computes the in-place negacyclic INTT of a bit-reversed-order
-// input (Algorithm 4), returning coefficients in standard order with the
-// 1/n factor already applied via per-stage halving.
-func (t *Tables) Inverse(a []uint64) {
+// InverseStrict computes the in-place negacyclic INTT of a
+// bit-reversed-order input (Algorithm 4) with strict per-butterfly
+// reduction, returning coefficients in standard order with the 1/n factor
+// already applied via per-stage halving. It is the test oracle for the
+// lazy Inverse and is not on any hot path.
+func (t *Tables) InverseStrict(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
 	}

@@ -13,7 +13,9 @@ package ring
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"heax/internal/ntt"
 	"heax/internal/rns"
@@ -27,6 +29,16 @@ type Context struct {
 	Basis *rns.Basis
 	// Tables[i] transforms residues mod Basis.Primes[i].
 	Tables []*ntt.Tables
+
+	// workers bounds the goroutines row-wise operations may fan out to
+	// (the "full-RNS variants parallelize trivially" observation of
+	// Section 2, applied to every row loop, not just the transforms).
+	// Defaults to GOMAXPROCS; SetWorkers(1) forces serial execution.
+	workers int
+
+	// pool recycles full-basis Poly buffers so evaluator hot paths
+	// (key switching, rescale) allocate nothing per call.
+	pool sync.Pool
 }
 
 // NewContext builds a Context for ring degree n over the given primes,
@@ -40,9 +52,10 @@ func NewContext(n int, primeList []uint64) (*Context, error) {
 		return nil, err
 	}
 	ctx := &Context{
-		N:     n,
-		LogN:  bits.Len(uint(n)) - 1,
-		Basis: basis,
+		N:       n,
+		LogN:    bits.Len(uint(n)) - 1,
+		Basis:   basis,
+		workers: runtime.GOMAXPROCS(0),
 	}
 	ctx.Tables = make([]*ntt.Tables, basis.K())
 	for i, p := range basis.Primes {
@@ -57,6 +70,112 @@ func NewContext(n int, primeList []uint64) (*Context, error) {
 
 // K returns the number of primes in the context's basis.
 func (c *Context) K() int { return c.Basis.K() }
+
+// SetWorkers caps the goroutines row-wise operations fan out to; w <= 1
+// forces serial execution. The setting is not safe to change while
+// operations run concurrently.
+func (c *Context) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.workers = w
+}
+
+// Workers returns the current worker cap.
+func (c *Context) Workers() int { return c.workers }
+
+// parallelThreshold is the minimum total coefficient count (rows*N) at
+// which fanning out to goroutines beats running serially; below it the
+// per-goroutine overhead dominates the row work.
+const parallelThreshold = 1 << 13
+
+// RunRows invokes fn(i) for every row i in [0, rows), fanning out to at
+// most the context's worker cap when the work is large enough to pay for
+// goroutine overhead. fn must only touch data owned by its row. It is
+// exported so higher layers (the CKKS evaluator's key-switch loops) can
+// reuse the same worker policy for their own row-shaped work.
+func (c *Context) RunRows(rows int, fn func(i int)) {
+	c.runRowsWorkers(rows, c.workers, false, fn)
+}
+
+// runRowsWorkers fans rows out to at most workers goroutines. force
+// skips the size threshold — callers with an explicit worker request
+// (NTTParallel, the CPU-threads ablation) get exactly the fan-out they
+// asked for, even on small jobs.
+func (c *Context) runRowsWorkers(rows, workers int, force bool, fn func(i int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || (!force && rows*c.N < parallelThreshold) {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= rows {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GetPoly returns a zeroed rows-row polynomial drawn from the context's
+// buffer pool. Callers that return it with PutPoly when done make the
+// surrounding operation allocation-free; callers that let it escape
+// simply pay one allocation, as with NewPoly.
+func (c *Context) GetPoly(rows int) *Poly {
+	p := c.GetPolyNoZero(rows)
+	for i := 0; i < rows; i++ {
+		clear(p.Coeffs[i])
+	}
+	return p
+}
+
+// GetPolyNoZero is GetPoly without the zeroing pass: the rows hold
+// whatever a previous user left behind. Only for scratch that is fully
+// overwritten before being read (accumulators must use GetPoly).
+func (c *Context) GetPolyNoZero(rows int) *Poly {
+	if rows < 1 || rows > c.K() {
+		panic(fmt.Sprintf("ring: rows %d out of range [1,%d]", rows, c.K()))
+	}
+	v := c.pool.Get()
+	if v == nil {
+		p := c.NewPoly(c.K())
+		p.Coeffs = p.Coeffs[:rows]
+		return p
+	}
+	p := v.(*Poly)
+	p.Coeffs = p.Coeffs[:rows]
+	return p
+}
+
+// PutPoly returns a GetPoly buffer to the pool. The poly must not be
+// used afterwards. Polys that were not drawn from this context's pool
+// (wrong backing shape) are dropped rather than recycled.
+func (c *Context) PutPoly(p *Poly) {
+	if p == nil || cap(p.Coeffs) != c.K() {
+		return
+	}
+	p.Coeffs = p.Coeffs[:cap(p.Coeffs)]
+	for i := range p.Coeffs {
+		if len(p.Coeffs[i]) != c.N {
+			return
+		}
+	}
+	c.pool.Put(p)
+}
 
 // Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo prime i.
 // The number of rows determines the poly's level (rows-1).
@@ -116,67 +235,36 @@ func (p *Poly) Equal(q *Poly) bool {
 	return true
 }
 
-// NTT transforms p in place (all rows) to the evaluation domain.
+// NTT transforms p in place (all rows) to the evaluation domain, fanning
+// rows out across the context's workers.
 func (c *Context) NTT(p *Poly) {
-	for i := range p.Coeffs {
+	c.RunRows(len(p.Coeffs), func(i int) {
 		c.Tables[i].Forward(p.Coeffs[i])
-	}
+	})
 }
 
 // INTT transforms p in place back to the coefficient domain.
 func (c *Context) INTT(p *Poly) {
-	for i := range p.Coeffs {
+	c.RunRows(len(p.Coeffs), func(i int) {
 		c.Tables[i].Inverse(p.Coeffs[i])
-	}
+	})
 }
 
-// NTTParallel is NTT with the independent RNS rows transformed on up to
-// workers goroutines — the "full-RNS variants parallelize trivially"
-// observation of Section 2, realized on a multicore CPU. It is the
-// multithreaded-baseline counterpart to the paper's single-threaded SEAL
-// measurements.
+// NTTParallel is NTT with an explicit worker count, overriding the
+// context-level setting — the multithreaded-baseline knob the CPU-threads
+// ablation bench sweeps. NTT itself already parallelizes; this remains
+// for callers that need a specific fan-out.
 func (c *Context) NTTParallel(p *Poly, workers int) {
-	c.transformParallel(p, workers, false)
+	c.runRowsWorkers(len(p.Coeffs), workers, true, func(i int) {
+		c.Tables[i].Forward(p.Coeffs[i])
+	})
 }
 
 // INTTParallel is the inverse counterpart of NTTParallel.
 func (c *Context) INTTParallel(p *Poly, workers int) {
-	c.transformParallel(p, workers, true)
-}
-
-func (c *Context) transformParallel(p *Poly, workers int, inverse bool) {
-	rows := len(p.Coeffs)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 {
-		if inverse {
-			c.INTT(p)
-		} else {
-			c.NTT(p)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, rows)
-	for i := 0; i < rows; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if inverse {
-					c.Tables[i].Inverse(p.Coeffs[i])
-				} else {
-					c.Tables[i].Forward(p.Coeffs[i])
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	c.runRowsWorkers(len(p.Coeffs), workers, true, func(i int) {
+		c.Tables[i].Inverse(p.Coeffs[i])
+	})
 }
 
 // rowsOf returns the common row count of the operands, panicking on
@@ -194,65 +282,160 @@ func rowsOf(ps ...*Poly) int {
 
 // Add sets out = a + b.
 func (c *Context) Add(a, b, out *Poly) {
-	for i := 0; i < rowsOf(a, b, out); i++ {
+	c.RunRows(rowsOf(a, b, out), func(i int) {
 		p := c.Basis.Primes[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = uintmod.AddMod(ai[j], bi[j], p)
 		}
-	}
+	})
 }
 
 // Sub sets out = a - b.
 func (c *Context) Sub(a, b, out *Poly) {
-	for i := 0; i < rowsOf(a, b, out); i++ {
+	c.RunRows(rowsOf(a, b, out), func(i int) {
 		p := c.Basis.Primes[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = uintmod.SubMod(ai[j], bi[j], p)
 		}
-	}
+	})
 }
 
 // Neg sets out = -a.
 func (c *Context) Neg(a, out *Poly) {
-	for i := 0; i < rowsOf(a, out); i++ {
+	c.RunRows(rowsOf(a, out), func(i int) {
 		p := c.Basis.Primes[i]
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = uintmod.NegMod(ai[j], p)
 		}
-	}
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b (dyadic product; both operands must be in the
 // same domain, normally NTT).
 func (c *Context) MulCoeffs(a, b, out *Poly) {
-	for i := 0; i < rowsOf(a, b, out); i++ {
+	c.RunRows(rowsOf(a, b, out), func(i int) {
 		m := c.Basis.Mods[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = m.MulMod(ai[j], bi[j])
 		}
-	}
+	})
 }
 
 // MulCoeffsAdd sets out += a ⊙ b, the multiply-accumulate at the heart of
 // the key-switching inner loop (Algorithm 7 lines 11-12).
 func (c *Context) MulCoeffsAdd(a, b, out *Poly) {
-	for i := 0; i < rowsOf(a, b, out); i++ {
+	c.RunRows(rowsOf(a, b, out), func(i int) {
 		m := c.Basis.Mods[i]
 		p := c.Basis.Primes[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = uintmod.AddMod(oi[j], m.MulMod(ai[j], bi[j]), p)
 		}
+	})
+}
+
+// RowIFMA reports whether row i's dyadic hot path runs on the AVX-512
+// IFMA kernels; it decides which scale ShoupPoly precomputes at.
+func (c *Context) RowIFMA(i int) bool {
+	return uintmod.IFMAUsable(c.Basis.Primes[i], c.N)
+}
+
+// ShoupPoly precomputes the per-coefficient Shoup constants of b for use
+// as the fixed operand of MulCoeffsLazy/MulAddLazy. b must be fully
+// reduced. The scale (2^52 for IFMA rows, 2^64 otherwise) matches what
+// the dyadic kernels of this context consume — always pair a ShoupPoly
+// with the context that produced it.
+func (c *Context) ShoupPoly(b *Poly) *Poly {
+	out := c.NewPoly(len(b.Coeffs))
+	c.RunRows(len(b.Coeffs), func(i int) {
+		p := c.Basis.Primes[i]
+		bi, oi := b.Coeffs[i], out.Coeffs[i]
+		if c.RowIFMA(i) {
+			for j := range oi {
+				oi[j] = uintmod.ShoupPrecomp52(bi[j], p)
+			}
+		} else {
+			for j := range oi {
+				oi[j] = uintmod.ShoupPrecomp(bi[j], p)
+			}
+		}
+	})
+	return out
+}
+
+// MulCoeffsLazy sets out = a ⊙ b with b's Shoup constants precomputed by
+// ShoupPoly: one fused Shoup multiplication per coefficient instead of a
+// full Barrett reduction. a may hold lazy values in [0, 4p); the output
+// is fully reduced.
+func (c *Context) MulCoeffsLazy(a, b, bShoup, out *Poly) {
+	c.RunRows(rowsOf(a, b, bShoup, out), func(i int) {
+		c.MulCoeffsLazyRow(a.Coeffs[i], b.Coeffs[i], bShoup.Coeffs[i], out.Coeffs[i], i)
+	})
+}
+
+// MulCoeffsLazyRow is MulCoeffsLazy for a single RNS row (basis index i).
+func (c *Context) MulCoeffsLazyRow(a, b, bShoup, out []uint64, i int) {
+	p := c.Basis.Primes[i]
+	if c.RowIFMA(i) {
+		uintmod.VecMulShoup(out, a, b, bShoup, p)
+		return
+	}
+	for j := range out {
+		out[j] = uintmod.MulRed(a[j], b[j], bShoup[j], p)
+	}
+}
+
+// MulAddLazy sets out += a ⊙ b with lazy reduction: the accumulator rows
+// stay in [0, 2p) across any chain length, deferring the final reduction
+// to one ReduceLazy pass. This is the key-switching inner loop
+// (Algorithm 7 lines 11-12) with the per-coefficient Barrett reduction
+// and modular addition both gone.
+func (c *Context) MulAddLazy(a, b, bShoup, out *Poly) {
+	c.RunRows(rowsOf(a, b, bShoup, out), func(i int) {
+		c.MulAddLazyRow(a.Coeffs[i], b.Coeffs[i], bShoup.Coeffs[i], out.Coeffs[i], i)
+	})
+}
+
+// MulAddLazyRow is MulAddLazy for a single RNS row (basis index i).
+func (c *Context) MulAddLazyRow(a, b, bShoup, out []uint64, i int) {
+	p := c.Basis.Primes[i]
+	if c.RowIFMA(i) {
+		uintmod.VecMulShoupAddLazy(out, a, b, bShoup, p)
+		return
+	}
+	twoP := 2 * p
+	for j := range out {
+		out[j] = uintmod.MulAddLazy(out[j], a[j], b[j], bShoup[j], p, twoP)
+	}
+}
+
+// ReduceLazy maps rows with lazy values in [0, 2p) to fully reduced
+// values; a and out may alias.
+func (c *Context) ReduceLazy(a, out *Poly) {
+	c.RunRows(rowsOf(a, out), func(i int) {
+		c.ReduceLazyRow(a.Coeffs[i], out.Coeffs[i], i)
+	})
+}
+
+// ReduceLazyRow is ReduceLazy for a single RNS row (basis index i).
+func (c *Context) ReduceLazyRow(a, out []uint64, i int) {
+	p := c.Basis.Primes[i]
+	for j := range out {
+		x := a[j]
+		if x >= p {
+			x -= p
+		}
+		out[j] = x
 	}
 }
 
 // MulScalar sets out = a * s for a word-sized scalar.
 func (c *Context) MulScalar(a *Poly, s uint64, out *Poly) {
-	for i := 0; i < rowsOf(a, out); i++ {
+	c.RunRows(rowsOf(a, out), func(i int) {
 		m := c.Basis.Mods[i]
 		si := m.Reduce(s)
 		sh := uintmod.ShoupPrecomp(si, m.P)
@@ -260,7 +443,7 @@ func (c *Context) MulScalar(a *Poly, s uint64, out *Poly) {
 		for j := range oi {
 			oi[j] = uintmod.MulRed(ai[j], si, sh, m.P)
 		}
-	}
+	})
 }
 
 // GaloisElement returns the Galois group element used to rotate CKKS slots
@@ -287,7 +470,7 @@ func (c *Context) Automorphism(a *Poly, g uint64, out *Poly) {
 	}
 	n := uint64(c.N)
 	mask := 2*n - 1
-	for i := 0; i < rowsOf(a, out); i++ {
+	c.RunRows(rowsOf(a, out), func(i int) {
 		p := c.Basis.Primes[i]
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := uint64(0); j < n; j++ {
@@ -299,7 +482,7 @@ func (c *Context) Automorphism(a *Poly, g uint64, out *Poly) {
 				oi[e-n] = uintmod.NegMod(v, p)
 			}
 		}
-	}
+	})
 }
 
 // AutomorphismNTTTable precomputes the slot permutation implementing
@@ -323,12 +506,12 @@ func (c *Context) AutomorphismNTT(a *Poly, table []int, out *Poly) {
 	if a == out {
 		panic("ring: AutomorphismNTT cannot run in place")
 	}
-	for i := 0; i < rowsOf(a, out); i++ {
+	c.RunRows(rowsOf(a, out), func(i int) {
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = ai[table[j]]
 		}
-	}
+	})
 }
 
 // FloorDropLast implements RNS flooring (Algorithm 6): given a polynomial
@@ -354,7 +537,22 @@ func (c *Context) FloorDropLast(a *Poly, round bool) *Poly {
 // (p_0..p_level, p_special), which is not a basis prefix below the top
 // level.
 func (c *Context) FloorDropRows(a *Poly, rowPrimes []int, round bool) *Poly {
-	rows := a.Rows()
+	out, _ := c.floorDrop(a, nil, rowPrimes, round, false)
+	return out
+}
+
+// FloorDropRowsPair runs FloorDropRows on the two key-switch accumulators
+// at once, sharing a single worker fan-out and tail pass. When lazy is
+// true the inputs may hold lazily reduced rows in [0, 2p) — they are
+// fully reduced in place on the way through, so the callers' closing
+// reduction pass disappears. The inputs are treated as scratch (mutated
+// when lazy).
+func (c *Context) FloorDropRowsPair(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*Poly, *Poly) {
+	return c.floorDrop(a0, a1, rowPrimes, round, lazy)
+}
+
+func (c *Context) floorDrop(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*Poly, *Poly) {
+	rows := a0.Rows()
 	if rows < 2 {
 		panic("ring: FloorDropRows needs at least two rows")
 	}
@@ -364,42 +562,74 @@ func (c *Context) FloorDropRows(a *Poly, rowPrimes []int, round bool) *Poly {
 	last := rowPrimes[rows-1]
 	pLast := c.Basis.Primes[last]
 	// Line 1: bring the dropped-prime residue to the coefficient domain.
-	tail := append([]uint64(nil), a.Coeffs[rows-1]...)
-	c.Tables[last].Inverse(tail)
-	if round {
-		half := pLast >> 1
-		for j := range tail {
-			tail[j] = uintmod.AddMod(tail[j], half, pLast)
+	prepTail := func(a *Poly, buf *Poly) []uint64 {
+		tail := buf.Coeffs[0]
+		if lazy {
+			c.ReduceLazyRow(a.Coeffs[rows-1], tail, last)
+		} else {
+			copy(tail, a.Coeffs[rows-1])
 		}
+		c.Tables[last].Inverse(tail)
+		if round {
+			half := pLast >> 1
+			for j := range tail {
+				tail[j] = uintmod.AddMod(tail[j], half, pLast)
+			}
+		}
+		return tail
 	}
-	out := c.NewPoly(rows - 1)
-	r := make([]uint64, c.N)
-	for i := 0; i < rows-1; i++ {
-		m := c.Basis.Mods[rowPrimes[i]]
-		p := c.Basis.Primes[rowPrimes[i]]
+	tailBuf0 := c.GetPolyNoZero(1)
+	defer c.PutPoly(tailBuf0)
+	tail0 := prepTail(a0, tailBuf0)
+	var tail1 []uint64
+	var out1 *Poly
+	if a1 != nil {
+		tailBuf1 := c.GetPolyNoZero(1)
+		defer c.PutPoly(tailBuf1)
+		tail1 = prepTail(a1, tailBuf1)
+		out1 = c.NewPoly(rows - 1)
+	}
+	out0 := c.NewPoly(rows - 1)
+	c.RunRows(rows-1, func(i int) {
+		rBuf := c.GetPolyNoZero(1)
+		defer c.PutPoly(rBuf)
+		r := rBuf.Coeffs[0]
+		basisIdx := rowPrimes[i]
+		m := c.Basis.Mods[basisIdx]
+		p := c.Basis.Primes[basisIdx]
 		var halfModPi uint64
 		if round {
 			halfModPi = m.Reduce(pLast >> 1)
 		}
-		// Lines 3-4: r = [a (+⌊p/2⌋)]_{p} reduced mod p_i, then NTT. In
-		// rounding mode, subtract the ⌊p/2⌋ shift again per coefficient
-		// here (in the coefficient domain), so that a_i - r̃ below equals
-		// (a+⌊p/2⌋) - [a+⌊p/2⌋]_p, i.e. the rounded numerator.
-		for j := range r {
-			r[j] = m.Reduce(tail[j])
-			if round {
-				r[j] = uintmod.SubMod(r[j], halfModPi, p)
+		// Lines 5-6: (a_i - r̃) * p^{-1} mod p_i, with the cross-prime
+		// inverse precomputed at basis construction.
+		pinv, pinvShoup := c.Basis.InvCross(last, basisIdx)
+		floorRow := func(a *Poly, tail []uint64, out *Poly) {
+			// Lines 3-4: r = [a (+⌊p/2⌋)]_{p} reduced mod p_i, then NTT.
+			// In rounding mode, subtract the ⌊p/2⌋ shift again per
+			// coefficient here (in the coefficient domain), so that
+			// a_i - r̃ below equals (a+⌊p/2⌋) - [a+⌊p/2⌋]_p, i.e. the
+			// rounded numerator.
+			for j := range r {
+				r[j] = m.Reduce(tail[j])
+				if round {
+					r[j] = uintmod.SubMod(r[j], halfModPi, p)
+				}
+			}
+			c.Tables[basisIdx].Forward(r)
+			ai, oi := a.Coeffs[i], out.Coeffs[i]
+			if lazy {
+				c.ReduceLazyRow(ai, ai, basisIdx)
+			}
+			for j := range oi {
+				v := uintmod.SubMod(ai[j], r[j], p)
+				oi[j] = uintmod.MulRed(v, pinv, pinvShoup, p)
 			}
 		}
-		c.Tables[rowPrimes[i]].Forward(r)
-		// Lines 5-6: (a_i - r̃) * p^{-1} mod p_i.
-		pinv := m.InvMod(m.Reduce(pLast))
-		pinvShoup := uintmod.ShoupPrecomp(pinv, p)
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			v := uintmod.SubMod(ai[j], r[j], p)
-			oi[j] = uintmod.MulRed(v, pinv, pinvShoup, p)
+		floorRow(a0, tail0, out0)
+		if a1 != nil {
+			floorRow(a1, tail1, out1)
 		}
-	}
-	return out
+	})
+	return out0, out1
 }

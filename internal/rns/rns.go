@@ -31,6 +31,14 @@ type Basis struct {
 	// the word-sized inverses for decompose-style operations.
 	punctured []*big.Int // π_i = q / p_i
 	invPunc   []uint64   // [π_i^{-1}]_{p_i}
+
+	// Cross-prime inverses with Shoup precomputation:
+	// invCross[j][i] = [p_j^{-1}]_{p_i} (0 on the diagonal). RNS flooring
+	// (Algorithm 6) multiplies by the inverse of the dropped prime in
+	// every surviving row; precomputing here keeps the per-call Fermat
+	// exponentiation out of the rescale/key-switch hot path.
+	invCross      [][]uint64
+	invCrossShoup [][]uint64
 }
 
 // NewBasis builds a basis from primes, which must be distinct and at most
@@ -64,7 +72,31 @@ func NewBasis(ps []uint64) (*Basis, error) {
 		rem := new(big.Int).Mod(pi, new(big.Int).SetUint64(p)).Uint64()
 		b.invPunc[i] = b.Mods[i].InvMod(rem)
 	}
+	b.invCross = make([][]uint64, len(ps))
+	b.invCrossShoup = make([][]uint64, len(ps))
+	for j := range ps {
+		b.invCross[j] = make([]uint64, len(ps))
+		b.invCrossShoup[j] = make([]uint64, len(ps))
+		for i := range ps {
+			if i == j {
+				continue
+			}
+			inv := b.Mods[i].InvMod(b.Mods[i].Reduce(ps[j]))
+			b.invCross[j][i] = inv
+			b.invCrossShoup[j][i] = uintmod.ShoupPrecomp(inv, ps[i])
+		}
+	}
 	return b, nil
+}
+
+// InvCross returns ([p_j^{-1}]_{p_i}, its w=64 Shoup constant) from the
+// table precomputed at basis construction. It panics if i == j, which is
+// never meaningful (a prime has no inverse modulo itself).
+func (b *Basis) InvCross(j, i int) (inv, shoup uint64) {
+	if i == j {
+		panic("rns: InvCross of a prime with itself")
+	}
+	return b.invCross[j][i], b.invCrossShoup[j][i]
 }
 
 // K returns the number of primes in the basis.

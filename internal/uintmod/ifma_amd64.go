@@ -1,0 +1,50 @@
+//go:build amd64
+
+package uintmod
+
+import "math/bits"
+
+// detectIFMA reports whether the CPU and OS support AVX-512F + AVX-512
+// IFMA with ZMM state enabled (implemented in ifma_amd64.s).
+func detectIFMA() bool
+
+func vecMulShoupIFMA(out, x, y, yShoup *uint64, n int, p uint64)
+func vecMulShoupAddLazyIFMA(out, x, y, yShoup *uint64, n int, p uint64)
+
+// hasIFMA is fixed at startup; the dispatch never changes afterwards, so
+// a Context's choice of Shoup scale (2^52 vs 2^64) is stable.
+var hasIFMA = detectIFMA()
+
+// HasIFMA reports whether the AVX-512 IFMA row kernels are available.
+func HasIFMA() bool { return hasIFMA }
+
+// IFMAUsable reports whether the vector kernels can run for modulus p on
+// rows of n coefficients: the lazy range [0, 4p) must fit a 52-bit lane
+// (p < 2^50 — every Table 2 prime qualifies) and rows must be whole
+// 8-lane vectors.
+func IFMAUsable(p uint64, n int) bool {
+	return hasIFMA && bits.Len64(p) <= 50 && n >= 8 && n%8 == 0
+}
+
+// VecMulShoup sets out[i] = x[i]·y[i] mod p (fully reduced) using the
+// IFMA kernel. Requires IFMAUsable(p, len(out)), yShoup[i] =
+// ShoupPrecomp52(y[i], p), and x[i] < 2^52 (lazy operands up to 4p are
+// fine), y[i] < p.
+func VecMulShoup(out, x, y, yShoup []uint64, p uint64) {
+	n := len(out)
+	_ = x[n-1]
+	_ = y[n-1]
+	_ = yShoup[n-1]
+	vecMulShoupIFMA(&out[0], &x[0], &y[0], &yShoup[0], n, p)
+}
+
+// VecMulShoupAddLazy sets out[i] = fold2p(out[i] + x[i]·y[i]) with the
+// accumulator kept in [0, 2p). Same requirements as VecMulShoup, plus
+// out[i] < 2p on entry.
+func VecMulShoupAddLazy(out, x, y, yShoup []uint64, p uint64) {
+	n := len(out)
+	_ = x[n-1]
+	_ = y[n-1]
+	_ = yShoup[n-1]
+	vecMulShoupAddLazyIFMA(&out[0], &x[0], &y[0], &yShoup[0], n, p)
+}

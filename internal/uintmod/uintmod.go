@@ -85,6 +85,15 @@ func (m Modulus) Reduce(x uint64) uint64 {
 // reduction (Algorithm 1). The input may be any 128-bit value. P must be
 // below 2^62 (true for every modulus in this codebase; see
 // MaxModulusBits64), otherwise the single-word correction step can wrap.
+//
+// Correction bound: with ratio = floor(2^128/p) the computed estimate q
+// satisfies x/p - 2 < q <= x/p, so r = x - q·p lies in [0, 2p) and one
+// conditional subtraction fully reduces it. Concretely, writing
+// 2^128 = ratio·p + s (s < p) and d for the discarded low word of
+// lo·ratio[0] (d < 2^64), the remainder before correction is
+// x - q·p <= x·s/2^128 + d·p/2^128 + p < 2p strictly, for every
+// x < 2^128 and every p within the documented < 2^62 range — the loop
+// the seed carried here never ran more than once.
 func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 	// Following SEAL's barrett_reduce_128: estimate
 	// q = floor(x * ratio / 2^128) and correct once.
@@ -103,7 +112,7 @@ func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 
 	q := hi*m.ratio[1] + t1hi + t2hi
 	r := lo - q*m.P
-	for r >= m.P {
+	if r >= m.P {
 		r -= m.P
 	}
 	return r
@@ -185,8 +194,9 @@ func ShoupPrecomp(y, p uint64) uint64 {
 }
 
 // MulRed is Algorithm 2 with w = 64: x*y mod p where yShoup was produced
-// by ShoupPrecomp(y, p). Requires p < 2^62 and x < p (y < p by
-// construction). The result is fully reduced.
+// by ShoupPrecomp(y, p). Requires p < 2^62 and y < p (by construction);
+// x may be any 64-bit value, including lazy operands in [0, 4p) — see
+// MulRedLazy. The result is fully reduced.
 func MulRed(x, y, yShoup, p uint64) uint64 {
 	t, _ := bits.Mul64(x, yShoup) // upper word of x*y'
 	z := x*y - t*p                // computed mod 2^64
@@ -199,9 +209,74 @@ func MulRed(x, y, yShoup, p uint64) uint64 {
 // MulRedLazy is MulRed without the final conditional subtraction; the
 // result lies in [0, 2p). Useful inside butterflies that tolerate lazy
 // reduction.
+//
+// Unlike MulRed, x need not be reduced: for ANY 64-bit x (in particular
+// lazy operands in [0, 4p)) the identity x·y - floor(x·y'/2^64)·p ≡ x·y
+// (mod p) holds and the result stays below 2p, because the quotient
+// estimate errs by less than 1 + x/2^64 < 2. Only y < p is required.
 func MulRedLazy(x, y, yShoup, p uint64) uint64 {
 	t, _ := bits.Mul64(x, yShoup)
 	return x*y - t*p
+}
+
+// --- lazy-reduction helpers (Harvey butterflies) ----------------------
+//
+// The lazy NTT keeps operands in [0, 4p) through the forward transform
+// and [0, 2p) through the inverse, deferring full reduction to a single
+// final pass. These helpers are the word-level pieces of that invariant;
+// all of them require p < 2^62 so that 4p fits in a 64-bit word.
+
+// LazyReduce2P maps x in [0, 4p) to x mod' 2p in [0, 2p) with one
+// conditional subtraction. twoP must be 2*p.
+func LazyReduce2P(x, twoP uint64) uint64 {
+	if x >= twoP {
+		x -= twoP
+	}
+	return x
+}
+
+// LazyReduce maps x in [0, 4p) to the fully reduced x mod p with two
+// conditional subtractions. twoP must be 2*p.
+func LazyReduce(x, p, twoP uint64) uint64 {
+	if x >= twoP {
+		x -= twoP
+	}
+	if x >= p {
+		x -= p
+	}
+	return x
+}
+
+// AddLazy returns x+y without any reduction: for x, y in [0, 2p) the sum
+// lies in [0, 4p), the forward-butterfly upper bound.
+func AddLazy(x, y uint64) uint64 { return x + y }
+
+// SubLazy returns x-y+2p, mapping x, y in [0, 2p) to a representative of
+// x-y in (0, 4p) without a branch. twoP must be 2*p.
+func SubLazy(x, y, twoP uint64) uint64 { return x + twoP - y }
+
+// MulAddLazy returns acc + x·y mod' 2p for an accumulator acc in [0, 2p)
+// and yShoup = ShoupPrecomp(y, p): the lazily reduced multiply-accumulate
+// at the heart of the key-switching inner loop. The result stays in
+// [0, 2p), so chains of any length never overflow. x may itself be lazy
+// (any 64-bit value); y must be < p.
+func MulAddLazy(acc, x, y, yShoup, p, twoP uint64) uint64 {
+	t, _ := bits.Mul64(x, yShoup)
+	z := acc + x*y - t*p // acc < 2p plus a [0,2p) product: < 4p
+	if z >= twoP {
+		z -= twoP
+	}
+	return z
+}
+
+// ShoupPrecomp52 returns y' = floor(y * 2^52 / p), the Shoup constant at
+// the scale the AVX-512 IFMA kernels multiply at (52-bit lanes). Requires
+// y < p < 2^50. With this scale, t = floor(x·y'/2^52) underestimates
+// floor(x·y/p) by less than 1 + x/2^52 < 2 for any x < 2^52, so
+// x·y - t·p stays in [0, 2p) exactly as with the 2^64-scaled constant.
+func ShoupPrecomp52(y, p uint64) uint64 {
+	q, _ := bits.Div64(y>>12, y<<52, p)
+	return q
 }
 
 // --- w = 54 emulation ------------------------------------------------
@@ -234,6 +309,19 @@ func MulRed54(x, y, yShoup, p uint64) uint64 {
 		z -= p
 	}
 	return z
+}
+
+// MulRedLazy54 is MulRed54 without the final conditional subtraction: the
+// result lies in [0, 2p) and every intermediate stays a 54-bit word. As
+// with MulRedLazy, x need not be reduced — any x < 2^54 works, and since
+// p < 2^52 the whole lazy range [0, 4p) fits the 54-bit datapath word, so
+// a HEAX-style dyadic core can chain lazy operations exactly as the w=64
+// path does.
+func MulRedLazy54(x, y, yShoup, p uint64) uint64 {
+	z := (x * y) & mask54
+	hi, lo := bits.Mul64(x, yShoup)
+	t := hi<<(64-Word54) | lo>>Word54
+	return (z - (t*p)&mask54) & mask54
 }
 
 // Reduce54 performs Barrett reduction (Algorithm 1) on a two-word 54-bit

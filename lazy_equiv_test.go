@@ -1,0 +1,84 @@
+// Lazy-vs-strict equivalence across the paper's parameter sets: the
+// acceptance gate for the lazy-reduction NTT engine. For every Table 2
+// set (w=54-style moduli below 2^52, which also take the AVX-512 IFMA
+// path where the CPU has it) and an additional 62-bit w=64 basis, the
+// production Forward/Inverse must match the strict oracles bit for bit
+// on random inputs, and round-trip composition must be the identity.
+package heax_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"heax/internal/ckks"
+	"heax/internal/ntt"
+	"heax/internal/primes"
+)
+
+func TestLazyTransformsMatchStrict_StandardSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, spec := range ckks.StandardSets {
+		params, err := ckks.NewParams(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row, tb := range params.RingQP.Tables {
+			p := params.RingQP.Basis.Primes[row]
+			a := make([]uint64, params.N)
+			for j := range a {
+				a[j] = rng.Uint64() % p
+			}
+			fwdWant := append([]uint64(nil), a...)
+			tb.ForwardStrict(fwdWant)
+			fwdGot := append([]uint64(nil), a...)
+			tb.Forward(fwdGot)
+			for j := range fwdGot {
+				if fwdGot[j] != fwdWant[j] {
+					t.Fatalf("%s prime %d: lazy NTT diverges from strict at %d", spec.Name, p, j)
+				}
+			}
+			invWant := append([]uint64(nil), fwdWant...)
+			tb.InverseStrict(invWant)
+			invGot := append([]uint64(nil), fwdGot...)
+			tb.Inverse(invGot)
+			for j := range invGot {
+				if invGot[j] != invWant[j] {
+					t.Fatalf("%s prime %d: lazy INTT diverges from strict at %d", spec.Name, p, j)
+				}
+				if invGot[j] != a[j] {
+					t.Fatalf("%s prime %d: INTT(NTT(a)) != a at %d", spec.Name, p, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLazyTransformsMatchStrict_W64(t *testing.T) {
+	// A full-width w=64 modulus (62 bits): beyond both the 54-bit
+	// hardware word and the IFMA lane, so this pins the scalar path.
+	n := 1 << 12
+	ps, err := primes.NTTPrimes(62, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ntt.NewTables(ps[0], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	a := make([]uint64, n)
+	for j := range a {
+		a[j] = rng.Uint64() % ps[0]
+	}
+	want := append([]uint64(nil), a...)
+	tb.ForwardStrict(want)
+	tb.InverseStrict(want)
+	got := append([]uint64(nil), a...)
+	tb.Forward(got)
+	tb.Inverse(got)
+	for j := range got {
+		if got[j] != want[j] || got[j] != a[j] {
+			t.Fatalf("62-bit prime: lazy/strict divergence at %d", j)
+		}
+	}
+}

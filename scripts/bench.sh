@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Snapshot the CPU hot-path benchmarks (Tables 7 and 8, lazy and strict)
+# into a JSON file so the perf trajectory is tracked across PRs.
+#
+#   scripts/bench.sh [out.json]     # default: BENCH_1.json
+#   BENCHTIME=3s scripts/bench.sh   # steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_1.json}
+benchtime=${BENCHTIME:-1s}
+
+go test -run=NONE -bench='Table7_CPU|Table8_CPU' -benchmem -benchtime="$benchtime" . |
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"results\": [\n", date }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	allocs = ""
+	for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+	printf "%s    {\"bench\": \"%s\", \"ns_per_op\": %s", sep, name, $3
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+	sep = ",\n"
+}
+END { printf "\n  ]\n}\n" }
+' >"$out"
+
+echo "wrote $out"
