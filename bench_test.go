@@ -198,6 +198,46 @@ func BenchmarkTable8_CPU_MulRelin(b *testing.B) {
 	}
 }
 
+// Multi-op key-switch *throughput* at GOMAXPROCS: many concurrent
+// key-switch operations share one evaluator and the ring context's
+// persistent worker pool — the serving-shape metric (ops/sec under
+// load) as opposed to the single-op latency above. The evaluator is
+// safe for concurrent use; per-call state is pooled.
+
+func BenchmarkTable8_CPU_KeySwitchThroughput(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			kit := getKit(b, spec)
+			c := randomPoly(kit.params, kit.params.K(), rand.New(rand.NewSource(8)))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					kit.eval.KeySwitchPoly(c, &kit.rlk.SwitchingKey)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkTable8_CPU_MulRelinThroughput(b *testing.B) {
+	for _, spec := range ckks.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			kit := getKit(b, spec)
+			rng := rand.New(rand.NewSource(9))
+			ct1, ct2 := randomCt(kit.params, rng), randomCt(kit.params, rng)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := kit.eval.MulRelin(ct1, ct2, kit.rlk); err != nil {
+						b.Error(err) // Fatal must not be called off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // --- HEAX model columns (Tables 7 and 8) ---------------------------------
 
 func BenchmarkTable7_HEAX_Model(b *testing.B) {

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"heax/internal/ckks"
+)
+
+// SweepWorkerCounts returns the worker counts the scaling sweep visits:
+// 1, 2, 4, ... capped at NumCPU, always including NumCPU itself.
+func SweepWorkerCounts() []int {
+	max := runtime.NumCPU()
+	var counts []int
+	for w := 1; w < max; w <<= 1 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
+}
+
+// WorkerSweepTable measures KeySwitch and MulRelin at every sweep worker
+// count for each Table 2 parameter set — the CPU analogue of the paper's
+// core-count scaling discussion (Section 6.4): how far the 2-D
+// digit×prime tile scheduler converts cores into single-op latency.
+// quick mode shortens the measurement windows.
+func WorkerSweepTable(quick bool) (Table, error) {
+	window := 300 * time.Millisecond
+	if quick {
+		window = 30 * time.Millisecond
+	}
+	tb := Table{
+		Title: "Worker scaling — pipelined key switch (2-D digit×prime tiles)",
+		Note: fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; workers=1 is the sequential oracle path",
+			runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		Header: []string{"set", "workers", "KeySwitch ms", "KS ops/s", "KS speedup", "MulRelin ms", "MR ops/s", "MR speedup"},
+	}
+	for _, spec := range ckks.StandardSets {
+		params, err := ckks.NewParams(spec)
+		if err != nil {
+			return tb, fmt.Errorf("bench: %s: %w", spec.Name, err)
+		}
+		kg := ckks.NewKeyGenerator(params, 1)
+		sk := kg.GenSecretKey()
+		rlk := kg.GenRelinearizationKey(sk)
+		eval := ckks.NewEvaluator(params)
+		ctx := params.RingQP
+		rng := rand.New(rand.NewSource(2))
+		c := randomPoly(ctx, params.K(), rng)
+		ct1 := randomCiphertext(params, rng)
+		ct2 := randomCiphertext(params, rng)
+
+		var baseKS, baseMR float64
+		for _, workers := range SweepWorkerCounts() {
+			ctx.SetWorkers(workers)
+			ks := opsPerSec(window, func() {
+				eval.KeySwitchPoly(c, &rlk.SwitchingKey)
+			})
+			mr := opsPerSec(window, func() {
+				if _, err := eval.MulRelin(ct1, ct2, rlk); err != nil {
+					panic(err)
+				}
+			})
+			if workers == 1 {
+				baseKS, baseMR = ks, mr
+			}
+			tb.Rows = append(tb.Rows, []string{
+				spec.Name,
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%.2f", 1e3/ks),
+				fmt.Sprintf("%.1f", ks),
+				fmt.Sprintf("%.2fx", ks/baseKS),
+				fmt.Sprintf("%.2f", 1e3/mr),
+				fmt.Sprintf("%.1f", mr),
+				fmt.Sprintf("%.2fx", mr/baseMR),
+			})
+		}
+		ctx.Close() // this set's context is done; release its pool workers
+	}
+	return tb, nil
+}

@@ -98,81 +98,40 @@ type HoistedDecomposition struct {
 }
 
 // DecomposeForKeySwitch performs lines 3-10 of Algorithm 7 for every
-// digit of c (NTT form) and caches the results.
+// digit of c (NTT form) and caches the results. The per-digit INTTs and
+// the (digit, targetPrime) conversion tiles run on the same pipelined
+// tile scheduler as KeySwitchPoly (schedule.go): a digit's tiles are
+// dispatched as soon as its INTT completes, with no barrier between
+// digits.
 func (ev *Evaluator) DecomposeForKeySwitch(c *ring.Poly) *HoistedDecomposition {
 	ctx := ev.params.RingQP
-	n := ctx.N
 	level := c.Level()
-	spRow := ev.params.SpecialRow()
 	hd := &HoistedDecomposition{level: level, digits: make([]*ring.Poly, level+1)}
-	aBuf := ctx.GetPolyNoZero(1)
-	defer ctx.PutPoly(aBuf)
-	aCoeff := aBuf.Coeffs[0]
-	var digit *ring.Poly
-	var digitIdx int
-	convertRow := func(jj int) {
-		basisIdx := jj
-		if jj == level+1 {
-			basisIdx = spRow
-		}
-		row := digit.Coeffs[jj]
-		if basisIdx == digitIdx {
-			copy(row, c.Coeffs[digitIdx])
-			return
-		}
-		m := ctx.Basis.Mods[basisIdx]
-		for t := 0; t < n; t++ {
-			row[t] = m.Reduce(aCoeff[t])
-		}
-		ctx.Tables[basisIdx].Forward(row)
-	}
 	for i := 0; i <= level; i++ {
-		copy(aCoeff, c.Coeffs[i])
-		ctx.Tables[i].Inverse(aCoeff)
-		digit = ctx.NewPoly(level + 2) // cached in hd, not pooled
-		digitIdx = i
-		ctx.RunRows(level+2, convertRow)
-		hd.digits[i] = digit
+		hd.digits[i] = ctx.NewPoly(level + 2) // cached in hd, not pooled
 	}
+	ev.decompose(c, hd, level)
 	return hd
 }
 
 // keySwitchHoisted runs the multiply-accumulate and flooring tail of
 // Algorithm 7 over a cached decomposition, optionally permuting each
-// digit with an NTT-domain automorphism table first.
-func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomposition, swk *SwitchingKey, table []int) (*ring.Poly, *ring.Poly) {
+// digit with an NTT-domain automorphism table first. All tiles are
+// independent (the expensive transforms are already cached), so the
+// scheduler dispatches the full 2-D digit×prime grid at once. As with
+// keySwitchAdd, optional add operands are folded into the flooring row
+// pass (the rotation epilogue ks0 + permuted c0).
+func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomposition, swk *SwitchingKey, table []int, add0, add1 *ring.Poly) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingQP
-	n := ctx.N
 	level := hd.level
-	shoup := swk.ensureShoup(ctx)
 	acc0 := ctx.GetPoly(level + 2)
 	acc1 := ctx.GetPoly(level + 2)
 	defer ctx.PutPoly(acc0)
 	defer ctx.PutPoly(acc1)
-	rowIdx := ev.rowIdx[level]
-	var digitIdx int
-	macRow := func(jj int) {
-		basisIdx := rowIdx[jj]
-		src := hd.digits[digitIdx].Coeffs[jj]
-		if table != nil {
-			pBuf := ctx.GetPolyNoZero(1)
-			defer ctx.PutPoly(pBuf)
-			perm := pBuf.Coeffs[0]
-			for t := 0; t < n; t++ {
-				perm[t] = src[table[t]]
-			}
-			src = perm
-		}
-		d0, d1 := swk.Digits[digitIdx][0], swk.Digits[digitIdx][1]
-		s0, s1 := shoup[digitIdx][0], shoup[digitIdx][1]
-		ctx.MulAddLazyRow(src, d0.Coeffs[basisIdx], s0.Coeffs[basisIdx], acc0.Coeffs[jj], basisIdx)
-		ctx.MulAddLazyRow(src, d1.Coeffs[basisIdx], s1.Coeffs[basisIdx], acc1.Coeffs[jj], basisIdx)
-	}
-	for i := 0; i <= level; i++ {
-		digitIdx = i
-		ctx.RunRows(level+2, macRow)
-	}
-	return ctx.FloorDropRowsPair(acc0, acc1, rowIdx, false, true)
+	ev.keySwitchMAC(nil, hd, table, swk.Digits, swk.ensureShoup(ctx), acc0, acc1, level)
+	out0, out1 := ctx.NewPolyPair(level + 1)
+	ctx.FloorDropRowsPairAddInto(acc0, acc1, out0, out1, add0, add1, ev.rowIdx[level], false, true)
+	return out0, out1
 }
 
 // RotateHoisted rotates one ciphertext by many steps, sharing a single
@@ -184,6 +143,8 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int, gks *GaloisKeySe
 	ctx := ev.params.RingQP
 	rows := ct.Level + 1
 	hd := ev.DecomposeForKeySwitch(ct.Polys[1])
+	c0g := ctx.GetPolyNoZero(rows) // permuted c0 scratch, shared across steps
+	defer ctx.PutPoly(c0g)
 	out := make(map[int]*Ciphertext, len(steps))
 	for _, step := range steps {
 		if step == 0 {
@@ -195,11 +156,9 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int, gks *GaloisKeySe
 			return nil, err
 		}
 		table := ctx.AutomorphismNTTTable(key.GaloisElt)
-		ks0, ks1 := ev.keySwitchHoisted(hd, &key.SwitchingKey, table)
-		c0g := ctx.NewPoly(rows)
 		ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
-		ctx.Add(c0g, ks0, c0g)
-		out[step] = &Ciphertext{Polys: []*ring.Poly{c0g, ks1}, Scale: ct.Scale, Level: ct.Level}
+		out0, out1 := ev.keySwitchHoisted(hd, &key.SwitchingKey, table, c0g, nil)
+		out[step] = &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}
 	}
 	return out, nil
 }

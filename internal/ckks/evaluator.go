@@ -3,21 +3,30 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"heax/internal/ring"
 )
 
 // Evaluator implements the server-side homomorphic operations of
 // Section 3 — exactly the set HEAX accelerates. All operands stay in RNS
-// and NTT form throughout, as in SEAL. An Evaluator is not safe for
-// concurrent use; the ring context underneath already spreads each
-// operation across worker goroutines.
+// and NTT form throughout, as in SEAL. An Evaluator is safe for
+// concurrent use: its precomputed state is read-only after construction,
+// per-call state lives in pooled job structs (schedule.go), and all
+// operations share the ring context's persistent worker pool.
 type Evaluator struct {
 	params *Params
 	// rowIdx[level] maps key-switch accumulator rows to basis indices:
 	// (0..level, specialRow). Precomputed so the hot path allocates
 	// nothing for it.
 	rowIdx [][]int
+
+	// jobs pools the key-switch scheduler state (schedule.go).
+	jobs sync.Pool
+	// trace, when non-nil, records scheduler events for the hwsim
+	// pipeline cross-checks.
+	trace atomic.Pointer[scheduleTrace]
 }
 
 // NewEvaluator builds an evaluator for params.
@@ -135,10 +144,7 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	c0 := ctx.NewPoly(rows)
 	c1 := ctx.NewPoly(rows)
 	c2 := ctx.NewPoly(rows)
-	ctx.MulCoeffs(a.Polys[0], b.Polys[0], c0)
-	ctx.MulCoeffs(a.Polys[0], b.Polys[1], c1)
-	ctx.MulCoeffsAdd(a.Polys[1], b.Polys[0], c1)
-	ctx.MulCoeffs(a.Polys[1], b.Polys[1], c2)
+	ctx.MulCoeffsTensor(a.Polys[0], a.Polys[1], b.Polys[0], b.Polys[1], c0, c1, c2)
 	return &Ciphertext{
 		Polys: []*ring.Poly{c0, c1, c2},
 		Scale: a.Scale * b.Scale,
@@ -152,16 +158,18 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 // implements exactly this computation and the hardware-vs-software tests
 // compare against it.
 //
-// This is the hot path of Table 8: the accumulators are lazily reduced
-// (rows stay in [0, 2p) until one closing pass), the per-coefficient
-// Barrett MAC is replaced by fused Shoup multiplies against the key's
-// precomputed constants, all scratch comes from the ring's buffer pool,
-// and the target-modulus loop fans out across the ring's workers.
+// This is the hot path of Table 8, run as a software analogue of the
+// HEAX pipeline (schedule.go): all per-digit INTTs execute concurrently,
+// each (digit, targetPrime) base-convert+MAC tile is dispatched as soon
+// as its digit's INTT completes, and tiles accumulate into lazy [0, 2p)
+// accumulators under per-row locks — no barrier between digits. The MAC
+// itself is a fused dual Shoup multiply against the key's precomputed
+// constants, all scratch comes from the ring's buffer pool, and with a
+// single worker the whole graph degenerates to the sequential oracle
+// loop (bit-identical either way).
 func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingQP
-	n := ctx.N
 	level := c.Level()
-	shoup := swk.ensureShoup(ctx)
 
 	// Accumulators over (q_0..q_level, P); row level+1 is the special
 	// prime. Rows hold lazy [0, 2p) values until the closing reduction.
@@ -170,48 +178,14 @@ func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly,
 	defer ctx.PutPoly(acc0)
 	defer ctx.PutPoly(acc1)
 
-	aBuf := ctx.GetPolyNoZero(1)
-	defer ctx.PutPoly(aBuf)
-	aCoeff := aBuf.Coeffs[0]
-	rowIdx := ev.rowIdx[level]
+	ev.keySwitchMAC(c, nil, nil, swk.Digits, swk.ensureShoup(ctx), acc0, acc1, level)
 
-	// The closure is hoisted out of the digit loop (one allocation, not
-	// k) and reads the current digit through `digit`.
-	var digit int
-	macRow := func(jj int) {
-		basisIdx := rowIdx[jj]
-		// Lines 5-10 and 14-15: convert digit i to modulus j.
-		var bNTT []uint64
-		if basisIdx == digit {
-			bNTT = c.Coeffs[digit]
-		} else {
-			bBuf := ctx.GetPolyNoZero(1)
-			defer ctx.PutPoly(bBuf)
-			bRow := bBuf.Coeffs[0]
-			m := ctx.Basis.Mods[basisIdx]
-			for t := 0; t < n; t++ {
-				bRow[t] = m.Reduce(aCoeff[t])
-			}
-			ctx.Tables[basisIdx].Forward(bRow)
-			bNTT = bRow
-		}
-		// Lines 11-12 and 16-17: multiply-accumulate with the keys.
-		d0, d1 := swk.Digits[digit][0], swk.Digits[digit][1]
-		s0, s1 := shoup[digit][0], shoup[digit][1]
-		ctx.MulAddLazyRow(bNTT, d0.Coeffs[basisIdx], s0.Coeffs[basisIdx], acc0.Coeffs[jj], basisIdx)
-		ctx.MulAddLazyRow(bNTT, d1.Coeffs[basisIdx], s1.Coeffs[basisIdx], acc1.Coeffs[jj], basisIdx)
-	}
-	for i := 0; i <= level; i++ {
-		// Line 3: a ← INTT_{p_i}(c_i).
-		copy(aCoeff, c.Coeffs[i])
-		ctx.Tables[i].Inverse(aCoeff)
-		digit = i
-		ctx.RunRows(level+2, macRow)
-	}
 	// Line 19: modulus switching — divide by the special prime. The pair
 	// variant folds the closing reduction of the lazy accumulators into
-	// its own row pass.
-	return ctx.FloorDropRowsPair(acc0, acc1, rowIdx, false, true)
+	// its own row pass. This is the pipeline's one true barrier, as in
+	// the hardware (the bank-set handoff of Fig. 8).
+	ev.trace.Load().add(ScheduleFloor, -1, -1)
+	return ctx.FloorDropRowsPair(acc0, acc1, ev.rowIdx[level], false, true)
 }
 
 // Relinearize transforms a degree-2 ciphertext back to degree 1 using the
@@ -220,25 +194,63 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rlk *RelinearizationKey) (*Ciph
 	if ct.Degree() != 2 {
 		return nil, fmt.Errorf("ckks: Relinearize requires a degree-2 ciphertext (got %d)", ct.Degree())
 	}
-	ks0, ks1 := ev.KeySwitchPoly(ct.Polys[2], &rlk.SwitchingKey)
+	out0, out1 := ev.keySwitchAdd(ct.Polys[2], &rlk.SwitchingKey, ct.Polys[0], ct.Polys[1])
+	return &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}, nil
+}
+
+// keySwitchAdd runs Algorithm 7 on c and returns (add0 + ks0, add1 + ks1)
+// with the flooring tail (and the final additions) landing directly in
+// the freshly allocated output pair — the shared back end of Relinearize,
+// SwitchKeys, rotation, and the fused MulRelin: no intermediate result
+// polys, no input copies, no separate addition sweep.
+func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *ring.Poly) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingQP
-	out := &Ciphertext{Scale: ct.Scale, Level: ct.Level}
-	c0 := ring.CopyOf(ct.Polys[0])
-	ctx.Add(c0, ks0, c0)
-	c1 := ring.CopyOf(ct.Polys[1])
-	ctx.Add(c1, ks1, c1)
-	out.Polys = []*ring.Poly{c0, c1}
-	return out, nil
+	level := c.Level()
+	acc0 := ctx.GetPoly(level + 2)
+	acc1 := ctx.GetPoly(level + 2)
+	defer ctx.PutPoly(acc0)
+	defer ctx.PutPoly(acc1)
+	ev.keySwitchMAC(c, nil, nil, swk.Digits, swk.ensureShoup(ctx), acc0, acc1, level)
+	out0, out1 := ctx.NewPolyPair(level + 1)
+	ev.trace.Load().add(ScheduleFloor, -1, -1)
+	if add0 != nil && add0.Rows() != level+1 {
+		add0 = add0.Resize(level + 1)
+	}
+	if add1 != nil && add1.Rows() != level+1 {
+		add1 = add1.Resize(level + 1)
+	}
+	ctx.FloorDropRowsPairAddInto(acc0, acc1, out0, out1, add0, add1, ev.rowIdx[level], false, true)
+	return out0, out1
 }
 
 // MulRelin is Mul followed by Relinearize — the paper's "MULT+ReLin"
-// composite operation of Table 8.
+// composite operation of Table 8 — fused end-to-end on pooled scratch:
+// the degree-2 product lives in pool buffers, the key-switch tail writes
+// straight into the output ciphertext's polynomials, and only those two
+// polynomials (plus the ciphertext header) are allocated.
 func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *RelinearizationKey) (*Ciphertext, error) {
-	prod, err := ev.Mul(ct0, ct1)
-	if err != nil {
-		return nil, err
+	if ct0.Degree() != 1 || ct1.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: MulRelin requires degree-1 operands (got %d and %d)",
+			ct0.Degree(), ct1.Degree())
 	}
-	return ev.Relinearize(prod, rlk)
+	a, b := ev.alignLevels(ct0, ct1)
+	ctx := ev.params.RingQP
+	rows := a.Level + 1
+	// Algorithm 5 on pooled scratch (c2 is consumed by the key switch,
+	// c0/c1 are folded into the outputs by keySwitchAdd).
+	c0 := ctx.GetPolyNoZero(rows)
+	c1 := ctx.GetPolyNoZero(rows)
+	c2 := ctx.GetPolyNoZero(rows)
+	defer ctx.PutPoly(c0)
+	defer ctx.PutPoly(c1)
+	defer ctx.PutPoly(c2)
+	ctx.MulCoeffsTensor(a.Polys[0], a.Polys[1], b.Polys[0], b.Polys[1], c0, c1, c2)
+	out0, out1 := ev.keySwitchAdd(c2, &rlk.SwitchingKey, c0, c1)
+	return &Ciphertext{
+		Polys: []*ring.Poly{out0, out1},
+		Scale: a.Scale * b.Scale,
+		Level: a.Level,
+	}, nil
 }
 
 // SwitchKeys re-encrypts a degree-1 ciphertext under a different secret
@@ -248,15 +260,14 @@ func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) (*Ciphertext,
 	if ct.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: SwitchKeys requires a degree-1 ciphertext (got %d)", ct.Degree())
 	}
-	ks0, ks1 := ev.KeySwitchPoly(ct.Polys[1], swk)
-	ctx := ev.params.RingQP
-	c0 := ring.CopyOf(ct.Polys[0])
-	ctx.Add(c0, ks0, c0)
-	return &Ciphertext{Polys: []*ring.Poly{c0, ks1}, Scale: ct.Scale, Level: ct.Level}, nil
+	c0, c1 := ev.keySwitchAdd(ct.Polys[1], swk, ct.Polys[0], nil)
+	return &Ciphertext{Polys: []*ring.Poly{c0, c1}, Scale: ct.Scale, Level: ct.Level}, nil
 }
 
 // Rescale divides the ciphertext by its current last prime and drops one
-// level (CKKS.Rescale, built on Algorithm 6 with rounding).
+// level (CKKS.Rescale, built on Algorithm 6 with rounding). Components
+// are floored in pairs so each pair shares one worker fan-out and one
+// batched tail INTT.
 func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level == 0 {
 		return nil, fmt.Errorf("ckks: cannot rescale below level 0")
@@ -264,8 +275,12 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	ctx := ev.params.RingQP
 	pLast := ev.params.Q[ct.Level]
 	out := &Ciphertext{Scale: ct.Scale / float64(pLast), Level: ct.Level - 1}
-	for _, p := range ct.Polys {
-		out.Polys = append(out.Polys, ctx.FloorDropLast(p, true))
+	out.Polys = make([]*ring.Poly, len(ct.Polys))
+	for i := 0; i+1 < len(ct.Polys); i += 2 {
+		out.Polys[i], out.Polys[i+1] = ctx.FloorDropLastPair(ct.Polys[i], ct.Polys[i+1], true)
+	}
+	if len(ct.Polys)%2 == 1 {
+		out.Polys[len(ct.Polys)-1] = ctx.FloorDropLast(ct.Polys[len(ct.Polys)-1], true)
 	}
 	return out, nil
 }
@@ -304,15 +319,17 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, e
 	ctx := ev.params.RingQP
 	rows := ct.Level + 1
 	table := ctx.AutomorphismNTTTable(key.GaloisElt)
-	c0g := ctx.NewPoly(rows)
-	c1g := ctx.GetPolyNoZero(rows) // scratch: dies once key switching is done
+	// Both permuted components are scratch: c0g folds into the output via
+	// keySwitchAdd, c1g is consumed by the key switch.
+	c0g := ctx.GetPolyNoZero(rows)
+	c1g := ctx.GetPolyNoZero(rows)
+	defer ctx.PutPoly(c0g)
 	defer ctx.PutPoly(c1g)
 	ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
 	ctx.AutomorphismNTT(ct.Polys[1], table, c1g)
 
-	ks0, ks1 := ev.KeySwitchPoly(c1g, &key.SwitchingKey)
-	ctx.Add(c0g, ks0, c0g)
-	return &Ciphertext{Polys: []*ring.Poly{c0g, ks1}, Scale: ct.Scale, Level: ct.Level}, nil
+	out0, out1 := ev.keySwitchAdd(c1g, &key.SwitchingKey, c0g, nil)
+	return &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}, nil
 }
 
 // DropLevel truncates a ciphertext to the given level without scaling

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"heax/internal/ring"
 	"heax/internal/uintmod"
@@ -30,20 +31,26 @@ type SwitchingKey struct {
 	// the keys are the fixed operands of the key-switch inner loop, so
 	// precomputing once turns every MAC into a fused lazy Shoup multiply.
 	// Keys from KeyGenerator or the deserializer arrive with this
-	// populated; hand-built keys get it on first use (not safe for
-	// concurrent first use).
-	shoup [][2]*ring.Poly
+	// populated; hand-built keys get it on first use, guarded by
+	// shoupOnce so one switching key may serve concurrent evaluator
+	// calls.
+	shoup     [][2]*ring.Poly
+	shoupOnce sync.Once
 }
 
 // ensureShoup returns the digit Shoup tables, building them if absent.
+// Safe for concurrent first use.
 func (swk *SwitchingKey) ensureShoup(ctx *ring.Context) [][2]*ring.Poly {
-	if swk.shoup == nil {
+	swk.shoupOnce.Do(func() {
+		if swk.shoup != nil {
+			return
+		}
 		shoup := make([][2]*ring.Poly, len(swk.Digits))
 		for i, d := range swk.Digits {
 			shoup[i] = [2]*ring.Poly{ctx.ShoupPoly(d[0]), ctx.ShoupPoly(d[1])}
 		}
 		swk.shoup = shoup
-	}
+	})
 	return swk.shoup
 }
 
@@ -103,12 +110,13 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 // genSwitchingKey implements KskGen(s', s): for each digit i,
 // (d_{i,0}, d_{i,1}) = (-a_i·s + e_i + g_i·s', a_i) over QP. Because
 // g_i ≡ P (mod p_i) and ≡ 0 elsewhere, adding g_i·s' touches only RNS row
-// i, where it adds [P]_{p_i}·s'.
-func (kg *KeyGenerator) genSwitchingKey(sPrime, s *ring.Poly) SwitchingKey {
+// i, where it adds [P]_{p_i}·s'. The key is filled in place (it carries
+// a sync.Once and must not be copied).
+func (kg *KeyGenerator) genSwitchingKey(sPrime, s *ring.Poly, swk *SwitchingKey) {
 	ctx := kg.params.RingQP
 	rows := kg.params.QPRows()
 	k := kg.params.K()
-	swk := SwitchingKey{Digits: make([][2]*ring.Poly, k)}
+	swk.Digits = make([][2]*ring.Poly, k)
 	for i := 0; i < k; i++ {
 		a := kg.sampler.Uniform(rows)
 		e := kg.sampler.Error(rows)
@@ -128,7 +136,6 @@ func (kg *KeyGenerator) genSwitchingKey(sPrime, s *ring.Poly) SwitchingKey {
 		swk.Digits[i] = [2]*ring.Poly{d0, a}
 	}
 	swk.ensureShoup(ctx)
-	return swk
 }
 
 // GenSwitchingKey returns the key that re-encrypts ciphertexts under
@@ -136,8 +143,9 @@ func (kg *KeyGenerator) genSwitchingKey(sPrime, s *ring.Poly) SwitchingKey {
 // primitive behind relinearization, rotation, and key rotation/re-keying
 // in a multi-tenant cloud).
 func (kg *KeyGenerator) GenSwitchingKey(skFrom, skTo *SecretKey) *SwitchingKey {
-	swk := kg.genSwitchingKey(skFrom.Value, skTo.Value)
-	return &swk
+	swk := &SwitchingKey{}
+	kg.genSwitchingKey(skFrom.Value, skTo.Value, swk)
+	return swk
 }
 
 // GenRelinearizationKey returns rlk = KskGen(s², s).
@@ -145,7 +153,9 @@ func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey
 	ctx := kg.params.RingQP
 	s2 := ctx.NewPoly(kg.params.QPRows())
 	ctx.MulCoeffs(sk.Value, sk.Value, s2)
-	return &RelinearizationKey{SwitchingKey: kg.genSwitchingKey(s2, sk.Value)}
+	rlk := &RelinearizationKey{}
+	kg.genSwitchingKey(s2, sk.Value, &rlk.SwitchingKey)
+	return rlk
 }
 
 // GenGaloisKey returns the key switching s(X^g) → s for the Galois
@@ -164,10 +174,9 @@ func (kg *KeyGenerator) genGaloisKeyForElt(sk *SecretKey, g uint64) *GaloisKey {
 	ctx := kg.params.RingQP
 	sG := ctx.NewPoly(kg.params.QPRows())
 	ctx.AutomorphismNTT(sk.Value, ctx.AutomorphismNTTTable(g), sG)
-	return &GaloisKey{
-		SwitchingKey: kg.genSwitchingKey(sG, sk.Value),
-		GaloisElt:    g,
-	}
+	gk := &GaloisKey{GaloisElt: g}
+	kg.genSwitchingKey(sG, sk.Value, &gk.SwitchingKey)
+	return gk
 }
 
 // GenGaloisKeySet generates rotation keys for the given steps and,

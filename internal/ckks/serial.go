@@ -311,30 +311,32 @@ func writeSwitchingKey(w io.Writer, swk *SwitchingKey) error {
 	return nil
 }
 
-func readSwitchingKey(r io.Reader, params *Params) (SwitchingKey, error) {
+// readSwitchingKey fills swk in place (the key carries a sync.Once and
+// must not be copied).
+func readSwitchingKey(r io.Reader, params *Params, swk *SwitchingKey) error {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return SwitchingKey{}, err
+		return err
 	}
 	if int(n) != params.K() {
-		return SwitchingKey{}, fmt.Errorf("ckks: key has %d digits, params need %d", n, params.K())
+		return fmt.Errorf("ckks: key has %d digits, params need %d", n, params.K())
 	}
-	swk := SwitchingKey{Digits: make([][2]*ring.Poly, n)}
+	swk.Digits = make([][2]*ring.Poly, n)
 	for i := range swk.Digits {
 		d0, err := readPoly(r, params.RingQP)
 		if err != nil {
-			return SwitchingKey{}, err
+			return err
 		}
 		d1, err := readPoly(r, params.RingQP)
 		if err != nil {
-			return SwitchingKey{}, err
+			return err
 		}
 		swk.Digits[i] = [2]*ring.Poly{d0, d1}
 	}
 	// Rebuild the digit Shoup tables eagerly so deserialized keys are as
 	// hot-path-ready (and as concurrency-safe) as freshly generated ones.
 	swk.ensureShoup(params.RingQP)
-	return swk, nil
+	return nil
 }
 
 // WriteRelinearizationKey / ReadRelinearizationKey serialize rlk.
@@ -354,11 +356,11 @@ func ReadRelinearizationKey(r io.Reader, params *Params) (*RelinearizationKey, e
 	if err := readHeader(br, kindSwitchingKey); err != nil {
 		return nil, err
 	}
-	swk, err := readSwitchingKey(br, params)
-	if err != nil {
+	rlk := &RelinearizationKey{}
+	if err := readSwitchingKey(br, params, &rlk.SwitchingKey); err != nil {
 		return nil, err
 	}
-	return &RelinearizationKey{SwitchingKey: swk}, nil
+	return rlk, nil
 }
 
 // WriteGaloisKey / ReadGaloisKey serialize one rotation key.
@@ -388,9 +390,9 @@ func ReadGaloisKey(r io.Reader, params *Params) (*GaloisKey, error) {
 	if elt&1 == 0 || elt >= uint64(2*params.N) {
 		return nil, fmt.Errorf("ckks: invalid Galois element %d", elt)
 	}
-	swk, err := readSwitchingKey(br, params)
-	if err != nil {
+	gk := &GaloisKey{GaloisElt: elt}
+	if err := readSwitchingKey(br, params, &gk.SwitchingKey); err != nil {
 		return nil, err
 	}
-	return &GaloisKey{SwitchingKey: swk, GaloisElt: elt}, nil
+	return gk, nil
 }

@@ -1,0 +1,120 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"heax/internal/primes"
+)
+
+func batchTables(t *testing.T, bitsize, n int) *Tables {
+	t.Helper()
+	ps, err := primes.NTTPrimes(bitsize, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTables(ps[0], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// The batched stage-major transforms must be bit-identical to the
+// per-row hot path (and hence to the strict oracle) for any batch size.
+func TestBatchMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{16, 64, 1024, 4096} {
+		for _, bitsize := range []int{30, 49, 59} {
+			tb := batchTables(t, bitsize, n)
+			p := tb.Mod.P
+			for _, batch := range []int{1, 2, 3, 5} {
+				rows := make([][]uint64, batch)
+				want := make([][]uint64, batch)
+				for r := range rows {
+					rows[r] = make([]uint64, n)
+					want[r] = make([]uint64, n)
+					for j := range rows[r] {
+						rows[r][j] = rng.Uint64() % p
+					}
+					copy(want[r], rows[r])
+				}
+
+				tb.ForwardBatch(rows...)
+				for r := range want {
+					tb.Forward(want[r])
+				}
+				for r := range rows {
+					for j := range rows[r] {
+						if rows[r][j] != want[r][j] {
+							t.Fatalf("n=%d bits=%d batch=%d: forward row %d coeff %d: %d != %d",
+								n, bitsize, batch, r, j, rows[r][j], want[r][j])
+						}
+					}
+				}
+
+				tb.InverseBatch(rows...)
+				for r := range want {
+					tb.Inverse(want[r])
+				}
+				for r := range rows {
+					for j := range rows[r] {
+						if rows[r][j] != want[r][j] {
+							t.Fatalf("n=%d bits=%d batch=%d: inverse row %d coeff %d: %d != %d",
+								n, bitsize, batch, r, j, rows[r][j], want[r][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A batched round trip must return the inputs (NTT then INTT is the
+// identity).
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := batchTables(t, 49, 2048)
+	p := tb.Mod.P
+	rows := make([][]uint64, 4)
+	orig := make([][]uint64, 4)
+	for r := range rows {
+		rows[r] = make([]uint64, tb.N)
+		orig[r] = make([]uint64, tb.N)
+		for j := range rows[r] {
+			rows[r][j] = rng.Uint64() % p
+		}
+		copy(orig[r], rows[r])
+	}
+	tb.ForwardBatch(rows...)
+	tb.InverseBatch(rows...)
+	for r := range rows {
+		for j := range rows[r] {
+			if rows[r][j] != orig[r][j] {
+				t.Fatalf("round trip row %d coeff %d: %d != %d", r, j, rows[r][j], orig[r][j])
+			}
+		}
+	}
+}
+
+func BenchmarkForwardBatch2(b *testing.B) {
+	ps, err := primes.NTTPrimes(49, 8192, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := NewTables(ps[0], 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r0 := make([]uint64, tb.N)
+	r1 := make([]uint64, tb.N)
+	for j := range r0 {
+		r0[j] = rng.Uint64() % tb.Mod.P
+		r1[j] = rng.Uint64() % tb.Mod.P
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.ForwardBatch(r0, r1)
+	}
+}

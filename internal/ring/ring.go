@@ -15,7 +15,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"heax/internal/ntt"
 	"heax/internal/rns"
@@ -35,6 +34,11 @@ type Context struct {
 	// Section 2, applied to every row loop, not just the transforms).
 	// Defaults to GOMAXPROCS; SetWorkers(1) forces serial execution.
 	workers int
+
+	// sched is the persistent worker pool behind RunRows and the task
+	// groups of sched.go; workers are started lazily and live for the
+	// context's lifetime.
+	sched *scheduler
 
 	// pool recycles full-basis Poly buffers so evaluator hot paths
 	// (key switching, rescale) allocate nothing per call.
@@ -56,6 +60,7 @@ func NewContext(n int, primeList []uint64) (*Context, error) {
 		LogN:    bits.Len(uint(n)) - 1,
 		Basis:   basis,
 		workers: runtime.GOMAXPROCS(0),
+		sched:   newScheduler(),
 	}
 	ctx.Tables = make([]*ntt.Tables, basis.K())
 	for i, p := range basis.Primes {
@@ -85,51 +90,9 @@ func (c *Context) SetWorkers(w int) {
 func (c *Context) Workers() int { return c.workers }
 
 // parallelThreshold is the minimum total coefficient count (rows*N) at
-// which fanning out to goroutines beats running serially; below it the
-// per-goroutine overhead dominates the row work.
+// which fanning out to the worker pool beats running serially; below it
+// the scheduling overhead dominates the row work.
 const parallelThreshold = 1 << 13
-
-// RunRows invokes fn(i) for every row i in [0, rows), fanning out to at
-// most the context's worker cap when the work is large enough to pay for
-// goroutine overhead. fn must only touch data owned by its row. It is
-// exported so higher layers (the CKKS evaluator's key-switch loops) can
-// reuse the same worker policy for their own row-shaped work.
-func (c *Context) RunRows(rows int, fn func(i int)) {
-	c.runRowsWorkers(rows, c.workers, false, fn)
-}
-
-// runRowsWorkers fans rows out to at most workers goroutines. force
-// skips the size threshold — callers with an explicit worker request
-// (NTTParallel, the CPU-threads ablation) get exactly the fan-out they
-// asked for, even on small jobs.
-func (c *Context) runRowsWorkers(rows, workers int, force bool, fn func(i int)) {
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 || (!force && rows*c.N < parallelThreshold) {
-		for i := 0; i < rows; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= rows {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
 
 // GetPoly returns a zeroed rows-row polynomial drawn from the context's
 // buffer pool. Callers that return it with PutPoly when done make the
@@ -196,17 +159,45 @@ func (c *Context) NewPoly(rows int) *Poly {
 	return p
 }
 
+// NewPolyPair allocates two zero polynomials sharing one backing array —
+// result pairs (the two components of a ciphertext) in five allocations
+// instead of six.
+func (c *Context) NewPolyPair(rows int) (*Poly, *Poly) {
+	if rows < 1 || rows > c.K() {
+		panic(fmt.Sprintf("ring: rows %d out of range [1,%d]", rows, c.K()))
+	}
+	backing := make([]uint64, 2*rows*c.N)
+	mk := func() *Poly {
+		p := &Poly{Coeffs: make([][]uint64, rows)}
+		for i := range p.Coeffs {
+			p.Coeffs[i], backing = backing[:c.N:c.N], backing[c.N:]
+		}
+		return p
+	}
+	return mk(), mk()
+}
+
 // Rows returns the number of RNS components.
 func (p *Poly) Rows() int { return len(p.Coeffs) }
 
 // Level returns Rows()-1, the CKKS level of the polynomial.
 func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
 
-// CopyOf returns a deep copy of p.
+// CopyOf returns a deep copy of p, allocated as one contiguous backing
+// array (three allocations total, independent of the row count).
 func CopyOf(p *Poly) *Poly {
-	q := &Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	rows := len(p.Coeffs)
+	n := 0
+	for _, r := range p.Coeffs {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	backing := make([]uint64, rows*n)
+	q := &Poly{Coeffs: make([][]uint64, rows)}
 	for i := range p.Coeffs {
-		q.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+		q.Coeffs[i], backing = backing[:n:n], backing[n:]
+		copy(q.Coeffs[i], p.Coeffs[i])
 	}
 	return q
 }
@@ -338,6 +329,26 @@ func (c *Context) MulCoeffsAdd(a, b, out *Poly) {
 	})
 }
 
+// MulCoeffsTensor computes the degree-2 tensor product of two degree-1
+// ciphertexts (Algorithm 5) in a single row pass: c0 = a0 ⊙ b0,
+// c1 = a0 ⊙ b1 + a1 ⊙ b0, c2 = a1 ⊙ b1. One fan-out and one sweep over
+// the four operands instead of four.
+func (c *Context) MulCoeffsTensor(a0, a1, b0, b1, c0, c1, c2 *Poly) {
+	c.RunRows(rowsOf(a0, a1, b0, b1, c0, c1, c2), func(i int) {
+		m := c.Basis.Mods[i]
+		p := c.Basis.Primes[i]
+		x0, x1 := a0.Coeffs[i], a1.Coeffs[i]
+		y0, y1 := b0.Coeffs[i], b1.Coeffs[i]
+		o0, o1, o2 := c0.Coeffs[i], c1.Coeffs[i], c2.Coeffs[i]
+		for j := range o0 {
+			u0, u1, v0, v1 := x0[j], x1[j], y0[j], y1[j]
+			o0[j] = m.MulMod(u0, v0)
+			o1[j] = uintmod.AddMod(m.MulMod(u0, v1), m.MulMod(u1, v0), p)
+			o2[j] = m.MulMod(u1, v1)
+		}
+	})
+}
+
 // RowIFMA reports whether row i's dyadic hot path runs on the AVX-512
 // IFMA kernels; it decides which scale ShoupPoly precomputes at.
 func (c *Context) RowIFMA(i int) bool {
@@ -410,6 +421,25 @@ func (c *Context) MulAddLazyRow(a, b, bShoup, out []uint64, i int) {
 	twoP := 2 * p
 	for j := range out {
 		out[j] = uintmod.MulAddLazy(out[j], a[j], b[j], bShoup[j], p, twoP)
+	}
+}
+
+// MulAddLazyRow2 fuses the two key-switch MACs of one (digit, prime)
+// tile: out0 += a ⊙ b0 and out1 += a ⊙ b1 in a single pass, loading the
+// shared operand a once. On IFMA rows it falls back to the two vector
+// kernels (which already stream at full width).
+func (c *Context) MulAddLazyRow2(a, b0, b0Shoup, out0, b1, b1Shoup, out1 []uint64, i int) {
+	p := c.Basis.Primes[i]
+	if c.RowIFMA(i) {
+		uintmod.VecMulShoupAddLazy(out0, a, b0, b0Shoup, p)
+		uintmod.VecMulShoupAddLazy(out1, a, b1, b1Shoup, p)
+		return
+	}
+	twoP := 2 * p
+	for j := range a {
+		aj := a[j]
+		out0[j] = uintmod.MulAddLazy(out0[j], aj, b0[j], b0Shoup[j], p, twoP)
+		out1[j] = uintmod.MulAddLazy(out1[j], aj, b1[j], b1Shoup[j], p, twoP)
 	}
 }
 
@@ -537,8 +567,22 @@ func (c *Context) FloorDropLast(a *Poly, round bool) *Poly {
 // (p_0..p_level, p_special), which is not a basis prefix below the top
 // level.
 func (c *Context) FloorDropRows(a *Poly, rowPrimes []int, round bool) *Poly {
-	out, _ := c.floorDrop(a, nil, rowPrimes, round, false)
+	out := c.NewPoly(a.Rows() - 1)
+	c.floorDrop(a, nil, out, nil, nil, nil, rowPrimes, round, false)
 	return out
+}
+
+// FloorDropLastPair is FloorDropLast on two polynomials at once (the
+// two components of a ciphertext being rescaled), sharing one worker
+// fan-out and one batched tail INTT.
+func (c *Context) FloorDropLastPair(a0, a1 *Poly, round bool) (*Poly, *Poly) {
+	idx := make([]int, a0.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	out0, out1 := c.NewPolyPair(a0.Rows() - 1)
+	c.floorDrop(a0, a1, out0, out1, nil, nil, idx, round, false)
+	return out0, out1
 }
 
 // FloorDropRowsPair runs FloorDropRows on the two key-switch accumulators
@@ -548,10 +592,23 @@ func (c *Context) FloorDropRows(a *Poly, rowPrimes []int, round bool) *Poly {
 // reduction pass disappears. The inputs are treated as scratch (mutated
 // when lazy).
 func (c *Context) FloorDropRowsPair(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*Poly, *Poly) {
-	return c.floorDrop(a0, a1, rowPrimes, round, lazy)
+	out0, out1 := c.NewPolyPair(a0.Rows() - 1)
+	c.floorDrop(a0, a1, out0, out1, nil, nil, rowPrimes, round, lazy)
+	return out0, out1
 }
 
-func (c *Context) floorDrop(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*Poly, *Poly) {
+// FloorDropRowsPairAddInto is FloorDropRowsPair writing into the
+// caller-provided output pair, with an optional final addition folded
+// into the flooring row pass: out0 = floor(a0) + add0, out1 = floor(a1)
+// + add1 (add operands over the output rows, NTT form; either may be
+// nil). This is the CKKS key-switch epilogue (ks0 + c0, ks1 + c1)
+// landing directly in the result ciphertext without intermediate polys
+// or a separate addition sweep.
+func (c *Context) FloorDropRowsPairAddInto(a0, a1, out0, out1, add0, add1 *Poly, rowPrimes []int, round, lazy bool) {
+	c.floorDrop(a0, a1, out0, out1, add0, add1, rowPrimes, round, lazy)
+}
+
+func (c *Context) floorDrop(a0, a1, out0, out1, add0, add1 *Poly, rowPrimes []int, round, lazy bool) {
 	rows := a0.Rows()
 	if rows < 2 {
 		panic("ring: FloorDropRows needs at least two rows")
@@ -559,41 +616,45 @@ func (c *Context) floorDrop(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*P
 	if len(rowPrimes) != rows {
 		panic("ring: rowPrimes length mismatch")
 	}
+	if out0.Rows() != rows-1 || (a1 != nil && out1.Rows() != rows-1) {
+		panic("ring: floorDrop output row mismatch")
+	}
 	last := rowPrimes[rows-1]
 	pLast := c.Basis.Primes[last]
-	// Line 1: bring the dropped-prime residue to the coefficient domain.
-	prepTail := func(a *Poly, buf *Poly) []uint64 {
-		tail := buf.Coeffs[0]
+	// Line 1: bring the dropped-prime residues to the coefficient domain.
+	// Both accumulators' tails go through one batched INTT so the special
+	// prime's twiddles are loaded once.
+	tailBuf := c.GetPolyNoZero(2)
+	defer c.PutPoly(tailBuf)
+	prepTail := func(a *Poly, tail []uint64) {
 		if lazy {
 			c.ReduceLazyRow(a.Coeffs[rows-1], tail, last)
 		} else {
 			copy(tail, a.Coeffs[rows-1])
 		}
-		c.Tables[last].Inverse(tail)
-		if round {
-			half := pLast >> 1
-			for j := range tail {
-				tail[j] = uintmod.AddMod(tail[j], half, pLast)
-			}
-		}
-		return tail
 	}
-	tailBuf0 := c.GetPolyNoZero(1)
-	defer c.PutPoly(tailBuf0)
-	tail0 := prepTail(a0, tailBuf0)
+	tail0 := tailBuf.Coeffs[0]
+	prepTail(a0, tail0)
 	var tail1 []uint64
-	var out1 *Poly
 	if a1 != nil {
-		tailBuf1 := c.GetPolyNoZero(1)
-		defer c.PutPoly(tailBuf1)
-		tail1 = prepTail(a1, tailBuf1)
-		out1 = c.NewPoly(rows - 1)
+		tail1 = tailBuf.Coeffs[1]
+		prepTail(a1, tail1)
+		c.Tables[last].InverseBatch(tail0, tail1)
+	} else {
+		c.Tables[last].Inverse(tail0)
 	}
-	out0 := c.NewPoly(rows - 1)
+	if round {
+		half := pLast >> 1
+		for j := range tail0 {
+			tail0[j] = uintmod.AddMod(tail0[j], half, pLast)
+		}
+		for j := range tail1 {
+			tail1[j] = uintmod.AddMod(tail1[j], half, pLast)
+		}
+	}
 	c.RunRows(rows-1, func(i int) {
-		rBuf := c.GetPolyNoZero(1)
+		rBuf := c.GetPolyNoZero(2)
 		defer c.PutPoly(rBuf)
-		r := rBuf.Coeffs[0]
 		basisIdx := rowPrimes[i]
 		m := c.Basis.Mods[basisIdx]
 		p := c.Basis.Primes[basisIdx]
@@ -604,32 +665,50 @@ func (c *Context) floorDrop(a0, a1 *Poly, rowPrimes []int, round, lazy bool) (*P
 		// Lines 5-6: (a_i - r̃) * p^{-1} mod p_i, with the cross-prime
 		// inverse precomputed at basis construction.
 		pinv, pinvShoup := c.Basis.InvCross(last, basisIdx)
-		floorRow := func(a *Poly, tail []uint64, out *Poly) {
-			// Lines 3-4: r = [a (+⌊p/2⌋)]_{p} reduced mod p_i, then NTT.
-			// In rounding mode, subtract the ⌊p/2⌋ shift again per
-			// coefficient here (in the coefficient domain), so that
-			// a_i - r̃ below equals (a+⌊p/2⌋) - [a+⌊p/2⌋]_p, i.e. the
-			// rounded numerator.
+		// Lines 3-4: r = [a (+⌊p/2⌋)]_{p} reduced mod p_i, then NTT.
+		// In rounding mode, subtract the ⌊p/2⌋ shift again per
+		// coefficient here (in the coefficient domain), so that
+		// a_i - r̃ below equals (a+⌊p/2⌋) - [a+⌊p/2⌋]_p, i.e. the
+		// rounded numerator.
+		reduceRow := func(r, tail []uint64) {
 			for j := range r {
 				r[j] = m.Reduce(tail[j])
 				if round {
 					r[j] = uintmod.SubMod(r[j], halfModPi, p)
 				}
 			}
-			c.Tables[basisIdx].Forward(r)
+		}
+		r0 := rBuf.Coeffs[0]
+		reduceRow(r0, tail0)
+		var r1 []uint64
+		if a1 != nil {
+			r1 = rBuf.Coeffs[1]
+			reduceRow(r1, tail1)
+			c.Tables[basisIdx].ForwardBatch(r0, r1)
+		} else {
+			c.Tables[basisIdx].Forward(r0)
+		}
+		floorRow := func(a *Poly, r []uint64, out, add *Poly) {
 			ai, oi := a.Coeffs[i], out.Coeffs[i]
 			if lazy {
 				c.ReduceLazyRow(ai, ai, basisIdx)
+			}
+			if add != nil {
+				di := add.Coeffs[i]
+				for j := range oi {
+					v := uintmod.SubMod(ai[j], r[j], p)
+					oi[j] = uintmod.AddMod(uintmod.MulRed(v, pinv, pinvShoup, p), di[j], p)
+				}
+				return
 			}
 			for j := range oi {
 				v := uintmod.SubMod(ai[j], r[j], p)
 				oi[j] = uintmod.MulRed(v, pinv, pinvShoup, p)
 			}
 		}
-		floorRow(a0, tail0, out0)
+		floorRow(a0, r0, out0, add0)
 		if a1 != nil {
-			floorRow(a1, tail1, out1)
+			floorRow(a1, r1, out1, add1)
 		}
 	})
-	return out0, out1
 }

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Snapshot the CPU hot-path benchmarks (Tables 7 and 8, lazy and strict)
-# into a JSON file so the perf trajectory is tracked across PRs.
+# Snapshot the CPU hot-path benchmarks (Tables 7 and 8, lazy and strict,
+# single-op latency plus the multi-op key-switch throughput benches at
+# GOMAXPROCS) into a JSON file so the perf trajectory is tracked across
+# PRs.
 #
-#   scripts/bench.sh [out.json]     # default: BENCH_1.json
+#   scripts/bench.sh [out.json]     # default: BENCH_2.json
 #   BENCHTIME=3s scripts/bench.sh   # steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_1.json}
+out=${1:-BENCH_2.json}
 benchtime=${BENCHTIME:-1s}
+maxprocs=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
 
 go test -run=NONE -bench='Table7_CPU|Table8_CPU' -benchmem -benchtime="$benchtime" . |
-	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"results\": [\n", date }
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$maxprocs" '
+BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"results\": [\n", date, procs }
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
