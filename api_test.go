@@ -1,0 +1,388 @@
+package heax_test
+
+// Public-surface tests: the key-bound evaluator, the typed sentinel
+// errors, and the zero-allocation *Into hot path — everything here
+// imports only the public heax package, exactly as an out-of-tree
+// program would.
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"heax"
+)
+
+type apiKit struct {
+	params    *heax.Params
+	sk        *heax.SecretKey
+	evk       *heax.EvaluationKeySet
+	enc       *heax.Encoder
+	encryptor *heax.Encryptor
+	decryptor *heax.Decryptor
+	eval      *heax.Evaluator
+}
+
+var (
+	apiKitMu    sync.Mutex
+	apiKitCache *apiKit
+)
+
+func newAPIKit(t testing.TB) *apiKit {
+	t.Helper()
+	apiKitMu.Lock()
+	defer apiKitMu.Unlock()
+	if apiKitCache != nil {
+		return apiKitCache
+	}
+	params, err := heax.NewParams(heax.SetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := heax.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	evk := heax.GenEvaluationKeys(kg, sk, []int{1, 2}, true)
+	k := &apiKit{
+		params:    params,
+		sk:        sk,
+		evk:       evk,
+		enc:       heax.NewEncoder(params),
+		encryptor: heax.NewEncryptor(params, pk, 2),
+		decryptor: heax.NewDecryptor(params, sk),
+		eval:      heax.NewEvaluator(params, evk),
+	}
+	apiKitCache = k
+	return k
+}
+
+func (k *apiKit) encrypt(t testing.TB, vals []float64) *heax.Ciphertext {
+	t.Helper()
+	pt, err := k.enc.EncodeReal(vals, k.params.MaxLevel(), k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func (k *apiKit) decodeReal(t testing.TB, ct *heax.Ciphertext, n int) []float64 {
+	t.Helper()
+	pt, err := k.decryptor.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := k.enc.Decode(pt)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(vals[i])
+	}
+	return out
+}
+
+func ctEqual(a, b *heax.Ciphertext) bool {
+	if a.Level != b.Level || len(a.Polys) != len(b.Polys) {
+		return false
+	}
+	for i := range a.Polys {
+		if !a.Polys[i].Equal(b.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSentinelErrors(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2, 3})
+	y := k.encrypt(t, []float64{4, 5, 6})
+
+	// Scale mismatch on addition.
+	pt, err := k.enc.EncodeReal([]float64{1}, k.params.MaxLevel(), 2*k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.eval.Add(x, odd); !errors.Is(err, heax.ErrScaleMismatch) {
+		t.Fatalf("Add scale mismatch: got %v, want ErrScaleMismatch", err)
+	}
+	if err := k.eval.AddInto(x, odd, heax.CopyOf(x)); !errors.Is(err, heax.ErrScaleMismatch) {
+		t.Fatalf("AddInto scale mismatch: got %v, want ErrScaleMismatch", err)
+	}
+
+	// Degree mismatch on Mul/MulRelin with a degree-2 operand.
+	deg2, err := k.eval.Mul(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.eval.Mul(deg2, y); !errors.Is(err, heax.ErrDegreeMismatch) {
+		t.Fatalf("Mul degree mismatch: got %v, want ErrDegreeMismatch", err)
+	}
+	if _, err := k.eval.MulRelin(deg2, y); !errors.Is(err, heax.ErrDegreeMismatch) {
+		t.Fatalf("MulRelin degree mismatch: got %v, want ErrDegreeMismatch", err)
+	}
+	if _, err := k.eval.Relinearize(x); !errors.Is(err, heax.ErrDegreeMismatch) {
+		t.Fatalf("Relinearize degree-1: got %v, want ErrDegreeMismatch", err)
+	}
+	if _, err := k.eval.RotateLeft(deg2, 1); !errors.Is(err, heax.ErrDegreeMismatch) {
+		t.Fatalf("Rotate degree-2: got %v, want ErrDegreeMismatch", err)
+	}
+
+	// Level violations.
+	bottom, err := k.eval.DropLevel(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.eval.Rescale(bottom); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("Rescale at level 0: got %v, want ErrLevelMismatch", err)
+	}
+	if _, err := k.eval.DropLevel(x, k.params.MaxLevel()+1); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("DropLevel out of range: got %v, want ErrLevelMismatch", err)
+	}
+	// An *Into output that cannot hold the result's level.
+	small, err := k.eval.DropLevel(x, 0) // components back only 1 row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.AddInto(x, y, small); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("AddInto into too-small output: got %v, want ErrLevelMismatch", err)
+	}
+
+	// Missing keys.
+	keyless := heax.NewEvaluator(k.params, nil)
+	if _, err := keyless.MulRelin(x, y); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("MulRelin without rlk: got %v, want ErrKeyMissing", err)
+	}
+	if _, err := keyless.RotateLeft(x, 1); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("Rotate without Galois keys: got %v, want ErrKeyMissing", err)
+	}
+	if _, err := k.eval.RotateLeft(x, 999); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("Rotate with missing step: got %v, want ErrKeyMissing", err)
+	}
+	if err := keyless.RotateInto(x, 1, heax.CopyOf(x)); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("RotateInto without Galois keys: got %v, want ErrKeyMissing", err)
+	}
+}
+
+// TestIntoMatchesAllocating pins the *Into variants to their allocating
+// forms bit for bit, including output reuse across levels.
+func TestIntoMatchesAllocating(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1.5, -2.25, 3.5})
+	y := k.encrypt(t, []float64{0.5, 4.0, -1.0})
+
+	out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := k.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.AddInto(x, y, out); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(want, out) || out.Scale != want.Scale {
+		t.Fatal("AddInto differs from Add")
+	}
+
+	want, err = k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.MulRelinInto(x, y, out); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(want, out) || out.Scale != want.Scale {
+		t.Fatal("MulRelinInto differs from MulRelin")
+	}
+
+	// RescaleInto drops a level; the same output object then serves a
+	// higher-level result again (reshape back up).
+	prod := heax.CopyOf(out)
+	want, err = k.eval.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.RescaleInto(prod, out); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(want, out) || out.Scale != want.Scale {
+		t.Fatal("RescaleInto differs from Rescale")
+	}
+
+	want, err = k.eval.RotateLeft(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.RotateInto(x, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(want, out) || out.Scale != want.Scale {
+		t.Fatal("RotateInto differs from RotateLeft")
+	}
+
+	// In-place: out aliases an input.
+	sum, err := k.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := heax.CopyOf(x)
+	if err := k.eval.AddInto(aliased, y, aliased); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(sum, aliased) {
+		t.Fatal("aliased AddInto differs from Add")
+	}
+
+	// In-place rescale: RescaleInto(ct, ct) must match Rescale(ct).
+	prod2, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRescaled, err := k.eval.Rescale(prod2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.eval.RescaleInto(prod2, prod2); err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(wantRescaled, prod2) || prod2.Scale != wantRescaled.Scale {
+		t.Fatal("in-place RescaleInto differs from Rescale")
+	}
+}
+
+// TestIntoAllocations is the zero-steady-state-allocation gate of the
+// serving loop: each *Into hot op must stay at or below 2 allocs/op
+// once pools are warm.
+func TestIntoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; alloc counts are not meaningful")
+	}
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2, 3})
+	y := k.encrypt(t, []float64{4, 5, 6})
+	out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel()-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"AddInto", func() error { return k.eval.AddInto(x, y, out) }},
+		{"MulRelinInto", func() error { return k.eval.MulRelinInto(x, y, out) }},
+		{"RescaleInto", func() error { return k.eval.RescaleInto(prod, res) }},
+		{"RotateInto", func() error { return k.eval.RotateInto(x, 1, out) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm the pools (and the cached automorphism tables).
+			for i := 0; i < 3; i++ {
+				if err := tc.fn(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := tc.fn(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Fatalf("%s: %.1f allocs/op, want <= 2", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestShallowCopyConcurrent exercises the per-goroutine fan-out idiom
+// under the race detector: one evaluator per goroutine, shared keys and
+// parameters, all hammering the fused hot path.
+func TestShallowCopyConcurrent(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2, 3})
+	y := k.encrypt(t, []float64{4, 5, 6})
+	want, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ev := k.eval.ShallowCopy()
+			out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := 0; i < 8; i++ {
+				if err := ev.MulRelinInto(x, y, out); err != nil {
+					errs[g] = err
+					return
+				}
+				if !ctEqual(want, out) {
+					errs[g] = errors.New("concurrent MulRelinInto diverged")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEvaluatorOptions checks that worker caps do not change results and
+// that a pre-warmed scratch pool behaves identically.
+func TestEvaluatorOptions(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{0.25, -1.5})
+	y := k.encrypt(t, []float64{2.0, 0.125})
+	want, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := heax.NewEvaluator(k.params, k.evk, heax.WithWorkers(1), heax.WithScratchPool(4))
+	got, err := serial.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqual(want, got) {
+		t.Fatal("WithWorkers(1) evaluator diverged from default")
+	}
+	// Restore the shared context's default worker cap for other tests.
+	heax.NewEvaluator(k.params, k.evk, heax.WithWorkers(runtime.GOMAXPROCS(0)))
+
+	dec := k.decodeReal(t, got, 2)
+	if math.Abs(dec[0]-0.5) > 1e-3 || math.Abs(dec[1]+0.1875) > 1e-3 {
+		t.Fatalf("decrypted product wrong: %v", dec)
+	}
+}

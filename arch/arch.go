@@ -1,0 +1,115 @@
+// Package arch exports the HEAX hardware model behind the paper's
+// evaluation: FPGA board descriptions and resource fitting, the
+// KeySwitch architecture generator (Table 5), full-design resource and
+// memory planning (Table 6, Section 5.1), closed-form throughput
+// (Tables 7-8), the cycle-level pipeline simulator (Figure 6), the
+// functional hardware simulator cross-checked bit-for-bit against the
+// software evaluator, and the PCIe/DRAM transfer model (Section 5.2).
+//
+// It is a stable façade over the internal model packages so that
+// out-of-tree tools — like the cmd/heax-arch explorer and the
+// examples/hwpipeline walkthrough — can drive the architecture
+// generator without reaching into internals.
+package arch
+
+import (
+	"heax/internal/core"
+	"heax/internal/hwsim"
+	"heax/internal/ring"
+	"heax/internal/xfer"
+)
+
+// Board describes an FPGA board's resource envelope.
+type Board = core.Board
+
+// Resources is an FPGA resource vector (ALMs, DSPs, BRAM, ...).
+type Resources = core.Resources
+
+// ParamSet is the hardware-facing shape of an HE parameter set: ring
+// degree and RNS component count.
+type ParamSet = core.ParamSet
+
+// KeySwitchArch is a generated KeySwitch architecture: core counts per
+// module as in Table 5.
+type KeySwitchArch = core.KeySwitchArch
+
+// Design is a full HEAX design: board + parameter set + architecture.
+type Design = core.Design
+
+// MemoryInventory is the Section 5.1 on-chip/DRAM memory plan.
+type MemoryInventory = core.MemoryInventory
+
+// Perf computes closed-form operation throughputs for a design.
+type Perf = core.Perf
+
+// PipelineConfig configures the cycle-level KeySwitch pipeline
+// simulator; PipelineReport is its result.
+type (
+	PipelineConfig = hwsim.PipelineConfig
+	PipelineReport = hwsim.PipelineReport
+)
+
+// KeySwitchSim is the functional hardware simulator: it runs Algorithm 7
+// module by module (INTT0 → NTT0 → DyadMult → INTT1 → NTT1 → MS) and is
+// cross-checked bit-for-bit against Evaluator.KeySwitchPoly.
+type KeySwitchSim = hwsim.KeySwitchSim
+
+// DRAMStreamReport quantifies whether DRAM bandwidth sustains key
+// streaming for a design.
+type DRAMStreamReport = xfer.DRAMStreamReport
+
+// The evaluated FPGA boards (Table 1) and parameter shapes (Table 2).
+var (
+	BoardArria10   = core.BoardArria10
+	BoardStratix10 = core.BoardStratix10
+	Boards         = core.Boards
+	ParamSetA      = core.ParamSetA
+	ParamSetB      = core.ParamSetB
+	ParamSetC      = core.ParamSetC
+	ParamSets      = core.ParamSets
+)
+
+// BoardByName resolves "Arria10" or "Stratix10".
+func BoardByName(name string) (Board, error) { return core.BoardByName(name) }
+
+// GenerateArch derives the KeySwitch architecture for a board and
+// parameter shape with no manual tuning (the paper's Table 5 workflow).
+func GenerateArch(b Board, set ParamSet) (KeySwitchArch, error) { return core.GenerateArch(b, set) }
+
+// DeriveArch derives the architecture for an explicit INTT0 core count.
+func DeriveArch(b Board, set ParamSet, ncINTT0 int) KeySwitchArch {
+	return core.DeriveArch(b, set, ncINTT0)
+}
+
+// NewDesign assembles a full design from its parts.
+func NewDesign(b Board, set ParamSet, a KeySwitchArch) *Design { return core.NewDesign(b, set, a) }
+
+// StandardDesign generates the architecture for (board, set) and wraps
+// it in a design.
+func StandardDesign(b Board, set ParamSet) (*Design, error) { return core.StandardDesign(b, set) }
+
+// KskBits is the switching-key footprint in bits for a parameter shape.
+func KskBits(set ParamSet) int { return core.KskBits(set) }
+
+// NewKeySwitchSim builds the functional hardware simulator over a ring
+// context (obtained from Params.RingQP).
+func NewKeySwitchSim(ctx *ring.Context, a KeySwitchArch) *KeySwitchSim {
+	return hwsim.NewKeySwitchSim(ctx, a)
+}
+
+// SimulateKeySwitchPipeline streams ops back-to-back KeySwitch
+// operations through the cycle-level pipeline model and reports the
+// steady-state initiation interval and per-module utilization.
+func SimulateKeySwitchPipeline(cfg PipelineConfig, ops int, trace bool) PipelineReport {
+	return hwsim.SimulateKeySwitchPipeline(cfg, ops, trace)
+}
+
+// RenderGantt renders a traced pipeline report as a Figure-6-style
+// occupancy chart.
+func RenderGantt(r PipelineReport, bucket int64, maxCols int) string {
+	return hwsim.RenderGantt(r, bucket, maxCols)
+}
+
+// DRAMStreaming checks a design's key-streaming feasibility against its
+// board's DRAM bandwidth.
+func DRAMStreaming(d *Design) DRAMStreamReport { return xfer.DRAMStreaming(d) }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"heax"
 	"heax/internal/bench"
 	"heax/internal/ckks"
 	"heax/internal/core"
@@ -428,6 +429,183 @@ func BenchmarkAblation_CPUThreads(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ctx.NTTParallel(poly, workers)
+			}
+		})
+	}
+}
+
+// --- Public API: *Into hot path and Session submission ---------------------
+// The serving-shape benchmarks of the public surface: the in-place
+// operation variants (whose allocs/op column is the zero-steady-state-
+// allocation gate) and Session.Submit batch throughput vs direct
+// evaluator calls on the same workload.
+
+type apiBenchKit struct {
+	params *heax.Params
+	eval   *heax.Evaluator
+	x, y   *heax.Ciphertext
+}
+
+var (
+	apiBenchMu    sync.Mutex
+	apiBenchCache = map[string]*apiBenchKit{}
+)
+
+func getAPIBenchKit(b *testing.B, spec heax.ParamSpec) *apiBenchKit {
+	b.Helper()
+	apiBenchMu.Lock()
+	defer apiBenchMu.Unlock()
+	if k, ok := apiBenchCache[spec.Name]; ok {
+		return k
+	}
+	params, err := heax.NewParams(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := heax.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	evk := heax.GenEvaluationKeys(kg, sk, []int{1}, false)
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	encrypt := func(seed int64) *heax.Ciphertext {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 16)
+		for i := range vals {
+			vals[i] = rng.Float64()*2 - 1
+		}
+		pt, err := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, err := encryptor.Encrypt(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ct
+	}
+	k := &apiBenchKit{
+		params: params,
+		eval:   heax.NewEvaluator(params, evk, heax.WithScratchPool(8)),
+		x:      encrypt(10),
+		y:      encrypt(11),
+	}
+	apiBenchCache[spec.Name] = k
+	return k
+}
+
+func BenchmarkAPI_AddInto(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.eval.AddInto(k.x, k.y, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPI_MulRelinInto(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.eval.MulRelinInto(k.x, k.y, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPI_RescaleInto(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			prod, err := k.eval.MulRelin(k.x, k.y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel()-1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.eval.RescaleInto(prod, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAPI_RotateInto(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			out, err := heax.NewCiphertext(k.params, 1, k.params.MaxLevel(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.eval.RotateInto(k.x, 1, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSession_SubmitMulRelin measures batch submission throughput:
+// MulRelin operations enqueued through Session.Submit, resolving out of
+// order on the worker-pool scheduler, flushed in windows like a serving
+// loop would.
+func BenchmarkSession_SubmitMulRelin(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			sess := heax.NewSession(k.eval)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess.Submit(heax.MulRelinOp(heax.Arg(k.x), heax.Arg(k.y)))
+				if i%64 == 63 {
+					if err := sess.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := sess.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSession_DirectMulRelin is the comparison baseline: the same
+// workload as synchronous evaluator calls on one goroutine.
+func BenchmarkSession_DirectMulRelin(b *testing.B) {
+	for _, spec := range heax.StandardSets {
+		b.Run(spec.Name, func(b *testing.B) {
+			k := getAPIBenchKit(b, spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.eval.MulRelin(k.x, k.y); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

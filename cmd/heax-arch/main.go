@@ -2,7 +2,7 @@
 // an HE parameter shape it derives the KeySwitch architecture (Table 5),
 // its resource footprint (Table 6), memory plan (Section 5.1) and
 // throughput (Tables 7-8) — the paper's "instantiated at different scales
-// with no manual tuning" workflow.
+// with no manual tuning" workflow — through the public heax/arch surface.
 //
 // Usage:
 //
@@ -14,9 +14,7 @@ import (
 	"fmt"
 	"log"
 
-	"heax/internal/core"
-	"heax/internal/hwsim"
-	"heax/internal/xfer"
+	"heax/arch"
 )
 
 func main() {
@@ -27,21 +25,21 @@ func main() {
 	k := flag.Int("k", 4, "number of RNS components of the ciphertext modulus")
 	flag.Parse()
 
-	board, err := core.BoardByName(*boardName)
+	board, err := arch.BoardByName(*boardName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set := core.ParamSet{Name: fmt.Sprintf("n=2^%d,k=%d", *logn, *k), LogN: *logn, K: *k}
-	arch, err := core.GenerateArch(board, set)
+	set := arch.ParamSet{Name: fmt.Sprintf("n=2^%d,k=%d", *logn, *k), LogN: *logn, K: *k}
+	a, err := arch.GenerateArch(board, set)
 	if err != nil {
 		log.Fatal(err)
 	}
-	design := core.NewDesign(board, set, arch)
+	design := arch.NewDesign(board, set, a)
 
 	fmt.Printf("board        %s (%s)\n", board.Name, board.Chip)
 	fmt.Printf("parameters   n = 2^%d, k = %d\n", *logn, *k)
-	fmt.Printf("architecture %s\n", arch)
-	fmt.Printf("buffers      f1 = %d, f2 = %d\n", arch.F1(), arch.F2(set.LogN))
+	fmt.Printf("architecture %s\n", a)
+	fmt.Printf("buffers      f1 = %d, f2 = %d\n", a.F1(), a.F2(set.LogN))
 	fmt.Printf("resources    %s\n", design.Resources().Utilization(board))
 
 	inv := design.MemoryInventory()
@@ -49,16 +47,16 @@ func main() {
 	if inv.KeysOnDRAM {
 		loc = "DRAM (streamed)"
 	}
-	fmt.Printf("key storage  %s (ksk = %.1f Mb)\n", loc, float64(core.KskBits(set))/1e6)
+	fmt.Printf("key storage  %s (ksk = %.1f Mb)\n", loc, float64(arch.KskBits(set))/1e6)
 	if inv.KeysOnDRAM {
-		fmt.Printf("dram check   %s\n", xfer.DRAMStreaming(design))
+		fmt.Printf("dram check   %s\n", arch.DRAMStreaming(design))
 	}
 
-	perf := core.Perf{Design: design}
+	perf := arch.Perf{Design: design}
 	fmt.Printf("throughput   NTT %.0f/s  Dyadic %.0f/s  KeySwitch %.0f/s  MULT+ReLin %.0f/s\n",
 		perf.NTTOps(), perf.DyadicOps(), perf.KeySwitchOps(), perf.MulRelinOps())
 
-	rep := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: arch, Set: set}, 64, false)
+	rep := arch.SimulateKeySwitchPipeline(arch.PipelineConfig{Arch: a, Set: set}, 64, false)
 	fmt.Printf("simulated    interval %.0f cycles/op (closed form %d), INTT0 utilization %.0f%%\n",
-		rep.Interval, arch.KeySwitchCycles(set), 100*rep.Utilization["INTT0"])
+		rep.Interval, a.KeySwitchCycles(set), 100*rep.Utilization["INTT0"])
 }

@@ -2,7 +2,7 @@
 // (Section 6) from this reproduction — resource models, the architecture
 // generator, the cycle-level pipeline simulator, and the Go CKKS baseline
 // measured on the local machine — each next to the paper's reported
-// numbers.
+// numbers. It is a thin driver over the public heax/bench harness.
 //
 // Usage:
 //
@@ -21,7 +21,7 @@ import (
 	"log"
 	"os"
 
-	"heax/internal/bench"
+	"heax/bench"
 )
 
 func main() {
@@ -41,10 +41,7 @@ func main() {
 		fmt.Print(tb.Render())
 	}
 
-	cpu := bench.CPUMeasurements{
-		NTT: map[string]float64{}, INTT: map[string]float64{}, Dyadic: map[string]float64{},
-		KeySwitch: map[string]float64{}, MulRelin: map[string]float64{},
-	}
+	cpu := bench.EmptyCPUMeasurements()
 	if !*nocpu {
 		fmt.Fprintln(os.Stderr, "measuring CPU baseline (Set-A, Set-B, Set-C)...")
 		m, err := bench.MeasureCPU(*quick)

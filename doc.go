@@ -1,0 +1,46 @@
+// Package heax is the public face of this HEAX reproduction: a full-RNS
+// CKKS engine (encode, encrypt, evaluate, decrypt) built on the lazy-
+// reduction NTT core and the pipelined key-switch scheduler of the
+// internal packages, exposed through three coordinated layers.
+//
+// # Key-bound evaluators
+//
+// An Evaluator is constructed once against a parameter set and an
+// EvaluationKeySet, then used without threading keys through every call:
+//
+//	evk := &heax.EvaluationKeySet{Relin: rlk, Galois: gks}
+//	eval := heax.NewEvaluator(params, evk, heax.WithWorkers(8))
+//	prod, err := eval.MulRelin(ctX, ctY) // relinearization key is bound
+//	rot, err := eval.RotateLeft(ctX, 1)  // Galois keys are bound
+//
+// Evaluators are safe for concurrent use; ShallowCopy gives each
+// goroutine its own per-call state while sharing all read-only tables.
+//
+// # In-place operation variants
+//
+// The hot operations have *Into forms that land results in caller-owned
+// ciphertexts (AddInto, MulRelinInto, RescaleInto, RotateInto), reusing
+// the ring context's pooled scratch for every intermediate. A serving
+// loop that cycles over a fixed set of NewCiphertext outputs runs at
+// zero steady-state allocations — the software analogue of the HEAX
+// device memory map, where results stay in preallocated buffers. The
+// allocating forms remain as thin wrappers.
+//
+// # Batch/async submission
+//
+// A Session mirrors the paper's host runtime (Section 5.2, Figure 7):
+// applications enqueue operations, a bounded number execute concurrently
+// on the worker-pool scheduler, and futures resolve out of order while
+// dependency edges — the output of one submitted operation feeding
+// another — are honored automatically:
+//
+//	sess := heax.NewSession(eval)
+//	f1 := sess.Submit(heax.MulRelinOp(heax.Arg(ctX), heax.Arg(ctY)))
+//	f2 := sess.Submit(heax.RescaleOp(f1)) // runs when f1 resolves
+//	ct, err := f2.Wait()
+//	err = sess.Flush() // drain everything in flight
+//
+// The hardware model, architecture generator and cycle-level simulator
+// behind the paper's tables are exported separately in heax/arch, and
+// the table/benchmark harness in heax/bench.
+package heax

@@ -1,0 +1,26 @@
+package heax
+
+import "heax/internal/ckks"
+
+// Sentinel errors. Every error the evaluation and serialization APIs
+// return wraps exactly one of these; branch with errors.Is rather than
+// matching message strings.
+var (
+	// ErrScaleMismatch: addition on operands whose scales differ beyond
+	// floating-point noise (CKKS addition on mismatched scales silently
+	// corrupts results).
+	ErrScaleMismatch = ckks.ErrScaleMismatch
+	// ErrLevelMismatch: a level-shape violation — rescaling at level 0,
+	// dropping to an out-of-range level, or an *Into output whose
+	// components cannot hold the result's level.
+	ErrLevelMismatch = ckks.ErrLevelMismatch
+	// ErrDegreeMismatch: an operand's ciphertext degree is not what the
+	// operation requires.
+	ErrDegreeMismatch = ckks.ErrDegreeMismatch
+	// ErrKeyMissing: the bound EvaluationKeySet lacks the key the
+	// operation needs (relinearization key, Galois key for a step, or
+	// conjugation key).
+	ErrKeyMissing = ckks.ErrKeyMissing
+	// ErrCorrupt: a serialized blob failed structural validation.
+	ErrCorrupt = ckks.ErrCorrupt
+)

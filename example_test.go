@@ -1,0 +1,64 @@
+package heax_test
+
+import (
+	"fmt"
+	"log"
+
+	"heax"
+)
+
+// Example_quickstart is the README's quickstart, compiled and output-
+// checked by go test so the documented snippet can never drift from the
+// real API: encrypt two vectors, multiply them homomorphically with a
+// key-bound evaluator, rescale, decrypt.
+func Example_quickstart() {
+	params, err := heax.NewParams(heax.SetA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kg := heax.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	evk := heax.GenEvaluationKeys(kg, sk, nil, false)
+
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+	eval := heax.NewEvaluator(params, evk)
+
+	encrypt := func(vals []float64) *heax.Ciphertext {
+		pt, err := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct, err := encryptor.Encrypt(pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ct
+	}
+	x := encrypt([]float64{1.5, -2.0, 3.25})
+	y := encrypt([]float64{2.0, 0.5, -1.0})
+
+	// x ⊙ y, relinearized with the bound key, then rescaled.
+	prod, err := eval.MulRelin(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if prod, err = eval.Rescale(prod); err != nil {
+		log.Fatal(err)
+	}
+
+	pt, err := decryptor.Decrypt(prod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals := enc.Decode(pt)
+	for i := 0; i < 3; i++ {
+		fmt.Printf("%.3f ", real(vals[i]))
+	}
+	fmt.Println()
+	// Output:
+	// 3.000 -1.000 -3.250
+}

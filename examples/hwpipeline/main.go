@@ -2,6 +2,8 @@
 // hardware — INTT0 → NTT0 layer → DyadMult banks → INTT1 → NTT1 → MS —
 // verifies the result against the software evaluator bit for bit, and
 // prints the Figure-6-style pipeline occupancy of back-to-back operations.
+// Everything runs through the public surfaces: the CKKS engine from heax,
+// the hardware model and simulator from heax/arch.
 package main
 
 import (
@@ -10,9 +12,8 @@ import (
 	"math/rand"
 	"sort"
 
-	"heax/internal/ckks"
-	"heax/internal/core"
-	"heax/internal/hwsim"
+	"heax"
+	"heax/arch"
 )
 
 func main() {
@@ -21,19 +22,19 @@ func main() {
 
 	// A small HEAX-shaped parameter set keeps the functional simulation
 	// quick; the pipeline timing below uses the real Set-B architecture.
-	spec := ckks.ParamSpec{Name: "demo", LogN: 11, QBits: []int{43, 40, 40, 40}, PBits: 46, LogScale: 40}
-	params, err := ckks.NewParams(spec)
+	spec := heax.ParamSpec{Name: "demo", LogN: 11, QBits: []int{43, 40, 40, 40}, PBits: 46, LogScale: 40}
+	params, err := heax.NewParams(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kg := ckks.NewKeyGenerator(params, 1)
+	kg := heax.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	rlk := kg.GenRelinearizationKey(sk)
-	eval := ckks.NewEvaluator(params)
+	eval := heax.NewEvaluator(params, &heax.EvaluationKeySet{Relin: rlk})
 
-	set := core.ParamSet{Name: spec.Name, LogN: spec.LogN, K: len(spec.QBits)}
-	arch := core.DeriveArch(core.BoardStratix10, set, 8)
-	fmt.Printf("architecture: %s (f1=%d, f2=%d)\n", arch, arch.F1(), arch.F2(set.LogN))
+	set := arch.ParamSet{Name: spec.Name, LogN: spec.LogN, K: len(spec.QBits)}
+	a := arch.DeriveArch(arch.BoardStratix10, set, 8)
+	fmt.Printf("architecture: %s (f1=%d, f2=%d)\n", a, a.F1(), a.F2(set.LogN))
 
 	// Functional run: hardware vs software on a random polynomial.
 	ctx := params.RingQP
@@ -45,7 +46,7 @@ func main() {
 			c.Coeffs[i][j] = rng.Uint64() % p
 		}
 	}
-	sim := hwsim.NewKeySwitchSim(ctx, arch)
+	sim := arch.NewKeySwitchSim(ctx, a)
 	hw0, hw1, err := sim.Run(c, rlk.SwitchingKey.Digits)
 	if err != nil {
 		log.Fatal(err)
@@ -56,12 +57,12 @@ func main() {
 		sim.INTT0Cycles, sim.NTT0Cycles, sim.DyadCycles, sim.INTT1Cycles, sim.NTT1Cycles, sim.MSCycles)
 
 	// Timing run on the paper's Stratix 10 / Set-B configuration.
-	setB := core.ParamSetB
-	archB, err := core.GenerateArch(core.BoardStratix10, setB)
+	setB := arch.ParamSetB
+	archB, err := arch.GenerateArch(arch.BoardStratix10, setB)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: archB, Set: setB}, 64, false)
+	rep := arch.SimulateKeySwitchPipeline(arch.PipelineConfig{Arch: archB, Set: setB}, 64, false)
 	closed := archB.KeySwitchCycles(setB)
 	fmt.Printf("\nStratix 10 / Set-B pipeline: interval %.0f cycles (closed form %d) -> %.0f KeySwitch/s @300MHz\n",
 		rep.Interval, closed, 300e6/rep.Interval)
@@ -76,7 +77,7 @@ func main() {
 		fmt.Printf("  %-8s %5.1f%%\n", name, 100*rep.Utilization[name])
 	}
 
-	trace := hwsim.SimulateKeySwitchPipeline(hwsim.PipelineConfig{Arch: archB, Set: setB}, 6, true)
+	trace := arch.SimulateKeySwitchPipeline(arch.PipelineConfig{Arch: archB, Set: setB}, 6, true)
 	fmt.Println("\npipeline occupancy (6 ops, digit colored by op number):")
-	fmt.Print(hwsim.RenderGantt(trace, int64(rep.Interval)/12+1, 100))
+	fmt.Print(arch.RenderGantt(trace, int64(rep.Interval)/12+1, 100))
 }

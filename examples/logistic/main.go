@@ -16,7 +16,7 @@ import (
 	"math"
 	"math/rand"
 
-	"heax/internal/ckks"
+	"heax"
 )
 
 const (
@@ -29,18 +29,18 @@ func main() {
 	log.SetPrefix("logistic: ")
 
 	// Set-B: k = 4 gives the three rescaling levels this circuit needs.
-	params, err := ckks.NewParams(ckks.SetB)
+	params, err := heax.NewParams(heax.SetB)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kg := ckks.NewKeyGenerator(params, 1)
+	kg := heax.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
-	rlk := kg.GenRelinearizationKey(sk)
-	enc := ckks.NewEncoder(params)
-	encryptor := ckks.NewEncryptor(params, pk, 2)
-	decryptor := ckks.NewDecryptor(params, sk)
-	eval := ckks.NewEvaluator(params)
+	evk := &heax.EvaluationKeySet{Relin: kg.GenRelinearizationKey(sk)}
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+	eval := heax.NewEvaluator(params, evk)
 
 	// A fixed model and a random batch.
 	rng := rand.New(rand.NewSource(3))
@@ -61,7 +61,7 @@ func main() {
 	scale := params.DefaultScale()
 
 	// Client: encrypt each feature column.
-	cts := make([]*ckks.Ciphertext, features)
+	cts := make([]*heax.Ciphertext, features)
 	for j := range cts {
 		pt, err := enc.EncodeReal(x[j], level, scale)
 		if err != nil {
@@ -74,7 +74,7 @@ func main() {
 	}
 
 	// Server: t = Σ_j w_j ⊙ ct_j + b (one plaintext mult level).
-	var acc *ckks.Ciphertext
+	var acc *heax.Ciphertext
 	for j := range cts {
 		wj := constVec(w[j], samples)
 		ptW, err := enc.EncodeReal(wj, level, scale)
@@ -108,7 +108,7 @@ func main() {
 	// Cubic term as ((c·t)·t²): each factor is rescaled so the final
 	// result lands at a small scale that fits the level-0 modulus — the
 	// scale management a CKKS application must do by hand.
-	tt, err := eval.MulRelin(t, t, rlk) // t², scale s_t²
+	tt, err := eval.MulRelin(t, t) // t², scale s_t²
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func main() {
 	if u, err = eval.Rescale(u); err != nil { // level 1
 		log.Fatal(err)
 	}
-	y3, err := eval.MulRelin(u, tt, rlk) // -0.004·t³
+	y3, err := eval.MulRelin(u, tt) // -0.004·t³
 	if err != nil {
 		log.Fatal(err)
 	}

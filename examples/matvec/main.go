@@ -4,7 +4,10 @@
 // plaintext multiplication per diagonal.
 //
 // The encrypted vector is replicated ([x | x | 0...]) so that slot
-// rotations realize the cyclic index arithmetic of the method.
+// rotations realize the cyclic index arithmetic of the method. The
+// rotation loop reuses one caller-owned ciphertext through RotateInto —
+// the in-place hot path a serving loop would run at zero steady-state
+// allocations.
 package main
 
 import (
@@ -13,7 +16,7 @@ import (
 	"math"
 	"math/rand"
 
-	"heax/internal/ckks"
+	"heax"
 )
 
 const dim = 8
@@ -22,22 +25,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("matvec: ")
 
-	params, err := ckks.NewParams(ckks.SetA)
+	params, err := heax.NewParams(heax.SetA)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kg := ckks.NewKeyGenerator(params, 1)
+	kg := heax.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
-	steps := make([]int, dim)
-	for d := range steps {
-		steps[d] = d
+	steps := make([]int, 0, dim-1)
+	for d := 1; d < dim; d++ { // step 0 needs no key
+		steps = append(steps, d)
 	}
-	gks := kg.GenGaloisKeySet(sk, steps[1:], false) // step 0 needs no key
-	enc := ckks.NewEncoder(params)
-	encryptor := ckks.NewEncryptor(params, pk, 2)
-	decryptor := ckks.NewDecryptor(params, sk)
-	eval := ckks.NewEvaluator(params)
+	evk := heax.GenEvaluationKeys(kg, sk, steps, false)
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+	eval := heax.NewEvaluator(params, evk)
 
 	rng := rand.New(rand.NewSource(4))
 	m := make([][]float64, dim)
@@ -65,14 +68,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Server: Σ_d diag_d ⊙ rot(x, d).
-	var acc *ckks.Ciphertext
+	// Server: Σ_d diag_d ⊙ rot(x, d), rotating into one reused buffer.
+	rotBuf, err := heax.NewCiphertext(params, 1, ct.Level, ct.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acc *heax.Ciphertext
 	for d := 0; d < dim; d++ {
 		rot := ct
 		if d > 0 {
-			if rot, err = eval.RotateLeft(ct, d, gks); err != nil {
+			if err := eval.RotateInto(ct, d, rotBuf); err != nil {
 				log.Fatal(err)
 			}
+			rot = rotBuf
 		}
 		diag := make([]float64, dim)
 		for i := 0; i < dim; i++ {
@@ -88,7 +96,7 @@ func main() {
 		}
 		if acc == nil {
 			acc = term
-		} else if acc, err = eval.Add(acc, term); err != nil {
+		} else if err = eval.AddInto(acc, term, acc); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,83 +1,92 @@
 // Quickstart: the full CKKS round trip this library accelerates — encode,
 // encrypt, add, multiply, relinearize, rescale, rotate, decrypt — on the
-// paper's Set-A parameters (n = 2^12, 109-bit modulus).
+// paper's Set-A parameters (n = 2^12, 109-bit modulus), driven entirely
+// through the public heax API: keys are bound to the evaluator at
+// construction, not threaded through every call.
 package main
 
 import (
 	"fmt"
-	"log"
+	"io"
 	"math"
+	"os"
 
-	"heax/internal/ckks"
+	"heax"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("quickstart: ")
-
-	params, err := ckks.NewParams(ckks.SetA)
-	if err != nil {
-		log.Fatal(err)
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("parameters: n=%d, k=%d, log(qp)+1=%d, scale=2^%d\n",
+}
+
+func run(w io.Writer) error {
+	params, err := heax.NewParams(heax.SetA)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "parameters: n=%d, k=%d, log(qp)+1=%d, scale=2^%d\n",
 		params.N, params.K(), params.TotalModulusBits(), params.LogScale)
 
-	kg := ckks.NewKeyGenerator(params, 1)
+	kg := heax.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
-	rlk := kg.GenRelinearizationKey(sk)
-	gks := kg.GenGaloisKeySet(sk, []int{1}, false)
+	evk := heax.GenEvaluationKeys(kg, sk, []int{1}, false)
 
-	enc := ckks.NewEncoder(params)
-	encryptor := ckks.NewEncryptor(params, pk, 2)
-	decryptor := ckks.NewDecryptor(params, sk)
-	eval := ckks.NewEvaluator(params)
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+	eval := heax.NewEvaluator(params, evk)
 
 	// Two small real vectors in the first few of the n/2 = 2048 slots.
 	x := []float64{1.5, -2.0, 3.25, 0.5}
 	y := []float64{2.0, 0.25, -1.0, 4.0}
 	ptX, err := enc.EncodeReal(x, params.MaxLevel(), params.DefaultScale())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ptY, err := enc.EncodeReal(y, params.MaxLevel(), params.DefaultScale())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctX, err := encryptor.Encrypt(ptX)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctY, err := encryptor.Encrypt(ptY)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// (x + y) -------------------------------------------------------------
 	sum, err := eval.Add(ctX, ctY)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	show(decode(decryptor, enc, sum), "x + y", func(i int) float64 { return x[i] + y[i] })
+	if err := show(w, decryptor, enc, sum, "x + y", func(i int) float64 { return x[i] + y[i] }); err != nil {
+		return err
+	}
 
 	// (x * y), relinearized and rescaled ----------------------------------
-	prod, err := eval.MulRelin(ctX, ctY, rlk)
+	prod, err := eval.MulRelin(ctX, ctY)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	prod, err = eval.Rescale(prod)
-	if err != nil {
-		log.Fatal(err)
+	if prod, err = eval.Rescale(prod); err != nil {
+		return err
 	}
-	fmt.Printf("after rescale: level %d, scale 2^%.1f\n", prod.Level, math.Log2(prod.Scale))
-	show(decode(decryptor, enc, prod), "x * y", func(i int) float64 { return x[i] * y[i] })
+	fmt.Fprintf(w, "after rescale: level %d, scale 2^%.1f\n", prod.Level, math.Log2(prod.Scale))
+	if err := show(w, decryptor, enc, prod, "x * y", func(i int) float64 { return x[i] * y[i] }); err != nil {
+		return err
+	}
 
 	// rotate(x, 1) ---------------------------------------------------------
-	rot, err := eval.RotateLeft(ctX, 1, gks)
+	rot, err := eval.RotateLeft(ctX, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	show(decode(decryptor, enc, rot), "rot(x,1)", func(i int) float64 {
+	return show(w, decryptor, enc, rot, "rot(x,1)", func(i int) float64 {
 		if i+1 < len(x) {
 			return x[i+1]
 		}
@@ -85,22 +94,20 @@ func main() {
 	})
 }
 
-func decode(d *ckks.Decryptor, enc *ckks.Encoder, ct *ckks.Ciphertext) []complex128 {
+func show(w io.Writer, d *heax.Decryptor, enc *heax.Encoder, ct *heax.Ciphertext, label string, want func(int) float64) error {
 	pt, err := d.Decrypt(ct)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	return enc.Decode(pt)
-}
-
-func show(got []complex128, label string, want func(int) float64) {
-	fmt.Printf("%-9s:", label)
+	got := enc.Decode(pt)
+	fmt.Fprintf(w, "%-9s:", label)
 	worst := 0.0
 	for i := 0; i < 4; i++ {
-		fmt.Printf(" %8.4f", real(got[i]))
+		fmt.Fprintf(w, " %8.4f", real(got[i]))
 		if e := math.Abs(real(got[i]) - want(i)); e > worst {
 			worst = e
 		}
 	}
-	fmt.Printf("   (max err %.2e)\n", worst)
+	fmt.Fprintf(w, "   (max err %.2e)\n", worst)
+	return nil
 }

@@ -5,6 +5,12 @@
 //
 //	mean = Σx / N,  var = Σx² / N − mean²
 //
+// The two reductions are independent, so the server submits them as an
+// asynchronous batch through heax.Session — the paper's Figure 7
+// enqueue model: Σx runs concurrently with the square→rescale→Σx² chain,
+// whose internal dependency edges are expressed by plugging futures into
+// the next operation.
+//
 // Everything left of the final division stays encrypted; the client
 // decrypts two numbers.
 package main
@@ -15,7 +21,7 @@ import (
 	"math"
 	"math/rand"
 
-	"heax/internal/ckks"
+	"heax"
 )
 
 func main() {
@@ -25,27 +31,26 @@ func main() {
 	// Set-B rather than Set-A: after squaring and rescaling, the slot sum
 	// Σx² ≈ slots·E[x²] needs log2(slots)+log2(E[x²]) extra headroom above
 	// the scale, which Set-A's single remaining 36-bit prime cannot hold.
-	params, err := ckks.NewParams(ckks.SetB)
+	params, err := heax.NewParams(heax.SetB)
 	if err != nil {
 		log.Fatal(err)
 	}
 	slots := params.Slots()
 
-	kg := ckks.NewKeyGenerator(params, 1)
+	kg := heax.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
-	rlk := kg.GenRelinearizationKey(sk)
 	// InnerSum over all slots needs keys for every power-of-two step.
 	var steps []int
 	for s := 1; s < slots; s <<= 1 {
 		steps = append(steps, s)
 	}
-	gks := kg.GenGaloisKeySet(sk, steps, false)
+	evk := heax.GenEvaluationKeys(kg, sk, steps, false)
 
-	enc := ckks.NewEncoder(params)
-	encryptor := ckks.NewEncryptor(params, pk, 2)
-	decryptor := ckks.NewDecryptor(params, sk)
-	eval := ckks.NewEvaluator(params)
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+	eval := heax.NewEvaluator(params, evk)
 
 	// A batch of samples from a known distribution.
 	rng := rand.New(rand.NewSource(5))
@@ -62,22 +67,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Server: Σx and Σx², each reduced with log2(slots) rotations.
-	sumX, err := eval.InnerSum(ct, slots, gks)
-	if err != nil {
+	// Server: Σx and Σx² as one asynchronous submission batch. The Σx
+	// reduction and the Σx² chain execute concurrently; within the chain
+	// each op starts when the future it consumes resolves.
+	sess := heax.NewSession(eval)
+	fSum := sess.Submit(heax.InnerSumOp(heax.Arg(ct), slots))
+	fSq := sess.Submit(heax.MulRelinOp(heax.Arg(ct), heax.Arg(ct)))
+	fSqRescaled := sess.Submit(heax.RescaleOp(fSq))
+	fSum2 := sess.Submit(heax.InnerSumOp(fSqRescaled, slots))
+	if err := sess.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	sq, err := eval.MulRelin(ct, ct, rlk)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if sq, err = eval.Rescale(sq); err != nil {
-		log.Fatal(err)
-	}
-	sumX2, err := eval.InnerSum(sq, slots, gks)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sumX, _ := fSum.Wait()
+	sumX2, _ := fSum2.Wait()
 
 	// Client: decrypt slot 0 of each aggregate and finish in the clear.
 	n := float64(slots)

@@ -21,6 +21,9 @@ type Evaluator struct {
 	// (0..level, specialRow). Precomputed so the hot path allocates
 	// nothing for it.
 	rowIdx [][]int
+	// seqIdx[rows] is the identity basis map (0..rows-1): the rescale
+	// flooring path over a basis prefix, precomputed for the same reason.
+	seqIdx [][]int
 
 	// jobs pools the key-switch scheduler state (schedule.go).
 	jobs sync.Pool
@@ -41,6 +44,14 @@ func NewEvaluator(params *Params) *Evaluator {
 		}
 		idx[level+1] = sp
 		ev.rowIdx[level] = idx
+	}
+	ev.seqIdx = make([][]int, params.K()+1)
+	for rows := 1; rows <= params.K(); rows++ {
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		ev.seqIdx[rows] = idx
 	}
 	return ev
 }
@@ -76,7 +87,7 @@ func (ev *Evaluator) atLevel(ct *Ciphertext, level int) *Ciphertext {
 // levels are aligned by dropping rows of the fresher operand.
 func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if !scalesClose(ct0.Scale, ct1.Scale) {
-		return nil, fmt.Errorf("ckks: cannot add scales %g and %g", ct0.Scale, ct1.Scale)
+		return nil, fmt.Errorf("ckks: cannot add scales %g and %g: %w", ct0.Scale, ct1.Scale, ErrScaleMismatch)
 	}
 	a, b := ev.alignLevels(ct0, ct1)
 	if len(a.Polys) < len(b.Polys) {
@@ -107,7 +118,7 @@ func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 // AddPlain returns ct + pt.
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 	if !scalesClose(ct.Scale, pt.Scale) {
-		return nil, fmt.Errorf("ckks: cannot add plaintext scale %g to ciphertext scale %g", pt.Scale, ct.Scale)
+		return nil, fmt.Errorf("ckks: cannot add plaintext scale %g to ciphertext scale %g: %w", pt.Scale, ct.Scale, ErrScaleMismatch)
 	}
 	level := min(ct.Level, pt.Level())
 	out := CopyOf(ev.atLevel(ct, level))
@@ -135,8 +146,8 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 // (Algorithm 5): (a0⊙b0, a0⊙b1 + a1⊙b0, a1⊙b1).
 func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if ct0.Degree() != 1 || ct1.Degree() != 1 {
-		return nil, fmt.Errorf("ckks: Mul requires degree-1 operands (got %d and %d)",
-			ct0.Degree(), ct1.Degree())
+		return nil, fmt.Errorf("ckks: Mul requires degree-1 operands (got %d and %d): %w",
+			ct0.Degree(), ct1.Degree(), ErrDegreeMismatch)
 	}
 	a, b := ev.alignLevels(ct0, ct1)
 	ctx := ev.params.RingQP
@@ -192,7 +203,7 @@ func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly,
 // relinearization key (CKKS.Relin).
 func (ev *Evaluator) Relinearize(ct *Ciphertext, rlk *RelinearizationKey) (*Ciphertext, error) {
 	if ct.Degree() != 2 {
-		return nil, fmt.Errorf("ckks: Relinearize requires a degree-2 ciphertext (got %d)", ct.Degree())
+		return nil, fmt.Errorf("ckks: Relinearize requires a degree-2 ciphertext (got %d): %w", ct.Degree(), ErrDegreeMismatch)
 	}
 	out0, out1 := ev.keySwitchAdd(ct.Polys[2], &rlk.SwitchingKey, ct.Polys[0], ct.Polys[1])
 	return &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}, nil
@@ -204,6 +215,15 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rlk *RelinearizationKey) (*Ciph
 // SwitchKeys, rotation, and the fused MulRelin: no intermediate result
 // polys, no input copies, no separate addition sweep.
 func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *ring.Poly) (*ring.Poly, *ring.Poly) {
+	out0, out1 := ev.params.RingQP.NewPolyPair(c.Level() + 1)
+	ev.keySwitchAddInto(c, swk, add0, add1, out0, out1)
+	return out0, out1
+}
+
+// keySwitchAddInto is keySwitchAdd landing in caller-provided output
+// polynomials (each with c.Level()+1 rows) — the zero-allocation back
+// end behind the *Into operation variants.
+func (ev *Evaluator) keySwitchAddInto(c *ring.Poly, swk *SwitchingKey, add0, add1, out0, out1 *ring.Poly) {
 	ctx := ev.params.RingQP
 	level := c.Level()
 	acc0 := ctx.GetPoly(level + 2)
@@ -211,7 +231,6 @@ func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *r
 	defer ctx.PutPoly(acc0)
 	defer ctx.PutPoly(acc1)
 	ev.keySwitchMAC(c, nil, nil, swk.Digits, swk.ensureShoup(ctx), acc0, acc1, level)
-	out0, out1 := ctx.NewPolyPair(level + 1)
 	ev.trace.Load().add(ScheduleFloor, -1, -1)
 	if add0 != nil && add0.Rows() != level+1 {
 		add0 = add0.Resize(level + 1)
@@ -220,7 +239,6 @@ func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *r
 		add1 = add1.Resize(level + 1)
 	}
 	ctx.FloorDropRowsPairAddInto(acc0, acc1, out0, out1, add0, add1, ev.rowIdx[level], false, true)
-	return out0, out1
 }
 
 // MulRelin is Mul followed by Relinearize — the paper's "MULT+ReLin"
@@ -230,8 +248,8 @@ func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *r
 // polynomials (plus the ciphertext header) are allocated.
 func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *RelinearizationKey) (*Ciphertext, error) {
 	if ct0.Degree() != 1 || ct1.Degree() != 1 {
-		return nil, fmt.Errorf("ckks: MulRelin requires degree-1 operands (got %d and %d)",
-			ct0.Degree(), ct1.Degree())
+		return nil, fmt.Errorf("ckks: MulRelin requires degree-1 operands (got %d and %d): %w",
+			ct0.Degree(), ct1.Degree(), ErrDegreeMismatch)
 	}
 	a, b := ev.alignLevels(ct0, ct1)
 	ctx := ev.params.RingQP
@@ -258,29 +276,19 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *RelinearizationKey) (*C
 // result decrypts under the new key.
 func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) (*Ciphertext, error) {
 	if ct.Degree() != 1 {
-		return nil, fmt.Errorf("ckks: SwitchKeys requires a degree-1 ciphertext (got %d)", ct.Degree())
+		return nil, fmt.Errorf("ckks: SwitchKeys requires a degree-1 ciphertext (got %d): %w", ct.Degree(), ErrDegreeMismatch)
 	}
 	c0, c1 := ev.keySwitchAdd(ct.Polys[1], swk, ct.Polys[0], nil)
 	return &Ciphertext{Polys: []*ring.Poly{c0, c1}, Scale: ct.Scale, Level: ct.Level}, nil
 }
 
 // Rescale divides the ciphertext by its current last prime and drops one
-// level (CKKS.Rescale, built on Algorithm 6 with rounding). Components
-// are floored in pairs so each pair shares one worker fan-out and one
-// batched tail INTT.
+// level (CKKS.Rescale, built on Algorithm 6 with rounding) — a thin
+// allocating wrapper over RescaleInto.
 func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
-	if ct.Level == 0 {
-		return nil, fmt.Errorf("ckks: cannot rescale below level 0")
-	}
-	ctx := ev.params.RingQP
-	pLast := ev.params.Q[ct.Level]
-	out := &Ciphertext{Scale: ct.Scale / float64(pLast), Level: ct.Level - 1}
-	out.Polys = make([]*ring.Poly, len(ct.Polys))
-	for i := 0; i+1 < len(ct.Polys); i += 2 {
-		out.Polys[i], out.Polys[i+1] = ctx.FloorDropLastPair(ct.Polys[i], ct.Polys[i+1], true)
-	}
-	if len(ct.Polys)%2 == 1 {
-		out.Polys[len(ct.Polys)-1] = ctx.FloorDropLast(ct.Polys[len(ct.Polys)-1], true)
+	out := &Ciphertext{}
+	if err := ev.RescaleInto(ct, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -304,7 +312,7 @@ func (ev *Evaluator) RotateRight(ct *Ciphertext, step int, gks *GaloisKeySet) (*
 // ConjugateSlots applies complex conjugation to every slot.
 func (ev *Evaluator) ConjugateSlots(ct *Ciphertext, gks *GaloisKeySet) (*Ciphertext, error) {
 	if gks == nil || gks.Conjugate == nil {
-		return nil, fmt.Errorf("ckks: no conjugation key provided")
+		return nil, fmt.Errorf("ckks: no conjugation key provided: %w", ErrKeyMissing)
 	}
 	return ev.applyGalois(ct, gks.Conjugate)
 }
@@ -314,7 +322,7 @@ func (ev *Evaluator) ConjugateSlots(ct *Ciphertext, gks *GaloisKeySet) (*Ciphert
 // second component back to s.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, error) {
 	if ct.Degree() != 1 {
-		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d); relinearize first", ct.Degree())
+		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d); relinearize first: %w", ct.Degree(), ErrDegreeMismatch)
 	}
 	ctx := ev.params.RingQP
 	rows := ct.Level + 1
@@ -325,8 +333,7 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, e
 	c1g := ctx.GetPolyNoZero(rows)
 	defer ctx.PutPoly(c0g)
 	defer ctx.PutPoly(c1g)
-	ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
-	ctx.AutomorphismNTT(ct.Polys[1], table, c1g)
+	ctx.AutomorphismNTTPair(ct.Polys[0], ct.Polys[1], table, c0g, c1g)
 
 	out0, out1 := ev.keySwitchAdd(c1g, &key.SwitchingKey, c0g, nil)
 	return &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}, nil
@@ -336,7 +343,7 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, e
 // (useful to align operands before addition).
 func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
 	if level < 0 || level > ct.Level {
-		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d: %w", ct.Level, level, ErrLevelMismatch)
 	}
 	return CopyOf(ev.atLevel(ct, level)), nil
 }

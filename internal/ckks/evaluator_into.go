@@ -1,0 +1,229 @@
+package ckks
+
+import (
+	"fmt"
+
+	"heax/internal/ring"
+)
+
+// In-place operation variants: each *Into method lands its result in a
+// caller-owned ciphertext instead of allocating a fresh one, reusing the
+// ring context's pooled scratch for all intermediates. A serving loop
+// that round-robins over a fixed set of NewCiphertext outputs therefore
+// runs at zero steady-state allocations — the software analogue of the
+// HEAX memory map (Section 5.1), where results stay in preallocated
+// device buffers instead of materializing new ones per operation.
+//
+// Output ciphertexts may alias an input when the shapes match: every
+// operation fully consumes its inputs (into pooled scratch or per-
+// element reads) before the output rows are written.
+
+// NewCiphertext allocates a degree-`degree` ciphertext at `level` with
+// the given scale. Components are backed at the parameter set's full
+// level so the same ciphertext can be reused as an *Into output at any
+// level at or below its current one (and back up again).
+func NewCiphertext(params *Params, degree, level int, scale float64) (*Ciphertext, error) {
+	if degree < 1 || degree > 2 {
+		return nil, fmt.Errorf("ckks: ciphertext degree %d out of range [1,2]: %w", degree, ErrDegreeMismatch)
+	}
+	if level < 0 || level > params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range [0,%d]: %w", level, params.MaxLevel(), ErrLevelMismatch)
+	}
+	ct := &Ciphertext{Scale: scale, Level: level}
+	for i := 0; i <= degree; i++ {
+		p := params.RingQP.NewPoly(params.K())
+		p.Coeffs = p.Coeffs[:level+1]
+		ct.Polys = append(ct.Polys, p)
+	}
+	return ct, nil
+}
+
+// prepareInto reshapes out in place to hold a degree-`degree` result at
+// `level` with scale `scale`, reusing the components' backing storage.
+// Components that cannot hold level+1 rows yield ErrLevelMismatch;
+// missing components are allocated (pre-shaped outputs stay
+// allocation-free).
+func (ev *Evaluator) prepareInto(out *Ciphertext, degree, level int, scale float64) error {
+	if out == nil {
+		return fmt.Errorf("ckks: nil output ciphertext")
+	}
+	ctx := ev.params.RingQP
+	rows := level + 1
+	if len(out.Polys) > degree+1 {
+		out.Polys = out.Polys[:degree+1]
+	}
+	for len(out.Polys) < degree+1 {
+		out.Polys = append(out.Polys, ctx.NewPoly(rows))
+	}
+	for i, p := range out.Polys {
+		if p == nil {
+			out.Polys[i] = ctx.NewPoly(rows)
+			continue
+		}
+		if cap(p.Coeffs) < rows {
+			return fmt.Errorf("ckks: output component %d backs %d rows, result needs %d: %w",
+				i, cap(p.Coeffs), rows, ErrLevelMismatch)
+		}
+		was := len(p.Coeffs)
+		p.Coeffs = p.Coeffs[:rows]
+		for j := was; j < rows; j++ {
+			if len(p.Coeffs[j]) != ctx.N {
+				return fmt.Errorf("ckks: output component %d row %d not backed by this ring: %w",
+					i, j, ErrLevelMismatch)
+			}
+		}
+	}
+	out.Scale, out.Level = scale, level
+	return nil
+}
+
+// AddInto computes ct0 + ct1 into out (CKKS.Add, in place). Operands may
+// have different degrees and levels exactly as Add allows; out may alias
+// either operand when shapes already match.
+func (ev *Evaluator) AddInto(ct0, ct1, out *Ciphertext) error {
+	if !scalesClose(ct0.Scale, ct1.Scale) {
+		return fmt.Errorf("ckks: cannot add scales %g and %g: %w", ct0.Scale, ct1.Scale, ErrScaleMismatch)
+	}
+	a, b := ev.alignLevels(ct0, ct1)
+	if len(a.Polys) < len(b.Polys) {
+		a, b = b, a
+	}
+	if err := ev.prepareInto(out, a.Degree(), a.Level, a.Scale); err != nil {
+		return err
+	}
+	ctx := ev.params.RingQP
+	rows := a.Level + 1
+	for i, p := range a.Polys {
+		if p.Rows() != rows {
+			p = p.Resize(rows)
+		}
+		if i < len(b.Polys) {
+			q := b.Polys[i]
+			if q.Rows() != rows {
+				q = q.Resize(rows)
+			}
+			ctx.Add(p, q, out.Polys[i])
+			continue
+		}
+		if out.Polys[i] != p {
+			for r := 0; r < rows; r++ {
+				copy(out.Polys[i].Coeffs[r], p.Coeffs[r])
+			}
+		}
+	}
+	return nil
+}
+
+// MulRelinInto computes the relinearized product of two degree-1
+// ciphertexts into out — the fused MULT+ReLin hot path of Table 8 with
+// the result landing in caller-owned storage: the degree-2 tensor lives
+// in pooled scratch and the key-switch flooring tail (plus the final
+// additions) writes straight into out's two components.
+func (ev *Evaluator) MulRelinInto(ct0, ct1 *Ciphertext, rlk *RelinearizationKey, out *Ciphertext) error {
+	if ct0.Degree() != 1 || ct1.Degree() != 1 {
+		return fmt.Errorf("ckks: MulRelin requires degree-1 operands (got %d and %d): %w",
+			ct0.Degree(), ct1.Degree(), ErrDegreeMismatch)
+	}
+	a, b := ev.alignLevels(ct0, ct1)
+	if err := ev.prepareInto(out, 1, a.Level, a.Scale*b.Scale); err != nil {
+		return err
+	}
+	ctx := ev.params.RingQP
+	rows := a.Level + 1
+	c0 := ctx.GetPolyNoZero(rows)
+	c1 := ctx.GetPolyNoZero(rows)
+	c2 := ctx.GetPolyNoZero(rows)
+	defer ctx.PutPoly(c0)
+	defer ctx.PutPoly(c1)
+	defer ctx.PutPoly(c2)
+	ctx.MulCoeffsTensor(a.Polys[0], a.Polys[1], b.Polys[0], b.Polys[1], c0, c1, c2)
+	ev.keySwitchAddInto(c2, &rlk.SwitchingKey, c0, c1, out.Polys[0], out.Polys[1])
+	return nil
+}
+
+// RescaleInto divides ct by its current last prime into out, dropping
+// one level (CKKS.Rescale in place). Components are floored in pairs so
+// each pair shares one worker fan-out and one batched tail INTT. out may
+// be ct itself (or share its components) for a true in-place rescale:
+// the flooring reads each row element before writing it.
+func (ev *Evaluator) RescaleInto(ct, out *Ciphertext) error {
+	if ct.Level == 0 {
+		return fmt.Errorf("ckks: cannot rescale below level 0: %w", ErrLevelMismatch)
+	}
+	// Capture the input component views before prepareInto reshapes out:
+	// when out aliases ct, reshaping truncates the shared row slices, so
+	// aliased inputs are re-extended over the same backing rows.
+	ins := ct.Polys
+	inRows := ct.Level + 1
+	aliased := out == ct
+	if !aliased {
+		for _, p := range out.Polys {
+			for _, q := range ct.Polys {
+				if p != nil && p == q {
+					aliased = true
+				}
+			}
+		}
+	}
+	if aliased {
+		ins = make([]*ring.Poly, len(ct.Polys))
+		for i, p := range ct.Polys {
+			ins[i] = &ring.Poly{Coeffs: p.Coeffs[:inRows]}
+		}
+	}
+	pLast := ev.params.Q[inRows-1]
+	if err := ev.prepareInto(out, len(ins)-1, inRows-2, ct.Scale/float64(pLast)); err != nil {
+		return err
+	}
+	ctx := ev.params.RingQP
+	idx := ev.seqIdx[inRows]
+	for i := 0; i+1 < len(ins); i += 2 {
+		ctx.FloorDropRowsPairInto(ins[i], ins[i+1], out.Polys[i], out.Polys[i+1], idx, true, false)
+	}
+	if len(ins)%2 == 1 {
+		last := len(ins) - 1
+		ctx.FloorDropRowsInto(ins[last], out.Polys[last], idx, true, false)
+	}
+	return nil
+}
+
+// RotateLeftInto rotates message slots left by step positions into out
+// using the matching Galois key.
+func (ev *Evaluator) RotateLeftInto(ct *Ciphertext, step int, gks *GaloisKeySet, out *Ciphertext) error {
+	key, err := gks.rotationKey(step)
+	if err != nil {
+		return err
+	}
+	return ev.applyGaloisInto(ct, key, out)
+}
+
+// ConjugateSlotsInto applies complex conjugation to every slot, into out.
+func (ev *Evaluator) ConjugateSlotsInto(ct *Ciphertext, gks *GaloisKeySet, out *Ciphertext) error {
+	if gks == nil || gks.Conjugate == nil {
+		return fmt.Errorf("ckks: no conjugation key provided: %w", ErrKeyMissing)
+	}
+	return ev.applyGaloisInto(ct, gks.Conjugate, out)
+}
+
+// applyGaloisInto is applyGalois landing in a caller-owned ciphertext:
+// both permuted components are pooled scratch, and the key-switch tail
+// (with the c0 addition folded in) writes directly into out.
+func (ev *Evaluator) applyGaloisInto(ct *Ciphertext, key *GaloisKey, out *Ciphertext) error {
+	if ct.Degree() != 1 {
+		return fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d); relinearize first: %w",
+			ct.Degree(), ErrDegreeMismatch)
+	}
+	if err := ev.prepareInto(out, 1, ct.Level, ct.Scale); err != nil {
+		return err
+	}
+	ctx := ev.params.RingQP
+	rows := ct.Level + 1
+	table := ctx.AutomorphismNTTTable(key.GaloisElt)
+	c0g := ctx.GetPolyNoZero(rows)
+	c1g := ctx.GetPolyNoZero(rows)
+	defer ctx.PutPoly(c0g)
+	defer ctx.PutPoly(c1g)
+	ctx.AutomorphismNTTPair(ct.Polys[0], ct.Polys[1], table, c0g, c1g)
+	ev.keySwitchAddInto(c1g, &key.SwitchingKey, c0g, nil, out.Polys[0], out.Polys[1])
+	return nil
+}

@@ -195,11 +195,11 @@ func (kg *KeyGenerator) GenGaloisKeySet(sk *SecretKey, steps []int, conjugate bo
 // rotationKey fetches the key for a step, with a helpful error.
 func (g *GaloisKeySet) rotationKey(step int) (*GaloisKey, error) {
 	if g == nil {
-		return nil, fmt.Errorf("ckks: no Galois keys provided")
+		return nil, fmt.Errorf("ckks: no Galois keys provided: %w", ErrKeyMissing)
 	}
 	k, ok := g.Rotations[step]
 	if !ok {
-		return nil, fmt.Errorf("ckks: no Galois key for rotation step %d", step)
+		return nil, fmt.Errorf("ckks: no Galois key for rotation step %d: %w", step, ErrKeyMissing)
 	}
 	return k, nil
 }

@@ -264,10 +264,11 @@ func (ev *Evaluator) putJob(j *ksJob) {
 	j.digits, j.shoup = nil, nil
 	j.acc0, j.acc1, j.intt = nil, nil, nil
 	j.g, j.trace = nil, nil
-	for i := range j.batch {
-		j.batch[i] = nil // drop references into pooled scratch
+	b := j.batch[:cap(j.batch)]
+	for i := range b {
+		b[i] = nil // drop references into pooled scratch
 	}
-	j.batch = j.batch[:0]
+	j.batch = b[:0]
 	ev.jobs.Put(j)
 }
 

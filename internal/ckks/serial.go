@@ -50,13 +50,13 @@ func readHeader(r io.Reader, want objectKind) error {
 		}
 	}
 	if magic != serialMagic {
-		return fmt.Errorf("ckks: bad magic %#x", magic)
+		return fmt.Errorf("ckks: bad magic %#x: %w", magic, ErrCorrupt)
 	}
 	if version != serialVersion {
-		return fmt.Errorf("ckks: unsupported version %d", version)
+		return fmt.Errorf("ckks: unsupported version %d: %w", version, ErrCorrupt)
 	}
 	if kind != uint32(want) {
-		return fmt.Errorf("ckks: expected object kind %d, found %d", want, kind)
+		return fmt.Errorf("ckks: expected object kind %d, found %d: %w", want, kind, ErrCorrupt)
 	}
 	return nil
 }
@@ -85,10 +85,10 @@ func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
 		return nil, err
 	}
 	if int(n) != ctx.N {
-		return nil, fmt.Errorf("ckks: polynomial degree %d does not match context %d", n, ctx.N)
+		return nil, fmt.Errorf("ckks: polynomial degree %d does not match context %d: %w", n, ctx.N, ErrCorrupt)
 	}
 	if rows == 0 || int(rows) > ctx.K() {
-		return nil, fmt.Errorf("ckks: polynomial rows %d out of range", rows)
+		return nil, fmt.Errorf("ckks: polynomial rows %d out of range: %w", rows, ErrCorrupt)
 	}
 	p := ctx.NewPoly(int(rows))
 	for _, row := range p.Coeffs {
@@ -101,7 +101,7 @@ func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
 		prime := ctx.Basis.Primes[i]
 		for _, v := range row {
 			if v >= prime {
-				return nil, fmt.Errorf("ckks: residue %d out of range for prime %d", v, prime)
+				return nil, fmt.Errorf("ckks: residue %d out of range for prime %d: %w", v, prime, ErrCorrupt)
 			}
 		}
 	}
@@ -222,10 +222,10 @@ func ReadCiphertext(r io.Reader, params *Params) (*Ciphertext, error) {
 		return nil, err
 	}
 	if np < 2 || np > 3 {
-		return nil, fmt.Errorf("ckks: ciphertext with %d components", np)
+		return nil, fmt.Errorf("ckks: ciphertext with %d components: %w", np, ErrCorrupt)
 	}
 	if int(level) > params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: level %d above maximum %d", level, params.MaxLevel())
+		return nil, fmt.Errorf("ckks: level %d above maximum %d: %w", level, params.MaxLevel(), ErrCorrupt)
 	}
 	ct := &Ciphertext{Scale: math.Float64frombits(scaleBits), Level: int(level)}
 	for i := 0; i < int(np); i++ {
@@ -234,7 +234,7 @@ func ReadCiphertext(r io.Reader, params *Params) (*Ciphertext, error) {
 			return nil, err
 		}
 		if p.Rows() != int(level)+1 {
-			return nil, fmt.Errorf("ckks: component rows %d do not match level %d", p.Rows(), level)
+			return nil, fmt.Errorf("ckks: component rows %d do not match level %d: %w", p.Rows(), level, ErrCorrupt)
 		}
 		ct.Polys = append(ct.Polys, p)
 	}

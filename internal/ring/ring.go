@@ -43,6 +43,13 @@ type Context struct {
 	// pool recycles full-basis Poly buffers so evaluator hot paths
 	// (key switching, rescale) allocate nothing per call.
 	pool sync.Pool
+
+	// autoTables caches the NTT-domain automorphism permutation per
+	// Galois element: a rotation workload reuses a handful of elements
+	// across millions of calls, and each table is n ints — recomputing
+	// (and reallocating) it per rotation would dominate the key switch
+	// it feeds. Keyed by Galois element, value []int.
+	autoTables sync.Map
 }
 
 // NewContext builds a Context for ring degree n over the given primes,
@@ -515,10 +522,23 @@ func (c *Context) Automorphism(a *Poly, g uint64, out *Poly) {
 	})
 }
 
-// AutomorphismNTTTable precomputes the slot permutation implementing
+// AutomorphismNTTTable returns the slot permutation implementing
 // X -> X^g directly on bit-reversed NTT-domain polynomials:
-// out[i] = in[table[i]].
+// out[i] = in[table[i]]. Tables are computed once per Galois element and
+// cached on the context (safe for concurrent use; the returned slice is
+// shared and must not be mutated).
 func (c *Context) AutomorphismNTTTable(g uint64) []int {
+	if t, ok := c.autoTables.Load(g); ok {
+		return t.([]int)
+	}
+	table := c.automorphismNTTTable(g)
+	if t, loaded := c.autoTables.LoadOrStore(g, table); loaded {
+		return t.([]int)
+	}
+	return table
+}
+
+func (c *Context) automorphismNTTTable(g uint64) []int {
 	n := uint64(c.N)
 	logn := c.LogN
 	table := make([]int, n)
@@ -540,6 +560,25 @@ func (c *Context) AutomorphismNTT(a *Poly, table []int, out *Poly) {
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = ai[table[j]]
+		}
+	})
+}
+
+// AutomorphismNTTPair permutes the two components of a ciphertext in a
+// single row pass — one worker fan-out (and one closure) instead of two,
+// which is what keeps the in-place rotation at the hot-path allocation
+// budget.
+func (c *Context) AutomorphismNTTPair(a0, a1 *Poly, table []int, out0, out1 *Poly) {
+	if a0 == out0 || a1 == out1 || a0 == out1 || a1 == out0 {
+		panic("ring: AutomorphismNTT cannot run in place")
+	}
+	c.RunRows(rowsOf(a0, a1, out0, out1), func(i int) {
+		x0, o0 := a0.Coeffs[i], out0.Coeffs[i]
+		x1, o1 := a1.Coeffs[i], out1.Coeffs[i]
+		for j := range o0 {
+			t := table[j]
+			o0[j] = x0[t]
+			o1[j] = x1[t]
 		}
 	})
 }
@@ -606,6 +645,20 @@ func (c *Context) FloorDropRowsPair(a0, a1 *Poly, rowPrimes []int, round, lazy b
 // or a separate addition sweep.
 func (c *Context) FloorDropRowsPairAddInto(a0, a1, out0, out1, add0, add1 *Poly, rowPrimes []int, round, lazy bool) {
 	c.floorDrop(a0, a1, out0, out1, add0, add1, rowPrimes, round, lazy)
+}
+
+// FloorDropRowsInto is FloorDropRows landing in the caller-provided
+// output polynomial (out must have a.Rows()-1 rows) — the single-poly
+// tail of an in-place rescale on a ciphertext with an odd component
+// count.
+func (c *Context) FloorDropRowsInto(a, out *Poly, rowPrimes []int, round, lazy bool) {
+	c.floorDrop(a, nil, out, nil, nil, nil, rowPrimes, round, lazy)
+}
+
+// FloorDropRowsPairInto is FloorDropRowsPair landing in the caller-
+// provided output pair — the in-place rescale hot path.
+func (c *Context) FloorDropRowsPairInto(a0, a1, out0, out1 *Poly, rowPrimes []int, round, lazy bool) {
+	c.floorDrop(a0, a1, out0, out1, nil, nil, rowPrimes, round, lazy)
 }
 
 func (c *Context) floorDrop(a0, a1, out0, out1, add0, add1 *Poly, rowPrimes []int, round, lazy bool) {

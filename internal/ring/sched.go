@@ -172,14 +172,6 @@ func (g *Group) Go(t Task) {
 // should implement Task on a pooled struct instead).
 func (g *Group) GoFunc(fn func()) { g.Go(taskFunc(fn)) }
 
-// RunInline executes t on the calling goroutine under this group's
-// accounting — the degenerate path when the context is single-worker.
-func (g *Group) RunInline(t Task) {
-	g.pending.Add(1)
-	t.Run()
-	g.done()
-}
-
 func (g *Group) done() {
 	if g.pending.Add(-1) == 0 {
 		select {

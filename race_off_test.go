@@ -1,0 +1,5 @@
+//go:build !race
+
+package heax_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package heax_test
+
+// raceEnabled reports whether the race detector is on: sync.Pool
+// deliberately drops items at random under -race, so allocation-count
+// assertions are not meaningful there.
+const raceEnabled = true

@@ -1,0 +1,197 @@
+package heax
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrDependency marks a submitted operation that never ran because one
+// of its input futures failed; the cause is joined into the error chain,
+// so errors.Is also matches the root sentinel.
+var ErrDependency = errors.New("dependent operation failed")
+
+// Operand is an input to a submitted operation: either a ready
+// ciphertext (Arg) or the Future of a previously submitted operation —
+// passing a Future is how dependency edges are expressed.
+type Operand interface {
+	await() (*Ciphertext, error)
+}
+
+type ctOperand struct{ ct *Ciphertext }
+
+func (o ctOperand) await() (*Ciphertext, error) { return o.ct, nil }
+
+// Arg wraps a ready ciphertext as an operation input.
+func Arg(ct *Ciphertext) Operand { return ctOperand{ct: ct} }
+
+// Future is the pending result of a submitted operation. Futures
+// resolve out of order as the session's in-flight window allows.
+type Future struct {
+	done chan struct{}
+	ct   *Ciphertext
+	err  error
+}
+
+// Done returns a channel closed when the operation has resolved.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the operation resolves and returns its result.
+func (f *Future) Wait() (*Ciphertext, error) {
+	<-f.done
+	return f.ct, f.err
+}
+
+func (f *Future) await() (*Ciphertext, error) { return f.Wait() }
+
+// Op is one homomorphic operation to submit to a Session, built with
+// the *Op constructors below.
+type Op struct {
+	name string
+	args []Operand
+	run  func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error)
+}
+
+// AddOp is a + b.
+func AddOp(a, b Operand) Op {
+	return Op{name: "Add", args: []Operand{a, b},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.Add(in[0], in[1]) }}
+}
+
+// SubOp is a - b.
+func SubOp(a, b Operand) Op {
+	return Op{name: "Sub", args: []Operand{a, b},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.Sub(in[0], in[1]) }}
+}
+
+// MulRelinOp is the relinearized product of a and b.
+func MulRelinOp(a, b Operand) Op {
+	return Op{name: "MulRelin", args: []Operand{a, b},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.MulRelin(in[0], in[1]) }}
+}
+
+// MulPlainOp is a ⊙ pt.
+func MulPlainOp(a Operand, pt *Plaintext) Op {
+	return Op{name: "MulPlain", args: []Operand{a},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.MulPlain(in[0], pt) }}
+}
+
+// AddPlainOp is a + pt.
+func AddPlainOp(a Operand, pt *Plaintext) Op {
+	return Op{name: "AddPlain", args: []Operand{a},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.AddPlain(in[0], pt) }}
+}
+
+// RescaleOp divides a by its last prime, dropping one level.
+func RescaleOp(a Operand) Op {
+	return Op{name: "Rescale", args: []Operand{a},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.Rescale(in[0]) }}
+}
+
+// RotateOp rotates a's slots left by step positions.
+func RotateOp(a Operand, step int) Op {
+	return Op{name: "Rotate", args: []Operand{a},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.RotateLeft(in[0], step) }}
+}
+
+// InnerSumOp sums n2 consecutive slots of a into every slot.
+func InnerSumOp(a Operand, n2 int) Op {
+	return Op{name: "InnerSum", args: []Operand{a},
+		run: func(e *Evaluator, in []*Ciphertext) (*Ciphertext, error) { return e.InnerSum(in[0], n2) }}
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithMaxInFlight bounds how many submitted operations may execute
+// concurrently — the software analogue of the paper's bounded device
+// buffers (double buffering for MULT, f1-deep for KeySwitch). Defaults
+// to 2×GOMAXPROCS.
+func WithMaxInFlight(n int) SessionOption {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.sem = make(chan struct{}, n)
+	}
+}
+
+// Session is the asynchronous submission front end of the paper's
+// system view (Section 5.2, Figure 7): applications enqueue operations
+// with Submit, a bounded number execute concurrently on the evaluator's
+// worker-pool scheduler, and futures resolve out of order. An operation
+// whose input is another operation's Future starts only once that
+// future resolves, so dependency chains are expressed by plugging
+// futures into *Op constructors.
+//
+// A Session is safe for concurrent Submit from multiple goroutines;
+// Flush waits for every operation submitted before the call.
+type Session struct {
+	eval *Evaluator
+	sem  chan struct{}
+
+	mu      sync.Mutex
+	pending []*Future
+}
+
+// NewSession builds a session submitting onto eval.
+func NewSession(eval *Evaluator, opts ...SessionOption) *Session {
+	s := &Session{
+		eval: eval,
+		sem:  make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Submit enqueues op and returns its Future immediately. The operation
+// runs as soon as all of its operands have resolved and an in-flight
+// slot is free; independent submissions complete out of order.
+func (s *Session) Submit(op Op) *Future {
+	f := &Future{done: make(chan struct{})}
+	s.mu.Lock()
+	s.pending = append(s.pending, f)
+	s.mu.Unlock()
+	go func() {
+		defer close(f.done)
+		in := make([]*Ciphertext, len(op.args))
+		for i, a := range op.args {
+			ct, err := a.await()
+			if err != nil {
+				f.err = fmt.Errorf("heax: %s input %d: %w", op.name, i, errors.Join(ErrDependency, err))
+				return
+			}
+			in[i] = ct
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		ct, err := op.run(s.eval, in)
+		if err != nil {
+			f.err = fmt.Errorf("heax: %s: %w", op.name, err)
+			return
+		}
+		f.ct = ct
+	}()
+	return f
+}
+
+// Flush blocks until every operation submitted before the call has
+// resolved and returns the first error among them (in submission
+// order), or nil. Resolved futures are released from the session's
+// bookkeeping; their results remain available through the Future.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	futs := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	var first error
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

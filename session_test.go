@@ -1,0 +1,178 @@
+package heax_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"heax"
+)
+
+// TestSessionDependencyChain submits the statistics-shaped DAG — two
+// independent chains, one with internal dependency edges — and pins
+// every future's result to the direct synchronous computation.
+func TestSessionDependencyChain(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1.5, 2.5, -0.5})
+	y := k.encrypt(t, []float64{0.5, -1.0, 2.0})
+
+	// Direct reference results.
+	wantProd, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRescaled, err := k.eval.Rescale(wantProd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRot, err := k.eval.RotateLeft(wantRescaled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, err := k.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval, heax.WithMaxInFlight(4))
+	fProd := sess.Submit(heax.MulRelinOp(heax.Arg(x), heax.Arg(y)))
+	fRescaled := sess.Submit(heax.RescaleOp(fProd))
+	fRot := sess.Submit(heax.RotateOp(fRescaled, 1))
+	fSum := sess.Submit(heax.AddOp(heax.Arg(x), heax.Arg(y)))
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		f    *heax.Future
+		want *heax.Ciphertext
+	}{
+		{"MulRelin", fProd, wantProd},
+		{"Rescale", fRescaled, wantRescaled},
+		{"Rotate", fRot, wantRot},
+		{"Add", fSum, wantSum},
+	} {
+		got, err := tc.f.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !ctEqual(tc.want, got) {
+			t.Fatalf("%s: session result differs from direct call", tc.name)
+		}
+	}
+}
+
+// TestSessionManyInFlight floods the session with independent work plus
+// dependent tails — the out-of-order resolution path under load (and
+// under -race in CI).
+func TestSessionManyInFlight(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2, 3})
+	y := k.encrypt(t, []float64{4, 5, 6})
+	want, err := k.eval.MulRelin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRescaled, err := k.eval.Rescale(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval, heax.WithMaxInFlight(3))
+	const ops = 24
+	tails := make([]*heax.Future, ops)
+	for i := range tails {
+		head := sess.Submit(heax.MulRelinOp(heax.Arg(x), heax.Arg(y)))
+		tails[i] = sess.Submit(heax.RescaleOp(head))
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range tails {
+		got, err := f.Wait()
+		if err != nil {
+			t.Fatalf("tail %d: %v", i, err)
+		}
+		if !ctEqual(wantRescaled, got) {
+			t.Fatalf("tail %d diverged", i)
+		}
+	}
+}
+
+// TestSessionConcurrentSubmit races many submitting goroutines against
+// one session.
+func TestSessionConcurrentSubmit(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2})
+	y := k.encrypt(t, []float64{3, 4})
+	want, err := k.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval)
+	var wg sync.WaitGroup
+	futs := make([]*heax.Future, 16)
+	for i := range futs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			futs[i] = sess.Submit(heax.AddOp(heax.Arg(x), heax.Arg(y)))
+		}(i)
+	}
+	wg.Wait()
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		got, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if !ctEqual(want, got) {
+			t.Fatalf("future %d diverged", i)
+		}
+	}
+}
+
+// TestSessionErrorPropagation: a failing op poisons its dependents with
+// ErrDependency while the root cause stays reachable through errors.Is,
+// and Flush surfaces the failure.
+func TestSessionErrorPropagation(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2})
+	bottom, err := k.eval.DropLevel(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval)
+	fBad := sess.Submit(heax.RescaleOp(heax.Arg(bottom))) // level 0: must fail
+	fDep := sess.Submit(heax.RotateOp(fBad, 1))
+	fDepDep := sess.Submit(heax.RescaleOp(fDep))
+
+	if _, err := fBad.Wait(); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("root failure: got %v, want ErrLevelMismatch", err)
+	}
+	for name, f := range map[string]*heax.Future{"direct dependent": fDep, "transitive dependent": fDepDep} {
+		_, err := f.Wait()
+		if !errors.Is(err, heax.ErrDependency) {
+			t.Fatalf("%s: got %v, want ErrDependency", name, err)
+		}
+		if !errors.Is(err, heax.ErrLevelMismatch) {
+			t.Fatalf("%s: root cause not in chain: %v", name, err)
+		}
+	}
+	if err := sess.Flush(); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("Flush: got %v, want the root failure", err)
+	}
+	// The session remains usable after a failed batch.
+	fOK := sess.Submit(heax.AddOp(heax.Arg(x), heax.Arg(x)))
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fOK.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
