@@ -378,8 +378,25 @@ func TestEvaluatorOptions(t *testing.T) {
 	if !ctEqual(want, got) {
 		t.Fatal("WithWorkers(1) evaluator diverged from default")
 	}
-	// Restore the shared context's default worker cap for other tests.
-	heax.NewEvaluator(k.params, k.evk, heax.WithWorkers(runtime.GOMAXPROCS(0)))
+	// The cap is scoped to the evaluator it was set on: neither other
+	// evaluators on the same Params nor fresh ones see it, and
+	// ShallowCopy inherits it.
+	if w := serial.Workers(); w != 1 {
+		t.Fatalf("serial evaluator cap = %d, want 1", w)
+	}
+	if w := serial.ShallowCopy().Workers(); w != 1 {
+		t.Fatalf("ShallowCopy cap = %d, want 1", w)
+	}
+	if w := k.eval.Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("shared evaluator cap leaked: %d, want %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := heax.NewEvaluator(k.params, k.evk).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("fresh evaluator cap leaked: %d, want %d", w, runtime.GOMAXPROCS(0))
+	}
+	wide := heax.NewEvaluator(k.params, k.evk, heax.WithWorkers(3))
+	if a, b := wide.Workers(), serial.Workers(); a != 3 || b != 1 {
+		t.Fatalf("caps not independent: %d and %d, want 3 and 1", a, b)
+	}
 
 	dec := k.decodeReal(t, got, 2)
 	if math.Abs(dec[0]-0.5) > 1e-3 || math.Abs(dec[1]+0.1875) > 1e-3 {

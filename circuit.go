@@ -1,0 +1,277 @@
+package heax
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circuit is the build stage of the compile-once / run-many pipeline —
+// the host-side analogue of fixing the dataflow a HEAX board will
+// stream batches through (Section 5.2). A circuit is a DAG of symbolic
+// nodes over named encrypted inputs and plaintext constants, with *no*
+// rescale, relinearization or level bookkeeping: Compile infers a
+// (level, scale) assignment for every node, inserts the maintenance
+// operations itself, and returns an immutable Plan that can execute
+// arbitrarily many input batches.
+//
+//	c := heax.NewCircuit()
+//	x := c.Input("x")
+//	y := c.Output("y", c.AddConst(c.MulRelin(x, x), 1))
+//	plan, err := c.Compile(params, evk)
+//	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
+//
+// Builder methods never fail mid-chain: misuse (a Node from another
+// circuit, a bad width) is recorded and surfaced by Compile.
+type Circuit struct {
+	nodes   []cnode
+	inputs  []string       // input names in declaration order
+	inputID map[string]int // input name -> node id
+	outputs []circuitOut
+	outSet  map[string]bool
+	err     error
+}
+
+type circuitOut struct {
+	name string
+	node int
+}
+
+// Node is an opaque handle to a circuit value. The zero Node is
+// invalid; Nodes are only produced by the builder methods of the
+// Circuit that owns them.
+type Node struct {
+	c  *Circuit
+	id int
+}
+
+type nodeKind uint8
+
+const (
+	kindInput nodeKind = iota
+	kindAdd
+	kindSub
+	kindMulRelin
+	kindMulPlain
+	kindAddPlain
+	kindRotate
+	kindConjugate
+	kindInnerSum
+)
+
+var nodeKindNames = [...]string{
+	kindInput:     "Input",
+	kindAdd:       "Add",
+	kindSub:       "Sub",
+	kindMulRelin:  "MulRelin",
+	kindMulPlain:  "MulPlain",
+	kindAddPlain:  "AddPlain",
+	kindRotate:    "Rotate",
+	kindConjugate: "ConjugateSlots",
+	kindInnerSum:  "InnerSum",
+}
+
+// cnode is one symbolic operation as the user built it; Compile lowers
+// these into plan steps with the maintenance operations inserted.
+type cnode struct {
+	kind nodeKind
+	args []int
+	// Plaintext payload for MulPlain/AddPlain: an explicit slot vector,
+	// or a scalar broadcast across all slots (the width is only known
+	// at Compile, when the parameter set fixes the slot count).
+	vals      []float64
+	scalar    float64
+	broadcast bool
+	name      string // input name
+	step      int    // rotation step
+	n2        int    // InnerSum width
+}
+
+// NewCircuit returns an empty circuit builder.
+func NewCircuit() *Circuit {
+	return &Circuit{inputID: make(map[string]int), outSet: make(map[string]bool)}
+}
+
+func (c *Circuit) fail(format string, args ...any) Node {
+	if c.err == nil {
+		c.err = fmt.Errorf("heax: "+format, args...)
+	}
+	// A self-owned dummy keeps call chains alive; Compile reports err.
+	return Node{c: c, id: 0}
+}
+
+func (c *Circuit) push(n cnode) Node {
+	c.nodes = append(c.nodes, n)
+	return Node{c: c, id: len(c.nodes) - 1}
+}
+
+func (c *Circuit) arg(n Node, op string) (int, bool) {
+	if n.c != c {
+		c.fail("%s: operand is the zero Node or belongs to another circuit", op)
+		return 0, false
+	}
+	return n.id, true
+}
+
+func (c *Circuit) args2(a, b Node, op string) ([]int, bool) {
+	ia, ok1 := c.arg(a, op)
+	ib, ok2 := c.arg(b, op)
+	return []int{ia, ib}, ok1 && ok2
+}
+
+// Input declares a named encrypted input. Inputs enter at the parameter
+// set's top level and default scale; Plan.Run validates the ciphertexts
+// it is handed against that. Declaring the same name twice returns the
+// same node.
+func (c *Circuit) Input(name string) Node {
+	if name == "" {
+		return c.fail("Input: empty name")
+	}
+	if id, ok := c.inputID[name]; ok {
+		return Node{c: c, id: id}
+	}
+	n := c.push(cnode{kind: kindInput, name: name})
+	c.inputID[name] = n.id
+	c.inputs = append(c.inputs, name)
+	return n
+}
+
+// Add returns a + b. Operand levels and scales need not match: the
+// compiler reconciles them.
+func (c *Circuit) Add(a, b Node) Node {
+	ids, ok := c.args2(a, b, "Add")
+	if !ok {
+		return Node{c: c}
+	}
+	return c.push(cnode{kind: kindAdd, args: ids})
+}
+
+// Sub returns a - b.
+func (c *Circuit) Sub(a, b Node) Node {
+	ids, ok := c.args2(a, b, "Sub")
+	if !ok {
+		return Node{c: c}
+	}
+	return c.push(cnode{kind: kindSub, args: ids})
+}
+
+// MulRelin returns the relinearized product a · b. The compiler
+// rescales the operands to the level's canonical scale first and keeps
+// every intermediate at degree 1.
+func (c *Circuit) MulRelin(a, b Node) Node {
+	ids, ok := c.args2(a, b, "MulRelin")
+	if !ok {
+		return Node{c: c}
+	}
+	return c.push(cnode{kind: kindMulRelin, args: ids})
+}
+
+// MulPlain returns a ⊙ values (slot-wise product with a plaintext
+// vector, encoded by the compiler at the level and scale inference
+// assigns). len(values) must not exceed the parameter set's slot count.
+func (c *Circuit) MulPlain(a Node, values []float64) Node {
+	return c.plainNode(kindMulPlain, a, values)
+}
+
+// AddPlain returns a + values, slot-wise.
+func (c *Circuit) AddPlain(a Node, values []float64) Node {
+	return c.plainNode(kindAddPlain, a, values)
+}
+
+func (c *Circuit) plainNode(kind nodeKind, a Node, values []float64) Node {
+	op := nodeKindNames[kind]
+	id, ok := c.arg(a, op)
+	if !ok {
+		return Node{c: c}
+	}
+	if len(values) == 0 {
+		return c.fail("%s: empty plaintext vector", op)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return c.fail("%s: value %d is %g", op, i, v)
+		}
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	return c.push(cnode{kind: kind, args: []int{id}, vals: vals})
+}
+
+// MulConst returns v · a — MulPlain with v broadcast across all slots.
+func (c *Circuit) MulConst(a Node, v float64) Node {
+	return c.constNode(kindMulPlain, a, v)
+}
+
+// AddConst returns a + v in every slot.
+func (c *Circuit) AddConst(a Node, v float64) Node {
+	return c.constNode(kindAddPlain, a, v)
+}
+
+func (c *Circuit) constNode(kind nodeKind, a Node, v float64) Node {
+	op := nodeKindNames[kind]
+	id, ok := c.arg(a, op)
+	if !ok {
+		return Node{c: c}
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return c.fail("%s: constant is %g", op, v)
+	}
+	return c.push(cnode{kind: kind, args: []int{id}, scalar: v, broadcast: true})
+}
+
+// Rotate rotates message slots left by step positions (negative steps
+// rotate right). Rotations sharing a source are compiled into one
+// hoisted-decomposition batch. Rotate by 0 is the identity.
+func (c *Circuit) Rotate(a Node, step int) Node {
+	id, ok := c.arg(a, "Rotate")
+	if !ok {
+		return Node{c: c}
+	}
+	if step == 0 {
+		return Node{c: c, id: id}
+	}
+	return c.push(cnode{kind: kindRotate, args: []int{id}, step: step})
+}
+
+// ConjugateSlots applies complex conjugation to every slot.
+func (c *Circuit) ConjugateSlots(a Node) Node {
+	id, ok := c.arg(a, "ConjugateSlots")
+	if !ok {
+		return Node{c: c}
+	}
+	return c.push(cnode{kind: kindConjugate, args: []int{id}})
+}
+
+// InnerSum replaces every slot with the sum of n2 consecutive slots
+// (n2 a power of two), compiled onto log2(n2) rotations.
+func (c *Circuit) InnerSum(a Node, n2 int) Node {
+	id, ok := c.arg(a, "InnerSum")
+	if !ok {
+		return Node{c: c}
+	}
+	if n2 < 1 || n2&(n2-1) != 0 {
+		return c.fail("InnerSum: width %d must be a power of two", n2)
+	}
+	if n2 == 1 {
+		return Node{c: c, id: id}
+	}
+	return c.push(cnode{kind: kindInnerSum, args: []int{id}, n2: n2})
+}
+
+// Output names a node as a circuit result and returns the node
+// unchanged, so it can close a build chain. Each output name must be
+// unique.
+func (c *Circuit) Output(name string, a Node) Node {
+	id, ok := c.arg(a, "Output")
+	if !ok {
+		return Node{c: c}
+	}
+	if name == "" {
+		return c.fail("Output: empty name")
+	}
+	if c.outSet[name] {
+		return c.fail("Output: duplicate name %q", name)
+	}
+	c.outSet[name] = true
+	c.outputs = append(c.outputs, circuitOut{name: name, node: id})
+	return Node{c: c, id: id}
+}

@@ -1,0 +1,613 @@
+package heax
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Compile is the middle stage of build → compile → run: it runs scale
+// and level inference over the circuit DAG, inserts every Rescale /
+// lift / copy the dataflow needs, eliminates common subexpressions,
+// prunes dead nodes, groups same-source rotations into hoisted-
+// decomposition batches, and returns an immutable, concurrency-safe
+// Plan bound to params and evk.
+//
+// Inference assigns scales by the canonical ladder (Params.ScaleLadder
+// in internal/ckks): a node is either *base* — carrying its level's
+// ladder scale S_ℓ — or a *product* carrying S_ℓ². Multiplication
+// operands are first rescaled to base form, plaintext factors are
+// encoded at S_ℓ, and additions meet mismatched operands by rescaling
+// and, when levels differ, multiplying the shallower operand by an
+// encoded 1 at S_ℓ (a "lift") so both sides land on bit-identical
+// scales. No valid assignment — a multiplication below level 0, a
+// scale outgrowing the level's modulus, a key the EvaluationKeySet
+// lacks — fails here, before anything runs, with the usual sentinels
+// (ErrLevelMismatch, ErrScaleMismatch, ErrKeyMissing).
+func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...CompileOption) (*Plan, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.outputs) == 0 {
+		return nil, fmt.Errorf("heax: circuit has no outputs")
+	}
+	if evk == nil {
+		evk = &EvaluationKeySet{}
+	}
+	cfg := compileConfig{hoist: true, inFlight: 2 * runtime.GOMAXPROCS(0), batchWindow: 2}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	rep := c.eliminateCommon()
+	reach := c.reachable(rep)
+
+	k := &compiler{
+		circ:    c,
+		params:  params,
+		evk:     evk,
+		enc:     NewEncoder(params),
+		ladder:  params.ScaleLadder(),
+		state:   make([]valState, len(c.nodes)),
+		rep:     rep,
+		canon:   make(map[int]valState),
+		lifted:  make(map[int]valState),
+		isInput: make(map[int]bool),
+	}
+	k.modBits = make([]float64, params.K())
+	bits := 0.0
+	for i, q := range params.Q {
+		bits += math.Log2(float64(q))
+		k.modBits[i] = bits
+	}
+
+	for id := range c.nodes {
+		if rep[id] != id || !reach[id] {
+			continue
+		}
+		if err := k.lower(id); err != nil {
+			return nil, err
+		}
+	}
+
+	outputs, err := k.bindOutputs()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.hoist {
+		k.hoistRotations()
+	}
+
+	p := &Plan{
+		params:    params,
+		eval:      NewEvaluator(params, evk, evalOpts(cfg)...),
+		steps:     k.steps,
+		nSlots:    k.nSlots,
+		inputs:    k.inputSlots,
+		outputs:   outputs,
+		consumers: make([]int, k.nSlots),
+		escapes:   make([]bool, k.nSlots),
+		inputSlot: make([]bool, k.nSlots),
+		sem:       make(chan struct{}, cfg.inFlight),
+		window:    cfg.batchWindow,
+	}
+	for _, st := range p.steps {
+		for _, a := range st.args {
+			p.consumers[a]++
+		}
+	}
+	for _, o := range p.outputs {
+		p.escapes[o.slot] = true
+	}
+	for _, in := range p.inputs {
+		p.inputSlot[in.slot] = true
+	}
+	p.bufs = &sync.Pool{New: func() any {
+		ct, err := NewCiphertext(params, 1, params.MaxLevel(), 0)
+		if err != nil {
+			panic(err) // degree/level are fixed valid constants
+		}
+		return ct
+	}}
+	return p, nil
+}
+
+// CompileOption configures Compile.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	hoist       bool
+	inFlight    int
+	batchWindow int
+	workers     int
+}
+
+func evalOpts(cfg compileConfig) []EvaluatorOption {
+	if cfg.workers > 0 {
+		return []EvaluatorOption{WithWorkers(cfg.workers)}
+	}
+	return nil
+}
+
+// WithoutHoisting disables the grouping of same-source rotations into
+// hoisted-decomposition batches (the hoisted kernel is numerically
+// equivalent but not bit-identical to step-by-step rotation; disable it
+// to compare against the plain path).
+func WithoutHoisting() CompileOption {
+	return func(cfg *compileConfig) { cfg.hoist = false }
+}
+
+// WithPlanInFlight bounds how many plan steps may execute concurrently
+// across all Run/RunBatch calls on the compiled plan — the analogue of
+// Session's WithMaxInFlight. Defaults to 2×GOMAXPROCS.
+func WithPlanInFlight(n int) CompileOption {
+	return func(cfg *compileConfig) {
+		if n < 1 {
+			n = 1
+		}
+		cfg.inFlight = n
+	}
+}
+
+// WithPlanWorkers caps the row-level worker fan-out of the plan's
+// internal evaluator (per-evaluator, as WithWorkers).
+func WithPlanWorkers(n int) CompileOption {
+	return func(cfg *compileConfig) { cfg.workers = n }
+}
+
+// WithBatchWindow sets how many input sets RunBatch keeps in flight at
+// once. Defaults to 2 — the paper's double-buffered host queue.
+func WithBatchWindow(n int) CompileOption {
+	return func(cfg *compileConfig) {
+		if n < 1 {
+			n = 1
+		}
+		cfg.batchWindow = n
+	}
+}
+
+// --- CSE and pruning -------------------------------------------------------
+
+// eliminateCommon maps every node to its representative: the earliest
+// node computing the same value. Add and MulRelin are commutative, so
+// their operands are compared order-insensitively; plaintext payloads
+// are compared by value.
+func (c *Circuit) eliminateCommon() []int {
+	rep := make([]int, len(c.nodes))
+	seen := make(map[string][]int)
+	for id, n := range c.nodes {
+		rep[id] = id
+		if n.kind == kindInput {
+			continue // inputs are already deduplicated by name
+		}
+		args := make([]int, len(n.args))
+		for i, a := range n.args {
+			args[i] = rep[a]
+		}
+		if n.kind == kindAdd || n.kind == kindMulRelin {
+			sort.Ints(args)
+		}
+		key := fmt.Sprintf("%d|%v|%d|%d", n.kind, args, n.step, n.n2)
+		for _, prior := range seen[key] {
+			if samePayload(&c.nodes[prior], &n) {
+				rep[id] = prior
+				break
+			}
+		}
+		if rep[id] == id {
+			seen[key] = append(seen[key], id)
+		}
+	}
+	return rep
+}
+
+func samePayload(a, b *cnode) bool {
+	if a.broadcast != b.broadcast || a.scalar != b.scalar || len(a.vals) != len(b.vals) {
+		return false
+	}
+	for i := range a.vals {
+		if a.vals[i] != b.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable marks the nodes whose values flow into an output.
+func (c *Circuit) reachable(rep []int) []bool {
+	reach := make([]bool, len(c.nodes))
+	var stack []int
+	for _, o := range c.outputs {
+		stack = append(stack, rep[o.node])
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[id] {
+			continue
+		}
+		reach[id] = true
+		for _, a := range c.nodes[id].args {
+			stack = append(stack, rep[a])
+		}
+	}
+	return reach
+}
+
+// --- Inference and lowering ------------------------------------------------
+
+type tier uint8
+
+const (
+	tierBase    tier = iota // scale is the level's ladder scale S_ℓ
+	tierProduct             // scale is S_ℓ² (an unrescaled product)
+)
+
+// valState is the inferred placement of one circuit value.
+type valState struct {
+	slot  int
+	level int
+	scale float64
+	tier  tier
+}
+
+type compiler struct {
+	circ   *Circuit
+	params *Params
+	evk    *EvaluationKeySet
+	enc    *Encoder
+	ladder []float64
+	// modBits[ℓ] is log2 of the ciphertext modulus at level ℓ, for the
+	// scale-overflow guard.
+	modBits []float64
+
+	rep   []int
+	state []valState
+	// canon caches the rescaled (base) form per slot; lifted caches the
+	// ones-multiplied (product) form per slot — so shared consumers pay
+	// each maintenance op once.
+	canon  map[int]valState
+	lifted map[int]valState
+
+	steps      []planStep
+	nSlots     int
+	inputSlots []planInput
+	isInput    map[int]bool
+}
+
+func (k *compiler) st(node int) valState { return k.state[k.rep[node]] }
+
+func (k *compiler) newSlot() int {
+	k.nSlots++
+	return k.nSlots - 1
+}
+
+func (k *compiler) emit(s planStep) int {
+	out := k.newSlot()
+	s.outs = []int{out}
+	k.steps = append(k.steps, s)
+	return out
+}
+
+// checkScale guards the inferred assignment: a scale that underflows 1
+// or outgrows the level's modulus cannot decrypt to anything useful, so
+// the circuit is rejected at compile time.
+func (k *compiler) checkScale(what string, level int, scale float64) error {
+	if scale < 1 {
+		return fmt.Errorf("heax: compile: %s at level %d underflows to scale %g (modulus chain too shallow for this depth): %w",
+			what, level, scale, ErrScaleMismatch)
+	}
+	if math.Log2(scale) > k.modBits[level]-4 {
+		return fmt.Errorf("heax: compile: %s at level %d needs scale 2^%.1f but the modulus holds only 2^%.1f: %w",
+			what, level, math.Log2(scale), k.modBits[level], ErrScaleMismatch)
+	}
+	return nil
+}
+
+// canonical returns v in base form, inserting the Rescale when v is a
+// product (memoized per slot).
+func (k *compiler) canonical(v valState) (valState, error) {
+	if v.tier == tierBase {
+		return v, nil
+	}
+	if cached, ok := k.canon[v.slot]; ok {
+		return cached, nil
+	}
+	if v.level == 0 {
+		return v, fmt.Errorf("heax: compile: circuit needs a rescale below level 0 — more multiplicative depth than the parameter set provides: %w",
+			ErrLevelMismatch)
+	}
+	scale := v.scale / float64(k.params.Q[v.level])
+	out := valState{level: v.level - 1, scale: scale, tier: tierBase}
+	if err := k.checkScale("rescale", out.level, scale); err != nil {
+		return v, err
+	}
+	out.slot = k.emit(planStep{kind: stepRescale, args: []int{v.slot}, level: out.level, scale: scale})
+	k.canon[v.slot] = out
+	return out, nil
+}
+
+// lift returns base-form v as a product at the same level, inserting a
+// multiplication by an encoded 1 at the ladder scale (memoized per
+// slot). Lifting is how an addition meets a product operand without
+// spending a level.
+func (k *compiler) lift(v valState) (valState, error) {
+	if cached, ok := k.lifted[v.slot]; ok {
+		return cached, nil
+	}
+	pt, err := k.encodeConst(1, v.level, k.ladder[v.level])
+	if err != nil {
+		return v, err
+	}
+	out := valState{level: v.level, scale: v.scale * k.ladder[v.level], tier: tierProduct}
+	if err := k.checkScale("lift", out.level, out.scale); err != nil {
+		return v, err
+	}
+	out.slot = k.emit(planStep{kind: stepMulPlain, args: []int{v.slot}, pt: pt, level: out.level, scale: out.scale, lifted: true})
+	k.lifted[v.slot] = out
+	return out, nil
+}
+
+// bridge lowers base-form v to base form at the target level by
+// repeated lift+rescale (each hop consumes one level and lands exactly
+// on the target's ladder scale).
+func (k *compiler) bridge(v valState, level int) (valState, error) {
+	var err error
+	for v.level > level {
+		if v, err = k.lift(v); err != nil {
+			return v, err
+		}
+		if v, err = k.canonical(v); err != nil {
+			return v, err
+		}
+	}
+	return v, nil
+}
+
+// toProduct converts any state to product form at exactly the target
+// level — the meeting point reconcile picks for mixed additions.
+func (k *compiler) toProduct(v valState, level int) (valState, error) {
+	var err error
+	if v.tier == tierProduct {
+		if v.level == level {
+			return v, nil
+		}
+		if v, err = k.canonical(v); err != nil {
+			return v, err
+		}
+	}
+	if v, err = k.bridge(v, level); err != nil {
+		return v, err
+	}
+	return k.lift(v)
+}
+
+// reconcile places two addition operands on a common (level, scale).
+func (k *compiler) reconcile(a, b valState) (valState, valState, error) {
+	if a.tier == b.tier && a.level == b.level {
+		return a, b, nil
+	}
+	var err error
+	if a.tier == tierBase && b.tier == tierBase {
+		level := min(a.level, b.level)
+		if a, err = k.bridge(a, level); err != nil {
+			return a, b, err
+		}
+		b, err = k.bridge(b, level)
+		return a, b, err
+	}
+	level := min(a.level, b.level)
+	if a, err = k.toProduct(a, level); err != nil {
+		return a, b, err
+	}
+	b, err = k.toProduct(b, level)
+	return a, b, err
+}
+
+func (k *compiler) encodeVals(n *cnode, level int, scale float64) (*Plaintext, error) {
+	vals := n.vals
+	if n.broadcast {
+		vals = make([]float64, k.params.Slots())
+		for i := range vals {
+			vals[i] = n.scalar
+		}
+	} else if len(vals) > k.params.Slots() {
+		return nil, fmt.Errorf("heax: compile: %d plaintext values exceed the %d slots of %s",
+			len(vals), k.params.Slots(), k.paramName())
+	}
+	return k.enc.EncodeReal(vals, level, scale)
+}
+
+func (k *compiler) encodeConst(v float64, level int, scale float64) (*Plaintext, error) {
+	vals := make([]float64, k.params.Slots())
+	for i := range vals {
+		vals[i] = v
+	}
+	return k.enc.EncodeReal(vals, level, scale)
+}
+
+func (k *compiler) paramName() string { return fmt.Sprintf("LogN=%d", k.params.LogN) }
+
+func (k *compiler) rotationKeyPresent(step int) error {
+	if k.evk.Galois == nil || k.evk.Galois.Rotations[step] == nil {
+		return fmt.Errorf("heax: compile: circuit rotates by %d but the evaluation keys have no Galois key for it: %w",
+			step, ErrKeyMissing)
+	}
+	return nil
+}
+
+// lower emits the plan steps for one representative, reachable node.
+func (k *compiler) lower(id int) error {
+	n := &k.circ.nodes[id]
+	name := nodeKindNames[n.kind]
+	switch n.kind {
+	case kindInput:
+		slot := k.newSlot()
+		k.inputSlots = append(k.inputSlots, planInput{name: n.name, slot: slot})
+		k.isInput[slot] = true
+		k.state[id] = valState{slot: slot, level: k.params.MaxLevel(), scale: k.params.DefaultScale(), tier: tierBase}
+		return nil
+
+	case kindMulRelin:
+		if k.evk.Relin == nil {
+			return fmt.Errorf("heax: compile: circuit multiplies ciphertexts but the evaluation keys have no relinearization key: %w", ErrKeyMissing)
+		}
+		a, err := k.canonical(k.st(n.args[0]))
+		if err != nil {
+			return err
+		}
+		b, err := k.canonical(k.st(n.args[1]))
+		if err != nil {
+			return err
+		}
+		level := min(a.level, b.level)
+		if a, err = k.bridge(a, level); err != nil {
+			return err
+		}
+		if b, err = k.bridge(b, level); err != nil {
+			return err
+		}
+		scale := a.scale * b.scale
+		if err := k.checkScale(name, level, scale); err != nil {
+			return err
+		}
+		slot := k.emit(planStep{kind: stepMulRelin, args: []int{a.slot, b.slot}, level: level, scale: scale})
+		k.state[id] = valState{slot: slot, level: level, scale: scale, tier: tierProduct}
+		return nil
+
+	case kindMulPlain:
+		a, err := k.canonical(k.st(n.args[0]))
+		if err != nil {
+			return err
+		}
+		pt, err := k.encodeVals(n, a.level, k.ladder[a.level])
+		if err != nil {
+			return err
+		}
+		scale := a.scale * k.ladder[a.level]
+		if err := k.checkScale(name, a.level, scale); err != nil {
+			return err
+		}
+		slot := k.emit(planStep{kind: stepMulPlain, args: []int{a.slot}, pt: pt, level: a.level, scale: scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: scale, tier: tierProduct}
+		return nil
+
+	case kindAddPlain:
+		a := k.st(n.args[0])
+		pt, err := k.encodeVals(n, a.level, a.scale)
+		if err != nil {
+			return err
+		}
+		slot := k.emit(planStep{kind: stepAddPlain, args: []int{a.slot}, pt: pt, level: a.level, scale: a.scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		return nil
+
+	case kindAdd, kindSub:
+		a, b, err := k.reconcile(k.st(n.args[0]), k.st(n.args[1]))
+		if err != nil {
+			return err
+		}
+		kind := stepAdd
+		if n.kind == kindSub {
+			kind = stepSub
+		}
+		slot := k.emit(planStep{kind: kind, args: []int{a.slot, b.slot}, level: a.level, scale: a.scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		return nil
+
+	case kindRotate:
+		if err := k.rotationKeyPresent(n.step); err != nil {
+			return err
+		}
+		a := k.st(n.args[0])
+		slot := k.emit(planStep{kind: stepRotate, args: []int{a.slot}, rots: []int{n.step}, level: a.level, scale: a.scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		return nil
+
+	case kindConjugate:
+		if k.evk.Galois == nil || k.evk.Galois.Conjugate == nil {
+			return fmt.Errorf("heax: compile: circuit conjugates slots but the evaluation keys have no conjugation key: %w", ErrKeyMissing)
+		}
+		a := k.st(n.args[0])
+		slot := k.emit(planStep{kind: stepConjugate, args: []int{a.slot}, level: a.level, scale: a.scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		return nil
+
+	case kindInnerSum:
+		for span := n.n2 >> 1; span >= 1; span >>= 1 {
+			if err := k.rotationKeyPresent(span); err != nil {
+				return err
+			}
+		}
+		a := k.st(n.args[0])
+		slot := k.emit(planStep{kind: stepInnerSum, args: []int{a.slot}, n2: n.n2, level: a.level, scale: a.scale})
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		return nil
+	}
+	return fmt.Errorf("heax: compile: unknown node kind %d", n.kind)
+}
+
+// bindOutputs assigns each named output its slot, copying when an
+// output would otherwise share a slot with an input or another output
+// (plan outputs are always caller-owned, distinct ciphertexts).
+func (k *compiler) bindOutputs() ([]planOutput, error) {
+	used := make(map[int]bool)
+	outs := make([]planOutput, 0, len(k.circ.outputs))
+	for _, o := range k.circ.outputs {
+		st := k.st(o.node)
+		slot := st.slot
+		if k.isInput[slot] || used[slot] {
+			slot = k.emit(planStep{kind: stepCopy, args: []int{st.slot}, level: st.level, scale: st.scale})
+		}
+		used[slot] = true
+		outs = append(outs, planOutput{name: o.name, slot: slot, level: st.level, scale: st.scale})
+	}
+	return outs, nil
+}
+
+// hoistRotations merges rotation steps sharing a source slot into one
+// hoisted-decomposition batch: the merged step pays the per-digit INTT
+// and cross-modulus NTTs of Algorithm 7 once for the whole group
+// (Halevi–Shoup hoisting on the PR-2 tile scheduler). Merging at the
+// group's earliest position is dependency-safe: every member depends
+// only on the shared source, and every consumer appears after its
+// member's original position.
+func (k *compiler) hoistRotations() {
+	groups := make(map[int][]int) // source slot -> step indices
+	for i, s := range k.steps {
+		if s.kind == stepRotate {
+			groups[s.args[0]] = append(groups[s.args[0]], i)
+		}
+	}
+	drop := make(map[int]bool)
+	for src, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		merged := planStep{
+			kind:  stepRotateHoisted,
+			args:  []int{src},
+			level: k.steps[members[0]].level,
+			scale: k.steps[members[0]].scale,
+		}
+		for _, i := range members {
+			merged.rots = append(merged.rots, k.steps[i].rots[0])
+			merged.outs = append(merged.outs, k.steps[i].outs[0])
+			drop[i] = true
+		}
+		k.steps[members[0]] = merged
+		drop[members[0]] = false
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := k.steps[:0]
+	for i, s := range k.steps {
+		if !drop[i] {
+			kept = append(kept, s)
+		}
+	}
+	k.steps = kept
+}

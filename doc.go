@@ -1,7 +1,7 @@
 // Package heax is the public face of this HEAX reproduction: a full-RNS
 // CKKS engine (encode, encrypt, evaluate, decrypt) built on the lazy-
 // reduction NTT core and the pipelined key-switch scheduler of the
-// internal packages, exposed through three coordinated layers.
+// internal packages, exposed through four coordinated layers.
 //
 // # Key-bound evaluators
 //
@@ -39,6 +39,26 @@
 //	f2 := sess.Submit(heax.RescaleOp(f1)) // runs when f1 resolves
 //	ct, err := f2.Wait()
 //	err = sess.Flush() // drain everything in flight
+//
+// # Compiled circuits: build, compile, run
+//
+// A Circuit declares a fixed encrypted dataflow symbolically — Input,
+// Add, MulRelin, MulPlain, Rotate, InnerSum, Output — with no Rescale,
+// Relinearize or level bookkeeping anywhere. Compile runs scale/level
+// inference over the DAG, inserts every maintenance operation, encodes
+// all plaintext operands, eliminates common subexpressions, prunes dead
+// nodes and groups same-source rotations into hoisted-decomposition
+// batches; impossible circuits fail at compile time with the same
+// sentinels. The resulting Plan is immutable and concurrency-safe:
+//
+//	c := heax.NewCircuit()
+//	y := c.AddConst(c.MulRelin(c.Input("x"), c.Input("x")), 1)
+//	c.Output("y", y)
+//	plan, err := c.Compile(params, evk)
+//	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
+//
+// Plan.RunBatch streams many input sets through the worker pool — the
+// paper's compile-once, stream-many host model (Section 5.2).
 //
 // The hardware model, architecture generator and cycle-level simulator
 // behind the paper's tables are exported separately in heax/arch, and

@@ -29,13 +29,14 @@ func GenEvaluationKeys(kg *KeyGenerator, sk *SecretKey, steps []int, conjugate b
 // EvaluatorOption configures an Evaluator at construction.
 type EvaluatorOption func(*Evaluator)
 
-// WithWorkers caps the goroutines the ring context fans row-wise work
-// out to for this evaluator's operations (defaults to GOMAXPROCS;
-// 1 forces serial execution). The cap applies to the parameter set's
-// shared ring context, so it affects every evaluator built on the same
-// Params.
+// WithWorkers caps the goroutines row-wise work fans out to for this
+// evaluator's operations (defaults to GOMAXPROCS; 1 forces serial
+// execution). The cap is scoped to this evaluator — it rides on a
+// private view of the parameter set's ring context, so other
+// evaluators built on the same Params keep their own caps. ShallowCopy
+// preserves it.
 func WithWorkers(n int) EvaluatorOption {
-	return func(e *Evaluator) { e.params.RingQP.SetWorkers(n) }
+	return func(e *Evaluator) { e.inner.SetWorkers(n) }
 }
 
 // WithScratchPool pre-warms the ring context's polynomial buffer pool
@@ -84,7 +85,7 @@ func NewEvaluator(params *Params, evk *EvaluationKeySet, opts ...EvaluatorOption
 // bound keys but owning fresh per-call state — one per goroutine is the
 // fan-out idiom, though a single Evaluator is itself safe to share.
 func (e *Evaluator) ShallowCopy() *Evaluator {
-	return &Evaluator{params: e.params, keys: e.keys, inner: ckks.NewEvaluator(e.params)}
+	return &Evaluator{params: e.params, keys: e.keys, inner: e.inner.ShallowCopy()}
 }
 
 // Params returns the parameter set the evaluator is built on.
@@ -92,6 +93,10 @@ func (e *Evaluator) Params() *Params { return e.params }
 
 // Keys returns the bound evaluation key set.
 func (e *Evaluator) Keys() *EvaluationKeySet { return e.keys }
+
+// Workers returns the evaluator's effective worker cap (GOMAXPROCS by
+// default, or the WithWorkers value).
+func (e *Evaluator) Workers() int { return e.inner.Workers() }
 
 func (e *Evaluator) relin() (*RelinearizationKey, error) {
 	if e.keys.Relin == nil {
@@ -195,6 +200,19 @@ func (e *Evaluator) KeySwitchPoly(c *Poly, swk *SwitchingKey) (*Poly, *Poly) {
 // AddInto computes ct0 + ct1 into out.
 func (e *Evaluator) AddInto(ct0, ct1, out *Ciphertext) error { return e.inner.AddInto(ct0, ct1, out) }
 
+// SubInto computes ct0 - ct1 into out.
+func (e *Evaluator) SubInto(ct0, ct1, out *Ciphertext) error { return e.inner.SubInto(ct0, ct1, out) }
+
+// MulPlainInto computes ct ⊙ pt into out.
+func (e *Evaluator) MulPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext) error {
+	return e.inner.MulPlainInto(ct, pt, out)
+}
+
+// AddPlainInto computes ct + pt into out.
+func (e *Evaluator) AddPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext) error {
+	return e.inner.AddPlainInto(ct, pt, out)
+}
+
 // MulRelinInto computes the relinearized product of ct0 and ct1 into
 // out using the bound relinearization key.
 func (e *Evaluator) MulRelinInto(ct0, ct1, out *Ciphertext) error {
@@ -215,4 +233,39 @@ func (e *Evaluator) RotateInto(ct *Ciphertext, step int, out *Ciphertext) error 
 		return fmt.Errorf("heax: evaluator has no Galois keys bound: %w", ErrKeyMissing)
 	}
 	return e.inner.RotateLeftInto(ct, step, e.keys.Galois, out)
+}
+
+// ConjugateSlotsInto applies complex conjugation to every slot, into
+// out, using the bound conjugation key.
+func (e *Evaluator) ConjugateSlotsInto(ct, out *Ciphertext) error {
+	return e.inner.ConjugateSlotsInto(ct, e.keys.Galois, out)
+}
+
+// InnerSumInto replaces every slot of ct with the sum of n2 consecutive
+// slots, into out, with the per-round rotations on pooled scratch.
+func (e *Evaluator) InnerSumInto(ct *Ciphertext, n2 int, out *Ciphertext) error {
+	if e.keys.Galois == nil {
+		return fmt.Errorf("heax: evaluator has no Galois keys bound: %w", ErrKeyMissing)
+	}
+	return e.inner.InnerSumInto(ct, n2, e.keys.Galois, out)
+}
+
+// RotateHoisted rotates ct by every step in steps, paying the expensive
+// decomposition half of the key switch once for the whole batch
+// (Halevi–Shoup hoisting). The result map is keyed by step.
+func (e *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Ciphertext, error) {
+	if e.keys.Galois == nil && len(steps) > 0 {
+		return nil, fmt.Errorf("heax: evaluator has no Galois keys bound: %w", ErrKeyMissing)
+	}
+	return e.inner.RotateHoisted(ct, steps, e.keys.Galois)
+}
+
+// RotateHoistedInto is RotateHoisted landing in caller-owned outputs,
+// outs[i] receiving the rotation by steps[i]; outputs must not alias
+// the input.
+func (e *Evaluator) RotateHoistedInto(ct *Ciphertext, steps []int, outs []*Ciphertext) error {
+	if e.keys.Galois == nil && len(steps) > 0 {
+		return fmt.Errorf("heax: evaluator has no Galois keys bound: %w", ErrKeyMissing)
+	}
+	return e.inner.RotateHoistedInto(ct, steps, e.keys.Galois, outs)
 }

@@ -62,3 +62,66 @@ func Example_quickstart() {
 	// Output:
 	// 3.000 -1.000 -3.250
 }
+
+// Example_circuit is the README's compile-once / run-many quickstart,
+// output-checked by go test: declare the dataflow symbolically — no
+// Rescale, no Relinearize, no level bookkeeping — compile it, and run
+// encrypted batches through the plan.
+func Example_circuit() {
+	params, err := heax.NewParams(heax.SetA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kg := heax.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	evk := heax.GenEvaluationKeys(kg, sk, nil, false)
+
+	enc := heax.NewEncoder(params)
+	encryptor := heax.NewEncryptor(params, pk, 2)
+	decryptor := heax.NewDecryptor(params, sk)
+
+	// Build: y = x0 · x1 + 0.5, written with zero maintenance ops.
+	c := heax.NewCircuit()
+	prod := c.MulRelin(c.Input("x0"), c.Input("x1"))
+	c.Output("y", c.AddConst(prod, 0.5))
+
+	// Compile: scale/level inference, rescale insertion, CSE, hoisting.
+	plan, err := c.Compile(params, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run: the immutable plan serves any number of input sets.
+	encrypt := func(vals []float64) *heax.Ciphertext {
+		pt, err := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct, err := encryptor.Encrypt(pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ct
+	}
+	out, err := plan.Run(map[string]*heax.Ciphertext{
+		"x0": encrypt([]float64{1.5, -2.0, 3.25}),
+		"x1": encrypt([]float64{2.0, 0.5, -1.0}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pt, err := decryptor.Decrypt(out["y"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals := enc.Decode(pt)
+	for i := 0; i < 3; i++ {
+		fmt.Printf("%.3f ", real(vals[i]))
+	}
+	fmt.Println()
+	// Output:
+	// 3.500 -0.500 -2.750
+}

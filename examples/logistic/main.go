@@ -5,9 +5,14 @@
 // Layout: feature-major batching. Slot s of ciphertext j holds feature j
 // of sample s, so one ciphertext batch scores n/2 samples at once and the
 // dot product needs no rotations. The sigmoid is the standard degree-3
-// least-squares approximation σ(t) ≈ 0.5 + 0.197·t − 0.004·t³, evaluated
-// as 0.5 + t·(0.197 − 0.004·t²) to spend only two multiplicative levels
-// after the dot product.
+// least-squares approximation σ(t) ≈ 0.5 + 0.197·t − 0.004·t³.
+//
+// The whole pipeline is declared once as a heax.Circuit — no Rescale, no
+// Relinearize, no level or scale bookkeeping anywhere below: Compile
+// infers the level/scale assignment, inserts the maintenance operations
+// and bakes the model weights in as compile-time plaintexts, and the
+// resulting Plan then scores every incoming batch (compile once, run
+// many — the paper's fixed-dataflow host model).
 package main
 
 import (
@@ -22,13 +27,14 @@ import (
 const (
 	features = 8
 	samples  = 16 // shown; the batch actually scores n/2 samples
+	batches  = 3  // encrypted batches streamed through the one plan
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("logistic: ")
 
-	// Set-B: k = 4 gives the three rescaling levels this circuit needs.
+	// Set-B: enough modulus for the sigmoid's multiplicative depth.
 	params, err := heax.NewParams(heax.SetB)
 	if err != nil {
 		log.Fatal(err)
@@ -40,158 +46,91 @@ func main() {
 	enc := heax.NewEncoder(params)
 	encryptor := heax.NewEncryptor(params, pk, 2)
 	decryptor := heax.NewDecryptor(params, sk)
-	eval := heax.NewEvaluator(params, evk)
 
-	// A fixed model and a random batch.
+	// A fixed model.
 	rng := rand.New(rand.NewSource(3))
 	w := make([]float64, features)
 	for j := range w {
 		w[j] = rng.Float64()*2 - 1
 	}
 	bias := 0.25
-	x := make([][]float64, features) // x[j][s]: feature j of sample s
-	for j := range x {
-		x[j] = make([]float64, samples)
-		for s := range x[j] {
-			x[j][s] = rng.Float64()*2 - 1
+
+	// Declare the dataflow: t = Σ_j w_j·x_j + b, then the sigmoid
+	// approximation 0.5 + t·(0.197 − 0.004·t²) written directly — the
+	// compiler decides where every rescale goes.
+	c := heax.NewCircuit()
+	var t heax.Node
+	for j := 0; j < features; j++ {
+		term := c.MulConst(c.Input(fmt.Sprintf("x%d", j)), w[j])
+		if j == 0 {
+			t = term
+		} else {
+			t = c.Add(t, term)
 		}
 	}
+	t = c.AddConst(t, bias)
+	cubic := c.MulRelin(c.MulConst(t, -0.004), c.MulRelin(t, t))
+	c.Output("score", c.AddConst(c.Add(cubic, c.MulConst(t, 0.197)), 0.5))
 
-	level := params.MaxLevel()
-	scale := params.DefaultScale()
-
-	// Client: encrypt each feature column.
-	cts := make([]*heax.Ciphertext, features)
-	for j := range cts {
-		pt, err := enc.EncodeReal(x[j], level, scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cts[j], err = encryptor.Encrypt(pt)
-		if err != nil {
-			log.Fatal(err)
-		}
+	plan, err := c.Compile(params, evk)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("compiled: %d steps for %d inputs (levels and scales inferred)\n",
+		plan.NumSteps(), len(plan.InputNames()))
 
-	// Server: t = Σ_j w_j ⊙ ct_j + b (one plaintext mult level).
-	var acc *heax.Ciphertext
-	for j := range cts {
-		wj := constVec(w[j], samples)
-		ptW, err := enc.EncodeReal(wj, level, scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		term, err := eval.MulPlain(cts[j], ptW)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if acc == nil {
-			acc = term
-		} else if acc, err = eval.Add(acc, term); err != nil {
-			log.Fatal(err)
+	// Client: encrypt several feature batches; server: stream them all
+	// through the one compiled plan.
+	x := make([][][]float64, batches) // x[b][j][s]: feature j of sample s
+	ins := make([]map[string]*heax.Ciphertext, batches)
+	for b := range ins {
+		x[b] = make([][]float64, features)
+		ins[b] = make(map[string]*heax.Ciphertext, features)
+		for j := 0; j < features; j++ {
+			col := make([]float64, samples)
+			for s := range col {
+				col[s] = rng.Float64()*2 - 1
+			}
+			x[b][j] = col
+			pt, err := enc.EncodeReal(col, params.MaxLevel(), params.DefaultScale())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ins[b][fmt.Sprintf("x%d", j)], err = encryptor.Encrypt(pt); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
-	// Rescale the Δ²-scaled accumulator first, then add the bias encoded
-	// at exactly the rescaled scale so the addition is exact.
-	t, err := eval.Rescale(acc)
+	outs, err := plan.RunBatch(ins)
 	if err != nil {
-		log.Fatal(err)
-	}
-	ptBias, err := enc.EncodeReal(constVec(bias, samples), t.Level, t.Scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if t, err = eval.AddPlain(t, ptBias); err != nil {
-		log.Fatal(err)
-	}
-
-	// Cubic term as ((c·t)·t²): each factor is rescaled so the final
-	// result lands at a small scale that fits the level-0 modulus — the
-	// scale management a CKKS application must do by hand.
-	tt, err := eval.MulRelin(t, t) // t², scale s_t²
-	if err != nil {
-		log.Fatal(err)
-	}
-	if tt, err = eval.Rescale(tt); err != nil { // level 1
-		log.Fatal(err)
-	}
-	ptC3, err := enc.EncodeReal(constVec(-0.004, samples), t.Level, scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	u, err := eval.MulPlain(t, ptC3) // -0.004·t
-	if err != nil {
-		log.Fatal(err)
-	}
-	if u, err = eval.Rescale(u); err != nil { // level 1
-		log.Fatal(err)
-	}
-	y3, err := eval.MulRelin(u, tt) // -0.004·t³
-	if err != nil {
-		log.Fatal(err)
-	}
-	if y3, err = eval.Rescale(y3); err != nil { // level 0, small scale
-		log.Fatal(err)
-	}
-
-	// Linear term at a scale engineered to match y3 exactly after one
-	// rescale: s_a = s_u·s_tt/s_t makes (s_t·s_a)/q1 == (s_u·s_tt)/q1.
-	tL1, err := eval.DropLevel(t, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ptA, err := enc.EncodeReal(constVec(0.197, samples), tL1.Level, u.Scale*tt.Scale/t.Scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	v, err := eval.MulPlain(tL1, ptA) // 0.197·t
-	if err != nil {
-		log.Fatal(err)
-	}
-	if v, err = eval.Rescale(v); err != nil { // level 0, same scale as y3
-		log.Fatal(err)
-	}
-
-	y, err := eval.Add(y3, v)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ptHalf, err := enc.EncodeReal(constVec(0.5, samples), y.Level, y.Scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if y, err = eval.AddPlain(y, ptHalf); err != nil {
 		log.Fatal(err)
 	}
 
 	// Client: decrypt and compare with the cleartext pipeline.
-	ptOut, err := decryptor.Decrypt(y)
-	if err != nil {
-		log.Fatal(err)
-	}
-	got := enc.Decode(ptOut)
-	fmt.Println("sample   encrypted-score   cleartext-score   |diff|")
+	fmt.Println("batch sample   encrypted-score   cleartext-score   |diff|")
 	worst := 0.0
-	for s := 0; s < samples; s++ {
-		tPlain := bias
-		for j := 0; j < features; j++ {
-			tPlain += w[j] * x[j][s]
+	for b, out := range outs {
+		ptOut, err := decryptor.Decrypt(out["score"])
+		if err != nil {
+			log.Fatal(err)
 		}
-		want := 0.5 + 0.197*tPlain - 0.004*tPlain*tPlain*tPlain
-		g := real(got[s])
-		d := math.Abs(g - want)
-		if d > worst {
-			worst = d
+		got := enc.Decode(ptOut)
+		for s := 0; s < samples; s++ {
+			tPlain := bias
+			for j := 0; j < features; j++ {
+				tPlain += w[j] * x[b][j][s]
+			}
+			want := 0.5 + 0.197*tPlain - 0.004*tPlain*tPlain*tPlain
+			g := real(got[s])
+			d := math.Abs(g - want)
+			if d > worst {
+				worst = d
+			}
+			if b == 0 {
+				fmt.Printf("%5d %6d     %12.6f      %12.6f      %.2e\n", b, s, g, want, d)
+			}
 		}
-		fmt.Printf("%4d     %12.6f      %12.6f      %.2e\n", s, g, want, d)
 	}
-	fmt.Printf("max error over batch: %.2e (scores %d samples per batch)\n", worst, params.Slots())
-}
-
-func constVec(v float64, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = v
-	}
-	return out
+	fmt.Printf("max error over %d batches: %.2e (scores %d samples per batch)\n",
+		batches, worst, params.Slots())
 }

@@ -5,9 +5,9 @@
 //
 // The encrypted vector is replicated ([x | x | 0...]) so that slot
 // rotations realize the cyclic index arithmetic of the method. The
-// rotation loop reuses one caller-owned ciphertext through RotateInto —
-// the in-place hot path a serving loop would run at zero steady-state
-// allocations.
+// circuit below simply writes the seven rotations; the compiler groups
+// them — they share the source x — into a single hoisted-decomposition
+// batch, paying the expensive half of Algorithm 7 once for all of them.
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"strings"
 
 	"heax"
 )
@@ -40,7 +41,6 @@ func main() {
 	enc := heax.NewEncoder(params)
 	encryptor := heax.NewEncryptor(params, pk, 2)
 	decryptor := heax.NewDecryptor(params, sk)
-	eval := heax.NewEvaluator(params, evk)
 
 	rng := rand.New(rand.NewSource(4))
 	m := make([][]float64, dim)
@@ -55,6 +55,32 @@ func main() {
 		x[i] = rng.Float64()*2 - 1
 	}
 
+	// Declare y = Σ_d diag_d ⊙ rot(x, d); the diagonals are compile-time
+	// plaintexts, encoded at whatever level and scale inference picks.
+	c := heax.NewCircuit()
+	in := c.Input("x")
+	var acc heax.Node
+	for d := 0; d < dim; d++ {
+		diag := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			diag[i] = m[i][(i+d)%dim]
+		}
+		term := c.MulPlain(c.Rotate(in, d), diag)
+		if d == 0 {
+			acc = term
+		} else {
+			acc = c.Add(acc, term)
+		}
+	}
+	c.Output("y", acc)
+	plan, err := c.Compile(params, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hoisted := strings.Contains(plan.Describe(), "RotateHoisted")
+	fmt.Printf("compiled: %d steps; %d rotations hoisted into one batch: %v\n",
+		plan.NumSteps(), dim-1, hoisted)
+
 	// Encrypt [x | x | 0...] so rotations wrap within the replica.
 	rep := make([]float64, 2*dim)
 	copy(rep, x)
@@ -68,44 +94,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Server: Σ_d diag_d ⊙ rot(x, d), rotating into one reused buffer.
-	rotBuf, err := heax.NewCiphertext(params, 1, ct.Level, ct.Scale)
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var acc *heax.Ciphertext
-	for d := 0; d < dim; d++ {
-		rot := ct
-		if d > 0 {
-			if err := eval.RotateInto(ct, d, rotBuf); err != nil {
-				log.Fatal(err)
-			}
-			rot = rotBuf
-		}
-		diag := make([]float64, dim)
-		for i := 0; i < dim; i++ {
-			diag[i] = m[i][(i+d)%dim]
-		}
-		ptDiag, err := enc.EncodeReal(diag, params.MaxLevel(), params.DefaultScale())
-		if err != nil {
-			log.Fatal(err)
-		}
-		term, err := eval.MulPlain(rot, ptDiag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if acc == nil {
-			acc = term
-		} else if err = eval.AddInto(acc, term, acc); err != nil {
-			log.Fatal(err)
-		}
-	}
-	acc, err = eval.Rescale(acc)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	ptOut, err := decryptor.Decrypt(acc)
+	ptOut, err := decryptor.Decrypt(out["y"])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,15 +1,15 @@
 // Encrypted descriptive statistics: the server computes the mean and
-// variance of n/2 = 2048 encrypted samples without decrypting them, using
+// variance of n/2 = 4096 encrypted samples without decrypting them, using
 // slot rotations (InnerSum) for the reductions — another rotation-heavy
 // workload served by HEAX's KeySwitch engine.
 //
 //	mean = Σx / N,  var = Σx² / N − mean²
 //
-// The two reductions are independent, so the server submits them as an
-// asynchronous batch through heax.Session — the paper's Figure 7
-// enqueue model: Σx runs concurrently with the square→rescale→Σx² chain,
-// whose internal dependency edges are expressed by plugging futures into
-// the next operation.
+// Both reductions are declared in one heax.Circuit with two named
+// outputs; the compiled Plan executes them concurrently on the worker
+// pool (the Σx reduction overlaps the square→Σx² chain exactly as the
+// paper's Figure 7 enqueue model overlaps independent operations), and
+// the same plan serves every subsequent sample batch.
 //
 // Everything left of the final division stays encrypted; the client
 // decrypts two numbers.
@@ -28,9 +28,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("statistics: ")
 
-	// Set-B rather than Set-A: after squaring and rescaling, the slot sum
-	// Σx² ≈ slots·E[x²] needs log2(slots)+log2(E[x²]) extra headroom above
-	// the scale, which Set-A's single remaining 36-bit prime cannot hold.
+	// Set-B rather than Set-A: the slot sum Σx² ≈ slots·E[x²] needs
+	// log2(slots) headroom above the squared scale, which Set-A's short
+	// modulus chain cannot hold.
 	params, err := heax.NewParams(heax.SetB)
 	if err != nil {
 		log.Fatal(err)
@@ -50,15 +50,25 @@ func main() {
 	enc := heax.NewEncoder(params)
 	encryptor := heax.NewEncryptor(params, pk, 2)
 	decryptor := heax.NewDecryptor(params, sk)
-	eval := heax.NewEvaluator(params, evk)
+
+	// Declare both reductions once; Compile plans them, Run overlaps
+	// them.
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	c.Output("sum", c.InnerSum(x, slots))
+	c.Output("sumsq", c.InnerSum(c.MulRelin(x, x), slots))
+	plan, err := c.Compile(params, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A batch of samples from a known distribution.
 	rng := rand.New(rand.NewSource(5))
-	x := make([]float64, slots)
-	for i := range x {
-		x[i] = rng.NormFloat64()*0.5 + 1.25
+	vals := make([]float64, slots)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*0.5 + 1.25
 	}
-	pt, err := enc.EncodeReal(x, params.MaxLevel(), params.DefaultScale())
+	pt, err := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,27 +77,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Server: Σx and Σx² as one asynchronous submission batch. The Σx
-	// reduction and the Σx² chain execute concurrently; within the chain
-	// each op starts when the future it consumes resolves.
-	sess := heax.NewSession(eval)
-	fSum := sess.Submit(heax.InnerSumOp(heax.Arg(ct), slots))
-	fSq := sess.Submit(heax.MulRelinOp(heax.Arg(ct), heax.Arg(ct)))
-	fSqRescaled := sess.Submit(heax.RescaleOp(fSq))
-	fSum2 := sess.Submit(heax.InnerSumOp(fSqRescaled, slots))
-	if err := sess.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	sumX, _ := fSum.Wait()
-	sumX2, _ := fSum2.Wait()
-
-	// Client: decrypt slot 0 of each aggregate and finish in the clear.
-	n := float64(slots)
-	decSum, err := decryptor.Decrypt(sumX)
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
 	if err != nil {
 		log.Fatal(err)
 	}
-	decSum2, err := decryptor.Decrypt(sumX2)
+
+	// Client: decrypt slot 0 of each aggregate and finish in the clear.
+	n := float64(slots)
+	decSum, err := decryptor.Decrypt(out["sum"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	decSum2, err := decryptor.Decrypt(out["sumsq"])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,16 +96,17 @@ func main() {
 	encVar := real(enc.Decode(decSum2)[0])/n - encMean*encMean
 
 	var mean, m2 float64
-	for _, v := range x {
+	for _, v := range vals {
 		mean += v
 	}
 	mean /= n
-	for _, v := range x {
+	for _, v := range vals {
 		m2 += (v - mean) * (v - mean)
 	}
 	m2 /= n
 
-	fmt.Printf("samples: %d (one ciphertext), rotations: %d per reduction\n", slots, len(steps))
+	fmt.Printf("samples: %d (one ciphertext), rotations: %d per reduction, plan steps: %d\n",
+		slots, len(steps), plan.NumSteps())
 	fmt.Printf("mean     encrypted %.6f   cleartext %.6f   |diff| %.2e\n", encMean, mean, math.Abs(encMean-mean))
 	fmt.Printf("variance encrypted %.6f   cleartext %.6f   |diff| %.2e\n", encVar, m2, math.Abs(encVar-m2))
 }

@@ -20,7 +20,7 @@ import (
 func (ev *Evaluator) Negate(ct *Ciphertext) *Ciphertext {
 	out := CopyOf(ct)
 	for _, p := range out.Polys {
-		ev.params.RingQP.Neg(p, p)
+		ev.ctx.Neg(p, p)
 	}
 	return out
 }
@@ -32,7 +32,7 @@ func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: Square requires a degree-1 ciphertext (got %d)", ct.Degree())
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := ct.Level + 1
 	c0 := ctx.NewPoly(rows)
 	c1 := ctx.NewPoly(rows)
@@ -69,7 +69,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64, enc *Encoder) (*Ciphert
 // the RNS representation).
 func (ev *Evaluator) MulConstInt(ct *Ciphertext, c int64) *Ciphertext {
 	out := CopyOf(ct)
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	for _, p := range out.Polys {
 		for i := range p.Coeffs {
 			pi := ctx.Basis.Primes[i]
@@ -104,7 +104,7 @@ type HoistedDecomposition struct {
 // dispatched as soon as its INTT completes, with no barrier between
 // digits.
 func (ev *Evaluator) DecomposeForKeySwitch(c *ring.Poly) *HoistedDecomposition {
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	level := c.Level()
 	hd := &HoistedDecomposition{level: level, digits: make([]*ring.Poly, level+1)}
 	for i := 0; i <= level; i++ {
@@ -122,16 +122,23 @@ func (ev *Evaluator) DecomposeForKeySwitch(c *ring.Poly) *HoistedDecomposition {
 // keySwitchAdd, optional add operands are folded into the flooring row
 // pass (the rotation epilogue ks0 + permuted c0).
 func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomposition, swk *SwitchingKey, table []int, add0, add1 *ring.Poly) (*ring.Poly, *ring.Poly) {
-	ctx := ev.params.RingQP
+	out0, out1 := ev.ctx.NewPolyPair(hd.level + 1)
+	ev.keySwitchHoistedInto(hd, swk, table, add0, add1, out0, out1)
+	return out0, out1
+}
+
+// keySwitchHoistedInto is keySwitchHoisted landing in caller-provided
+// output polynomials — the zero-allocation back end behind
+// RotateHoistedInto.
+func (ev *Evaluator) keySwitchHoistedInto(hd *HoistedDecomposition, swk *SwitchingKey, table []int, add0, add1, out0, out1 *ring.Poly) {
+	ctx := ev.ctx
 	level := hd.level
 	acc0 := ctx.GetPoly(level + 2)
 	acc1 := ctx.GetPoly(level + 2)
 	defer ctx.PutPoly(acc0)
 	defer ctx.PutPoly(acc1)
 	ev.keySwitchMAC(nil, hd, table, swk.Digits, swk.ensureShoup(ctx), acc0, acc1, level)
-	out0, out1 := ctx.NewPolyPair(level + 1)
 	ctx.FloorDropRowsPairAddInto(acc0, acc1, out0, out1, add0, add1, ev.rowIdx[level], false, true)
-	return out0, out1
 }
 
 // RotateHoisted rotates one ciphertext by many steps, sharing a single
@@ -140,7 +147,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int, gks *GaloisKeySe
 	if ct.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d)", ct.Degree())
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := ct.Level + 1
 	hd := ev.DecomposeForKeySwitch(ct.Polys[1])
 	c0g := ctx.GetPolyNoZero(rows) // permuted c0 scratch, shared across steps
@@ -161,6 +168,59 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int, gks *GaloisKeySe
 		out[step] = &Ciphertext{Polys: []*ring.Poly{out0, out1}, Scale: ct.Scale, Level: ct.Level}
 	}
 	return out, nil
+}
+
+// RotateHoistedInto rotates ct by each steps[i] into outs[i], sharing
+// one decomposition across all steps like RotateHoisted, with the
+// cached digits and every other intermediate drawn from pooled scratch
+// — the multi-rotation execution path compiled plans batch same-source
+// rotations onto. Outputs must be distinct and must not alias ct; a
+// step of 0 copies ct.
+func (ev *Evaluator) RotateHoistedInto(ct *Ciphertext, steps []int, gks *GaloisKeySet, outs []*Ciphertext) error {
+	if len(steps) != len(outs) {
+		return fmt.Errorf("ckks: %d rotation steps for %d outputs", len(steps), len(outs))
+	}
+	if ct.Degree() != 1 {
+		return fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d): %w", ct.Degree(), ErrDegreeMismatch)
+	}
+	// Resolve every key before writing any output, so a missing step
+	// leaves the outputs untouched.
+	keys := make([]*GaloisKey, len(steps))
+	for i, step := range steps {
+		if step == 0 {
+			continue
+		}
+		key, err := gks.rotationKey(step)
+		if err != nil {
+			return err
+		}
+		keys[i] = key
+	}
+	ctx := ev.ctx
+	level := ct.Level
+	hd := &HoistedDecomposition{level: level, digits: make([]*ring.Poly, level+1)}
+	for i := range hd.digits {
+		hd.digits[i] = ctx.GetPoly(level + 2)
+		defer ctx.PutPoly(hd.digits[i])
+	}
+	ev.decompose(ct.Polys[1], hd, level)
+	c0g := ctx.GetPolyNoZero(level + 1)
+	defer ctx.PutPoly(c0g)
+	for i, key := range keys {
+		if key == nil {
+			if err := ev.CopyInto(ct, outs[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := ev.prepareInto(outs[i], 1, level, ct.Scale); err != nil {
+			return err
+		}
+		table := ctx.AutomorphismNTTTable(key.GaloisElt)
+		ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
+		ev.keySwitchHoistedInto(hd, &key.SwitchingKey, table, c0g, nil, outs[i].Polys[0], outs[i].Polys[1])
+	}
+	return nil
 }
 
 // InnerSum replaces every slot of ct with the sum of the n2 slots

@@ -17,6 +17,11 @@ import (
 // operations share the ring context's persistent worker pool.
 type Evaluator struct {
 	params *Params
+	// ctx is the evaluator's view of the parameter ring. By default it
+	// is params.RingQP itself; SetWorkers swaps in a Fork with a local
+	// worker cap so one evaluator's bound never leaks into others built
+	// on the same Params.
+	ctx *ring.Context
 	// rowIdx[level] maps key-switch accumulator rows to basis indices:
 	// (0..level, specialRow). Precomputed so the hot path allocates
 	// nothing for it.
@@ -34,7 +39,7 @@ type Evaluator struct {
 
 // NewEvaluator builds an evaluator for params.
 func NewEvaluator(params *Params) *Evaluator {
-	ev := &Evaluator{params: params}
+	ev := &Evaluator{params: params, ctx: params.RingQP}
 	sp := params.SpecialRow()
 	ev.rowIdx = make([][]int, params.K())
 	for level := 0; level < params.K(); level++ {
@@ -54,6 +59,24 @@ func NewEvaluator(params *Params) *Evaluator {
 		ev.seqIdx[rows] = idx
 	}
 	return ev
+}
+
+// SetWorkers caps the goroutines this evaluator's row-wise operations
+// fan out to, without touching the shared ring context: the evaluator
+// switches to a Fork of params.RingQP carrying the cap locally. Not
+// safe to call while operations run concurrently on this evaluator.
+func (ev *Evaluator) SetWorkers(n int) {
+	ev.ctx = ev.params.RingQP.Fork(n)
+}
+
+// Workers returns the evaluator's current worker cap.
+func (ev *Evaluator) Workers() int { return ev.ctx.Workers() }
+
+// ShallowCopy returns an evaluator sharing this one's parameters,
+// ring-context view (including any SetWorkers cap) and precomputed
+// index tables, but owning fresh per-call pooled state.
+func (ev *Evaluator) ShallowCopy() *Evaluator {
+	return &Evaluator{params: ev.params, ctx: ev.ctx, rowIdx: ev.rowIdx, seqIdx: ev.seqIdx}
 }
 
 // scalesClose reports whether two scales are equal up to floating-point
@@ -93,7 +116,7 @@ func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if len(a.Polys) < len(b.Polys) {
 		a, b = b, a
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	out := &Ciphertext{Scale: a.Scale, Level: a.Level}
 	for i, p := range a.Polys {
 		c := ring.CopyOf(p)
@@ -108,7 +131,7 @@ func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 // Sub returns ct0 - ct1.
 func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	neg := CopyOf(ct1)
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	for _, p := range neg.Polys {
 		ctx.Neg(p, p)
 	}
@@ -122,7 +145,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	}
 	level := min(ct.Level, pt.Level())
 	out := CopyOf(ev.atLevel(ct, level))
-	ev.params.RingQP.Add(out.Polys[0], pt.Value.Resize(level+1), out.Polys[0])
+	ev.ctx.Add(out.Polys[0], pt.Value.Resize(level+1), out.Polys[0])
 	return out, nil
 }
 
@@ -132,7 +155,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	level := min(ct.Level, pt.Level())
 	in := ev.atLevel(ct, level)
 	ptv := pt.Value.Resize(level + 1)
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	out := &Ciphertext{Scale: ct.Scale * pt.Scale, Level: level}
 	for _, p := range in.Polys {
 		c := ctx.NewPoly(level + 1)
@@ -150,7 +173,7 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 			ct0.Degree(), ct1.Degree(), ErrDegreeMismatch)
 	}
 	a, b := ev.alignLevels(ct0, ct1)
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := a.Level + 1
 	c0 := ctx.NewPoly(rows)
 	c1 := ctx.NewPoly(rows)
@@ -179,7 +202,7 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 // single worker the whole graph degenerates to the sequential oracle
 // loop (bit-identical either way).
 func (ev *Evaluator) KeySwitchPoly(c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	level := c.Level()
 
 	// Accumulators over (q_0..q_level, P); row level+1 is the special
@@ -215,7 +238,7 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rlk *RelinearizationKey) (*Ciph
 // SwitchKeys, rotation, and the fused MulRelin: no intermediate result
 // polys, no input copies, no separate addition sweep.
 func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *ring.Poly) (*ring.Poly, *ring.Poly) {
-	out0, out1 := ev.params.RingQP.NewPolyPair(c.Level() + 1)
+	out0, out1 := ev.ctx.NewPolyPair(c.Level() + 1)
 	ev.keySwitchAddInto(c, swk, add0, add1, out0, out1)
 	return out0, out1
 }
@@ -224,7 +247,7 @@ func (ev *Evaluator) keySwitchAdd(c *ring.Poly, swk *SwitchingKey, add0, add1 *r
 // polynomials (each with c.Level()+1 rows) — the zero-allocation back
 // end behind the *Into operation variants.
 func (ev *Evaluator) keySwitchAddInto(c *ring.Poly, swk *SwitchingKey, add0, add1, out0, out1 *ring.Poly) {
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	level := c.Level()
 	acc0 := ctx.GetPoly(level + 2)
 	acc1 := ctx.GetPoly(level + 2)
@@ -252,7 +275,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *RelinearizationKey) (*C
 			ct0.Degree(), ct1.Degree(), ErrDegreeMismatch)
 	}
 	a, b := ev.alignLevels(ct0, ct1)
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := a.Level + 1
 	// Algorithm 5 on pooled scratch (c2 is consumed by the key switch,
 	// c0/c1 are folded into the outputs by keySwitchAdd).
@@ -324,7 +347,7 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, key *GaloisKey) (*Ciphertext, e
 	if ct.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d); relinearize first: %w", ct.Degree(), ErrDegreeMismatch)
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := ct.Level + 1
 	table := ctx.AutomorphismNTTTable(key.GaloisElt)
 	// Both permuted components are scratch: c0g folds into the output via

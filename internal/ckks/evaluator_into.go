@@ -47,7 +47,7 @@ func (ev *Evaluator) prepareInto(out *Ciphertext, degree, level int, scale float
 	if out == nil {
 		return fmt.Errorf("ckks: nil output ciphertext")
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := level + 1
 	if len(out.Polys) > degree+1 {
 		out.Polys = out.Polys[:degree+1]
@@ -91,7 +91,7 @@ func (ev *Evaluator) AddInto(ct0, ct1, out *Ciphertext) error {
 	if err := ev.prepareInto(out, a.Degree(), a.Level, a.Scale); err != nil {
 		return err
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := a.Level + 1
 	for i, p := range a.Polys {
 		if p.Rows() != rows {
@@ -114,6 +114,137 @@ func (ev *Evaluator) AddInto(ct0, ct1, out *Ciphertext) error {
 	return nil
 }
 
+// SubInto computes ct0 - ct1 into out (degrees and levels reconciled as
+// Sub allows); out may alias either operand.
+func (ev *Evaluator) SubInto(ct0, ct1, out *Ciphertext) error {
+	if !scalesClose(ct0.Scale, ct1.Scale) {
+		return fmt.Errorf("ckks: cannot subtract scales %g and %g: %w", ct0.Scale, ct1.Scale, ErrScaleMismatch)
+	}
+	a, b := ev.alignLevels(ct0, ct1)
+	degree := max(a.Degree(), b.Degree())
+	if err := ev.prepareInto(out, degree, a.Level, a.Scale); err != nil {
+		return err
+	}
+	ctx := ev.ctx
+	rows := a.Level + 1
+	for i := range out.Polys {
+		var p, q *ring.Poly
+		if i < len(a.Polys) {
+			p = a.Polys[i].Resize(rows)
+		}
+		if i < len(b.Polys) {
+			q = b.Polys[i].Resize(rows)
+		}
+		switch {
+		case p != nil && q != nil:
+			ctx.Sub(p, q, out.Polys[i])
+		case p != nil:
+			if out.Polys[i] != p {
+				for r := 0; r < rows; r++ {
+					copy(out.Polys[i].Coeffs[r], p.Coeffs[r])
+				}
+			}
+		default:
+			ctx.Neg(q, out.Polys[i])
+		}
+	}
+	return nil
+}
+
+// MulPlainInto computes ct ⊙ pt into out; out may alias ct.
+func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext) error {
+	level := min(ct.Level, pt.Level())
+	in := ev.atLevel(ct, level)
+	ptv := pt.Value.Resize(level + 1)
+	if err := ev.prepareInto(out, in.Degree(), level, ct.Scale*pt.Scale); err != nil {
+		return err
+	}
+	ctx := ev.ctx
+	for i, p := range in.Polys {
+		ctx.MulCoeffs(p, ptv, out.Polys[i])
+	}
+	return nil
+}
+
+// AddPlainInto computes ct + pt into out; out may alias ct.
+func (ev *Evaluator) AddPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext) error {
+	if !scalesClose(ct.Scale, pt.Scale) {
+		return fmt.Errorf("ckks: cannot add plaintext scale %g to ciphertext scale %g: %w", pt.Scale, ct.Scale, ErrScaleMismatch)
+	}
+	level := min(ct.Level, pt.Level())
+	in := ev.atLevel(ct, level)
+	ptv := pt.Value.Resize(level + 1)
+	if err := ev.prepareInto(out, in.Degree(), level, ct.Scale); err != nil {
+		return err
+	}
+	ctx := ev.ctx
+	rows := level + 1
+	ctx.Add(in.Polys[0], ptv, out.Polys[0])
+	for i := 1; i < len(in.Polys); i++ {
+		if out.Polys[i] != in.Polys[i] {
+			for r := 0; r < rows; r++ {
+				copy(out.Polys[i].Coeffs[r], in.Polys[i].Coeffs[r])
+			}
+		}
+	}
+	return nil
+}
+
+// InnerSumInto replaces every slot with the sum of the n2 slots starting
+// at it, into out, with the per-round rotation landing in pooled scratch
+// instead of fresh ciphertexts; out may alias ct.
+func (ev *Evaluator) InnerSumInto(ct *Ciphertext, n2 int, gks *GaloisKeySet, out *Ciphertext) error {
+	if n2 < 1 || n2&(n2-1) != 0 {
+		return fmt.Errorf("ckks: InnerSum width %d must be a power of two", n2)
+	}
+	// Resolve every span key before writing anything: out may alias ct,
+	// and a missing key discovered mid-accumulation would leave the
+	// caller's ciphertext partially overwritten.
+	for span := n2 >> 1; span >= 1; span >>= 1 {
+		if _, err := gks.rotationKey(span); err != nil {
+			return err
+		}
+	}
+	if err := ev.CopyInto(ct, out); err != nil {
+		return err
+	}
+	if n2 == 1 {
+		return nil
+	}
+	ctx := ev.ctx
+	rows := ct.Level + 1
+	rot := &Ciphertext{Polys: []*ring.Poly{ctx.GetPolyNoZero(rows), ctx.GetPolyNoZero(rows)}}
+	defer ctx.PutPoly(rot.Polys[0])
+	defer ctx.PutPoly(rot.Polys[1])
+	for span := n2 >> 1; span >= 1; span >>= 1 {
+		if err := ev.RotateLeftInto(out, span, gks, rot); err != nil {
+			return err
+		}
+		if err := ev.AddInto(out, rot, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyInto deep-copies ct into out's backing storage (a no-op when they
+// already share components).
+func (ev *Evaluator) CopyInto(ct, out *Ciphertext) error {
+	if err := ev.prepareInto(out, ct.Degree(), ct.Level, ct.Scale); err != nil {
+		return err
+	}
+	rows := ct.Level + 1
+	for i, p := range ct.Polys {
+		if out.Polys[i] == p {
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			copy(out.Polys[i].Coeffs[r], p.Coeffs[r])
+		}
+	}
+	return nil
+}
+
 // MulRelinInto computes the relinearized product of two degree-1
 // ciphertexts into out — the fused MULT+ReLin hot path of Table 8 with
 // the result landing in caller-owned storage: the degree-2 tensor lives
@@ -128,7 +259,7 @@ func (ev *Evaluator) MulRelinInto(ct0, ct1 *Ciphertext, rlk *RelinearizationKey,
 	if err := ev.prepareInto(out, 1, a.Level, a.Scale*b.Scale); err != nil {
 		return err
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := a.Level + 1
 	c0 := ctx.GetPolyNoZero(rows)
 	c1 := ctx.GetPolyNoZero(rows)
@@ -175,7 +306,7 @@ func (ev *Evaluator) RescaleInto(ct, out *Ciphertext) error {
 	if err := ev.prepareInto(out, len(ins)-1, inRows-2, ct.Scale/float64(pLast)); err != nil {
 		return err
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	idx := ev.seqIdx[inRows]
 	for i := 0; i+1 < len(ins); i += 2 {
 		ctx.FloorDropRowsPairInto(ins[i], ins[i+1], out.Polys[i], out.Polys[i+1], idx, true, false)
@@ -216,7 +347,7 @@ func (ev *Evaluator) applyGaloisInto(ct *Ciphertext, key *GaloisKey, out *Cipher
 	if err := ev.prepareInto(out, 1, ct.Level, ct.Scale); err != nil {
 		return err
 	}
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	rows := ct.Level + 1
 	table := ctx.AutomorphismNTTTable(key.GaloisElt)
 	c0g := ctx.GetPolyNoZero(rows)

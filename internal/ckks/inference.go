@@ -1,0 +1,32 @@
+package ckks
+
+// Scale/level inference helpers for the compile-once circuit planner:
+// the planner assigns every symbolic node a (level, scale) pair before
+// anything executes, and these are the rules it assigns them by.
+//
+// The core idea is a canonical per-level scale ladder. Rescaling always
+// divides by the level's top prime, so if both operands of every
+// multiplication carry the level's canonical scale S_ℓ, the rescaled
+// product lands exactly on S_{ℓ-1} = S_ℓ²/q_ℓ — making a node's scale a
+// function of its level alone, and making every addition meet operands
+// at bit-identical scales without hand bookkeeping.
+
+// ScaleLadder returns the canonical scale for each level: index ℓ holds
+// S_ℓ, with S_L = Δ at the top level and S_{ℓ-1} = S_ℓ²/q_ℓ below it —
+// exactly the scale a rescaled product of two S_ℓ-scaled operands lands
+// on. Computed in float64 with the same operations the evaluator's
+// Rescale applies, so planned and observed scales match bit for bit.
+func (p *Params) ScaleLadder() []float64 {
+	s := make([]float64, p.K())
+	s[p.MaxLevel()] = p.DefaultScale()
+	for l := p.MaxLevel(); l > 0; l-- {
+		s[l-1] = s[l] * s[l] / float64(p.Q[l])
+	}
+	return s
+}
+
+// ScalesClose reports whether two scales are equal up to floating-point
+// noise — the same predicate the evaluator's additions enforce
+// (mismatched scales silently corrupt CKKS results, so both the planner
+// and the runtime refuse them).
+func ScalesClose(a, b float64) bool { return scalesClose(a, b) }

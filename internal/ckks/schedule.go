@@ -245,7 +245,7 @@ func (ev *Evaluator) getJob(level int) *ksJob {
 		j = &ksJob{}
 	}
 	j.ev = ev
-	j.ctx = ev.params.RingQP
+	j.ctx = ev.ctx
 	j.level = level
 	nTasks := (level+1)*(level+2) + level + 1
 	if cap(j.tasks) < nTasks {
@@ -389,7 +389,7 @@ func (j *ksJob) initTasks(inttKind, tileKind ksTaskKind) {
 // graph.
 func (ev *Evaluator) keySwitchMAC(c *ring.Poly, hd *HoistedDecomposition, table []int,
 	digits, shoup [][2]*ring.Poly, acc0, acc1 *ring.Poly, level int) {
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 
 	j := ev.getJob(level)
 	j.c, j.hd, j.table = c, hd, table
@@ -450,7 +450,7 @@ func (ev *Evaluator) keySwitchMAC(c *ring.Poly, hd *HoistedDecomposition, table 
 // decompose fills hd with the per-digit conversions of c (lines 3-10 of
 // Algorithm 7 for every digit), pipelined over the worker pool.
 func (ev *Evaluator) decompose(c *ring.Poly, hd *HoistedDecomposition, level int) {
-	ctx := ev.params.RingQP
+	ctx := ev.ctx
 	j := ev.getJob(level)
 	j.c, j.out = c, hd
 

@@ -41,15 +41,17 @@ type Context struct {
 	sched *scheduler
 
 	// pool recycles full-basis Poly buffers so evaluator hot paths
-	// (key switching, rescale) allocate nothing per call.
-	pool sync.Pool
+	// (key switching, rescale) allocate nothing per call. Held by
+	// pointer so Fork views share one pool.
+	pool *sync.Pool
 
 	// autoTables caches the NTT-domain automorphism permutation per
 	// Galois element: a rotation workload reuses a handful of elements
 	// across millions of calls, and each table is n ints — recomputing
 	// (and reallocating) it per rotation would dominate the key switch
-	// it feeds. Keyed by Galois element, value []int.
-	autoTables sync.Map
+	// it feeds. Keyed by Galois element, value []int. Shared across
+	// Fork views like the buffer pool.
+	autoTables *sync.Map
 }
 
 // NewContext builds a Context for ring degree n over the given primes,
@@ -63,11 +65,13 @@ func NewContext(n int, primeList []uint64) (*Context, error) {
 		return nil, err
 	}
 	ctx := &Context{
-		N:       n,
-		LogN:    bits.Len(uint(n)) - 1,
-		Basis:   basis,
-		workers: runtime.GOMAXPROCS(0),
-		sched:   newScheduler(),
+		N:          n,
+		LogN:       bits.Len(uint(n)) - 1,
+		Basis:      basis,
+		workers:    runtime.GOMAXPROCS(0),
+		sched:      newScheduler(),
+		pool:       &sync.Pool{},
+		autoTables: &sync.Map{},
 	}
 	ctx.Tables = make([]*ntt.Tables, basis.K())
 	for i, p := range basis.Primes {
@@ -95,6 +99,18 @@ func (c *Context) SetWorkers(w int) {
 
 // Workers returns the current worker cap.
 func (c *Context) Workers() int { return c.workers }
+
+// Fork returns a view of the context with its own worker cap. The view
+// shares everything else — basis, NTT tables, the persistent worker
+// pool, the Poly buffer pool and the automorphism-table cache — so an
+// evaluator can bound its fan-out without affecting other users of the
+// same ring (SetWorkers on the original mutates shared state;
+// SetWorkers on a fork stays local to it).
+func (c *Context) Fork(workers int) *Context {
+	cc := *c
+	cc.SetWorkers(workers)
+	return &cc
+}
 
 // parallelThreshold is the minimum total coefficient count (rows*N) at
 // which fanning out to the worker pool beats running serially; below it

@@ -1,0 +1,410 @@
+package heax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"heax/internal/ckks"
+)
+
+// Plan is a compiled circuit: an immutable step list with every level,
+// scale, rescale and rotation batch fixed at compile time. A Plan is
+// safe for concurrent use — Run may be called from many goroutines and
+// RunBatch streams many input sets through the same bounded in-flight
+// window, mirroring the paper's double-buffered host queue (Section
+// 5.2): steps execute as their operands resolve, out of order across
+// independent branches, on the evaluator's worker-pool scheduler, and
+// every intermediate lives in a pooled buffer reshaped in place by the
+// *Into kernels.
+type Plan struct {
+	params  *Params
+	eval    *Evaluator
+	steps   []planStep
+	nSlots  int
+	inputs  []planInput
+	outputs []planOutput
+	// consumers[slot] is how many steps read the slot; the executor
+	// refcounts it down and recycles non-escaping buffers at zero.
+	consumers []int
+	// escapes[slot]: the slot is a named output, so its ciphertext is
+	// caller-owned and never pooled.
+	escapes []bool
+	// inputSlot[slot]: the slot is fed by a caller ciphertext and needs
+	// no per-run signalling state.
+	inputSlot []bool
+	// sem bounds concurrently executing steps across all runs.
+	sem chan struct{}
+	// window bounds how many input sets RunBatch keeps in flight.
+	window int
+	// bufs pools full-basis intermediate ciphertexts.
+	bufs *sync.Pool
+}
+
+type planInput struct {
+	name string
+	slot int
+}
+
+type planOutput struct {
+	name  string
+	slot  int
+	level int
+	scale float64
+}
+
+type stepKind uint8
+
+const (
+	stepAdd stepKind = iota
+	stepSub
+	stepMulRelin
+	stepMulPlain
+	stepAddPlain
+	stepRescale
+	stepRotate
+	stepRotateHoisted
+	stepConjugate
+	stepInnerSum
+	stepCopy
+)
+
+var stepKindNames = [...]string{
+	stepAdd:           "Add",
+	stepSub:           "Sub",
+	stepMulRelin:      "MulRelin",
+	stepMulPlain:      "MulPlain",
+	stepAddPlain:      "AddPlain",
+	stepRescale:       "Rescale",
+	stepRotate:        "Rotate",
+	stepRotateHoisted: "RotateHoisted",
+	stepConjugate:     "ConjugateSlots",
+	stepInnerSum:      "InnerSum",
+	stepCopy:          "Copy",
+}
+
+// planStep is one executable operation of a compiled plan.
+type planStep struct {
+	kind stepKind
+	args []int
+	outs []int
+	// pt is the payload of plain operations, encoded once at compile
+	// time at the inferred level and scale.
+	pt     *Plaintext
+	rots   []int // rotation step (len 1) or hoisted batch (len > 1)
+	n2     int
+	level  int
+	scale  float64
+	lifted bool // compiler-inserted multiply-by-one
+}
+
+// Params returns the parameter set the plan was compiled for.
+func (p *Plan) Params() *Params { return p.params }
+
+// NumSteps reports how many executable steps the plan holds after CSE,
+// pruning and hoisting.
+func (p *Plan) NumSteps() int { return len(p.steps) }
+
+// InputNames lists the circuit inputs the plan requires, in declaration
+// order. Inputs that do not reach any output are pruned with the rest
+// of the dead graph and are not required (Run ignores them if passed).
+func (p *Plan) InputNames() []string {
+	names := make([]string, len(p.inputs))
+	for i, in := range p.inputs {
+		names[i] = in.name
+	}
+	return names
+}
+
+// OutputNames lists the circuit outputs in declaration order.
+func (p *Plan) OutputNames() []string {
+	names := make([]string, len(p.outputs))
+	for i, o := range p.outputs {
+		names[i] = o.name
+	}
+	return names
+}
+
+func (p *Plan) output(name string) (planOutput, error) {
+	for _, o := range p.outputs {
+		if o.name == name {
+			return o, nil
+		}
+	}
+	return planOutput{}, fmt.Errorf("heax: plan has no output %q", name)
+}
+
+// OutputLevel reports the level inference assigned to a named output.
+func (p *Plan) OutputLevel(name string) (int, error) {
+	o, err := p.output(name)
+	return o.level, err
+}
+
+// OutputScale reports the scale inference assigned to a named output.
+func (p *Plan) OutputScale(name string) (float64, error) {
+	o, err := p.output(name)
+	return o.scale, err
+}
+
+// Describe renders the compiled step list — one line per step with its
+// slots, level and log2 scale — the plan analogue of an assembly
+// listing, for tests and debugging.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d steps, %d slots, inputs %v\n", len(p.steps), p.nSlots, p.InputNames())
+	for i, s := range p.steps {
+		fmt.Fprintf(&b, "%3d  %-14s %v -> %v  @L%d scale=2^%.2f", i, stepKindNames[s.kind], s.args, s.outs, s.level, math.Log2(s.scale))
+		if len(s.rots) > 0 {
+			fmt.Fprintf(&b, " rot%v", s.rots)
+		}
+		if s.n2 > 0 {
+			fmt.Fprintf(&b, " n2=%d", s.n2)
+		}
+		if s.lifted {
+			b.WriteString(" (lift)")
+		}
+		b.WriteByte('\n')
+	}
+	outs := make([]string, len(p.outputs))
+	for i, o := range p.outputs {
+		outs[i] = fmt.Sprintf("%s=s%d@L%d", o.name, o.slot, o.level)
+	}
+	sort.Strings(outs)
+	fmt.Fprintf(&b, "outputs: %s\n", strings.Join(outs, " "))
+	return b.String()
+}
+
+// runSlot is the per-run state of one value slot.
+type runSlot struct {
+	done   chan struct{}
+	ct     *Ciphertext
+	err    error
+	refs   int32
+	pooled bool
+}
+
+// resolvedSlot is the shared already-closed done channel of input slots.
+var resolvedSlot = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func (p *Plan) validateInputs(in map[string]*Ciphertext) error {
+	for _, pi := range p.inputs {
+		ct, ok := in[pi.name]
+		if !ok || ct == nil {
+			return fmt.Errorf("heax: plan input %q missing", pi.name)
+		}
+		if ct.Degree() != 1 {
+			return fmt.Errorf("heax: plan input %q has degree %d, want 1: %w", pi.name, ct.Degree(), ErrDegreeMismatch)
+		}
+		if ct.Level != p.params.MaxLevel() {
+			return fmt.Errorf("heax: plan input %q at level %d, want the top level %d: %w",
+				pi.name, ct.Level, p.params.MaxLevel(), ErrLevelMismatch)
+		}
+		if !ckks.ScalesClose(ct.Scale, p.params.DefaultScale()) {
+			return fmt.Errorf("heax: plan input %q at scale %g, want the default scale %g: %w",
+				pi.name, ct.Scale, p.params.DefaultScale(), ErrScaleMismatch)
+		}
+	}
+	return nil
+}
+
+// Run executes the plan on one input set and returns the named output
+// ciphertexts (always freshly allocated — inputs are never modified).
+// Concurrent Runs share the plan's in-flight window and buffer pool.
+func (p *Plan) Run(in map[string]*Ciphertext) (map[string]*Ciphertext, error) {
+	if err := p.validateInputs(in); err != nil {
+		return nil, err
+	}
+	slots := make([]runSlot, p.nSlots)
+	for i := range slots {
+		slots[i].refs = int32(p.consumers[i])
+		// Input slots share the one resolved channel; slots nobody reads
+		// (pure outputs) need no signal at all — wg.Wait already orders
+		// the final scan after every step.
+		switch {
+		case p.inputSlot[i]:
+			slots[i].done = resolvedSlot
+		case p.consumers[i] > 0:
+			slots[i].done = make(chan struct{})
+		}
+	}
+	for _, pi := range p.inputs {
+		slots[pi.slot].ct = in[pi.name]
+	}
+	// Every step but the last gets a goroutine; the last (which nothing
+	// depends on, by topological order) runs inline, so a single-step
+	// plan spawns nothing.
+	var wg sync.WaitGroup
+	last := len(p.steps) - 1 // always >= 0: binding an output emits at least one step
+	wg.Add(last)
+	for i := 0; i < last; i++ {
+		go func(idx int) {
+			defer wg.Done()
+			p.runStep(idx, slots)
+		}(i)
+	}
+	p.runStep(last, slots)
+	wg.Wait()
+	// The first failing step in plan order is the root cause: dependents
+	// always appear after the step that poisoned them.
+	for i := range p.steps {
+		if err := slots[p.steps[i].outs[0]].err; err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*Ciphertext, len(p.outputs))
+	for _, o := range p.outputs {
+		out[o.name] = slots[o.slot].ct
+	}
+	return out, nil
+}
+
+// RunBatch streams many input sets through the plan, keeping the
+// configured window of them in flight at once (WithBatchWindow,
+// default 2 — double buffering). Results are returned in input order;
+// on failure the first failing batch's error is returned and the
+// corresponding result entries are nil.
+func (p *Plan) RunBatch(batches []map[string]*Ciphertext) ([]map[string]*Ciphertext, error) {
+	results := make([]map[string]*Ciphertext, len(batches))
+	errs := make([]error, len(batches))
+	// A fixed crew of window workers drains the queue in order — the
+	// double-buffered host loop: while one input set executes, the next
+	// is already being fed in.
+	var next atomic.Int64
+	next.Store(-1)
+	workers := min(p.window, len(batches))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(batches) {
+					return
+				}
+				results[i], errs[i] = p.Run(batches[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("heax: plan batch %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+func (p *Plan) runStep(idx int, slots []runSlot) {
+	st := &p.steps[idx]
+	var inBuf [2]*Ciphertext
+	in := inBuf[:0]
+	if len(st.args) > len(inBuf) {
+		in = make([]*Ciphertext, 0, len(st.args))
+	}
+	var depErr error
+	for _, a := range st.args {
+		<-slots[a].done
+		if err := slots[a].err; err != nil && depErr == nil {
+			depErr = err
+		}
+		in = append(in, slots[a].ct)
+	}
+	var err error
+	if depErr != nil {
+		err = fmt.Errorf("heax: plan step %d (%s): %w", idx, stepKindNames[st.kind], errors.Join(ErrDependency, depErr))
+	} else {
+		p.sem <- struct{}{}
+		err = p.exec(st, in, slots)
+		<-p.sem
+		if err != nil {
+			err = fmt.Errorf("heax: plan step %d (%s): %w", idx, stepKindNames[st.kind], err)
+		}
+	}
+	for _, o := range st.outs {
+		if err != nil {
+			slots[o].err = err
+		}
+		if slots[o].done != nil {
+			close(slots[o].done)
+		}
+	}
+	// Release operand references; a non-escaping buffer with no readers
+	// left returns to the pool for a later step (or the next run).
+	for _, a := range st.args {
+		if atomic.AddInt32(&slots[a].refs, -1) == 0 && slots[a].pooled && slots[a].ct != nil {
+			p.bufs.Put(slots[a].ct)
+		}
+	}
+}
+
+// exec runs one step's kernel, drawing output storage from the buffer
+// pool (intermediates) or allocating it fresh (named outputs).
+func (p *Plan) exec(st *planStep, in []*Ciphertext, slots []runSlot) error {
+	var outBuf [1]*Ciphertext
+	outs := outBuf[:0]
+	if len(st.outs) > len(outBuf) {
+		outs = make([]*Ciphertext, 0, len(st.outs))
+	}
+	outs = outs[:len(st.outs)]
+	for i, o := range st.outs {
+		if p.escapes[o] {
+			// Named outputs are allocated exactly at their compiled level
+			// (one shared backing array), like the allocating evaluator
+			// calls; the *Into kernel fills in scale and level.
+			c0, c1 := p.params.RingQP.NewPolyPair(st.level + 1)
+			outs[i] = &Ciphertext{Polys: []*Poly{c0, c1}}
+		} else {
+			outs[i] = p.bufs.Get().(*Ciphertext)
+		}
+	}
+	e := p.eval
+	var err error
+	switch st.kind {
+	case stepAdd:
+		err = e.inner.AddInto(in[0], in[1], outs[0])
+	case stepSub:
+		err = e.inner.SubInto(in[0], in[1], outs[0])
+	case stepMulRelin:
+		err = e.inner.MulRelinInto(in[0], in[1], e.keys.Relin, outs[0])
+	case stepMulPlain:
+		err = e.inner.MulPlainInto(in[0], st.pt, outs[0])
+	case stepAddPlain:
+		err = e.inner.AddPlainInto(in[0], st.pt, outs[0])
+	case stepRescale:
+		err = e.inner.RescaleInto(in[0], outs[0])
+	case stepRotate:
+		err = e.inner.RotateLeftInto(in[0], st.rots[0], e.keys.Galois, outs[0])
+	case stepRotateHoisted:
+		err = e.inner.RotateHoistedInto(in[0], st.rots, e.keys.Galois, outs)
+	case stepConjugate:
+		err = e.inner.ConjugateSlotsInto(in[0], e.keys.Galois, outs[0])
+	case stepInnerSum:
+		err = e.inner.InnerSumInto(in[0], st.n2, e.keys.Galois, outs[0])
+	case stepCopy:
+		err = e.inner.CopyInto(in[0], outs[0])
+	default:
+		err = fmt.Errorf("unknown step kind %d", st.kind)
+	}
+	if err != nil {
+		for i, o := range st.outs {
+			if !p.escapes[o] {
+				p.bufs.Put(outs[i])
+			}
+		}
+		return err
+	}
+	for i, o := range st.outs {
+		slots[o].ct = outs[i]
+		slots[o].pooled = !p.escapes[o]
+	}
+	return nil
+}

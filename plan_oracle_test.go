@@ -1,0 +1,304 @@
+package heax
+
+// Plan-vs-imperative oracle: every compiled example circuit, executed
+// through the concurrent Plan executor (pooled buffers, out-of-order
+// steps, workers > 1), must produce ciphertexts bit-identical to a
+// sequential imperative replay of the same step list through the
+// allocating evaluator calls — the executor may add concurrency, never
+// numerics. Runs across the paper's Set-A/B/C parameter sets and under
+// -race in CI.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+type oracleKit struct {
+	params    *Params
+	evk       *EvaluationKeySet
+	enc       *Encoder
+	encryptor *Encryptor
+	decryptor *Decryptor
+}
+
+func newOracleKit(t *testing.T, spec ParamSpec, steps []int, conjugate bool) *oracleKit {
+	t.Helper()
+	params, err := NewParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGenerator(params, 7)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	return &oracleKit{
+		params:    params,
+		evk:       GenEvaluationKeys(kg, sk, steps, conjugate),
+		enc:       NewEncoder(params),
+		encryptor: NewEncryptor(params, pk, 8),
+		decryptor: NewDecryptor(params, sk),
+	}
+}
+
+func (k *oracleKit) encrypt(t *testing.T, vals []float64) *Ciphertext {
+	t.Helper()
+	pt, err := k.enc.EncodeReal(vals, k.params.MaxLevel(), k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func ctBitEqual(a, b *Ciphertext) bool {
+	if a == nil || b == nil || a.Level != b.Level || len(a.Polys) != len(b.Polys) || a.Scale != b.Scale {
+		return false
+	}
+	for i := range a.Polys {
+		if !a.Polys[i].Equal(b.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// replayPlan executes the compiled step list sequentially through the
+// allocating evaluator API — the hand-written imperative sequence the
+// compiler would have produced.
+func replayPlan(t *testing.T, p *Plan, in map[string]*Ciphertext) map[string]*Ciphertext {
+	t.Helper()
+	e := p.eval
+	slots := make([]*Ciphertext, p.nSlots)
+	for _, pi := range p.inputs {
+		slots[pi.slot] = in[pi.name]
+	}
+	for i, st := range p.steps {
+		var err error
+		a := slots[st.args[0]]
+		switch st.kind {
+		case stepAdd:
+			slots[st.outs[0]], err = e.Add(a, slots[st.args[1]])
+		case stepSub:
+			slots[st.outs[0]], err = e.Sub(a, slots[st.args[1]])
+		case stepMulRelin:
+			slots[st.outs[0]], err = e.MulRelin(a, slots[st.args[1]])
+		case stepMulPlain:
+			slots[st.outs[0]], err = e.MulPlain(a, st.pt)
+		case stepAddPlain:
+			slots[st.outs[0]], err = e.AddPlain(a, st.pt)
+		case stepRescale:
+			slots[st.outs[0]], err = e.Rescale(a)
+		case stepRotate:
+			slots[st.outs[0]], err = e.RotateLeft(a, st.rots[0])
+		case stepRotateHoisted:
+			var rots map[int]*Ciphertext
+			rots, err = e.RotateHoisted(a, st.rots)
+			for j, s := range st.rots {
+				if err == nil {
+					slots[st.outs[j]] = rots[s]
+				}
+			}
+		case stepConjugate:
+			slots[st.outs[0]], err = e.ConjugateSlots(a)
+		case stepInnerSum:
+			slots[st.outs[0]], err = e.InnerSum(a, st.n2)
+		case stepCopy:
+			slots[st.outs[0]] = CopyOf(a)
+		default:
+			t.Fatalf("replay: unknown step kind %d", st.kind)
+		}
+		if err != nil {
+			t.Fatalf("replay step %d (%s): %v", i, stepKindNames[st.kind], err)
+		}
+	}
+	out := make(map[string]*Ciphertext, len(p.outputs))
+	for _, o := range p.outputs {
+		out[o.name] = slots[o.slot]
+	}
+	return out
+}
+
+// The example circuits, rebuilt here exactly as examples/ builds them.
+
+func logisticCircuit(features int, w []float64, bias float64) *Circuit {
+	c := NewCircuit()
+	var tAcc Node
+	for j := 0; j < features; j++ {
+		term := c.MulConst(c.Input(fmt.Sprintf("x%d", j)), w[j])
+		if j == 0 {
+			tAcc = term
+		} else {
+			tAcc = c.Add(tAcc, term)
+		}
+	}
+	y := c.AddConst(tAcc, bias)
+	tt := c.MulRelin(y, y)
+	cubic := c.MulRelin(c.MulConst(y, -0.004), tt)
+	linear := c.MulConst(y, 0.197)
+	c.Output("score", c.AddConst(c.Add(cubic, linear), 0.5))
+	return c
+}
+
+func matvecCircuit(m [][]float64) *Circuit {
+	dim := len(m)
+	c := NewCircuit()
+	x := c.Input("x")
+	var acc Node
+	for d := 0; d < dim; d++ {
+		diag := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			diag[i] = m[i][(i+d)%dim]
+		}
+		term := c.MulPlain(c.Rotate(x, d), diag)
+		if d == 0 {
+			acc = term
+		} else {
+			acc = c.Add(acc, term)
+		}
+	}
+	c.Output("y", acc)
+	return c
+}
+
+func statisticsCircuit(slots int) *Circuit {
+	c := NewCircuit()
+	x := c.Input("x")
+	c.Output("sum", c.InnerSum(x, slots))
+	c.Output("sumsq", c.InnerSum(c.MulRelin(x, x), slots))
+	return c
+}
+
+// mixedCircuit exercises every node kind on one DAG (for Set-C, whose
+// ladder the shallow example circuits never stress).
+func mixedCircuit() *Circuit {
+	c := NewCircuit()
+	x := c.Input("x")
+	y := c.Input("y")
+	rot := c.Add(c.Rotate(x, 1), c.Rotate(x, 2))
+	prod := c.MulRelin(c.Sub(rot, y), x)
+	c.Output("a", c.AddConst(c.InnerSum(prod, 4), 0.125))
+	c.Output("b", c.ConjugateSlots(c.AddPlain(c.MulRelin(prod, prod), []float64{0.5, -0.5})))
+	return c
+}
+
+func TestPlanOracleExampleCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randVec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		return v
+	}
+
+	type circuitCase struct {
+		name      string
+		spec      ParamSpec
+		steps     []int
+		conjugate bool
+		circuit   *Circuit
+		inputs    func(t *testing.T, k *oracleKit) map[string]*Ciphertext
+	}
+
+	const dim = 8
+	m := make([][]float64, dim)
+	for i := range m {
+		m[i] = randVec(dim)
+	}
+	w := randVec(dim)
+	const statSlots = 64
+
+	var statSteps []int
+	for s := 1; s < statSlots; s <<= 1 {
+		statSteps = append(statSteps, s)
+	}
+
+	cases := []circuitCase{
+		{
+			name:    "matvec/Set-A",
+			spec:    SetA,
+			steps:   []int{1, 2, 3, 4, 5, 6, 7},
+			circuit: matvecCircuit(m),
+			inputs: func(t *testing.T, k *oracleKit) map[string]*Ciphertext {
+				rep := make([]float64, 2*dim)
+				copy(rep, randVec(dim))
+				copy(rep[dim:], rep[:dim])
+				return map[string]*Ciphertext{"x": k.encrypt(t, rep)}
+			},
+		},
+		{
+			name:    "logistic/Set-B",
+			spec:    SetB,
+			circuit: logisticCircuit(dim, w, 0.25),
+			inputs: func(t *testing.T, k *oracleKit) map[string]*Ciphertext {
+				in := make(map[string]*Ciphertext, dim)
+				for j := 0; j < dim; j++ {
+					in[fmt.Sprintf("x%d", j)] = k.encrypt(t, randVec(16))
+				}
+				return in
+			},
+		},
+		{
+			name:    "statistics/Set-B",
+			spec:    SetB,
+			steps:   statSteps,
+			circuit: statisticsCircuit(statSlots),
+			inputs: func(t *testing.T, k *oracleKit) map[string]*Ciphertext {
+				return map[string]*Ciphertext{"x": k.encrypt(t, randVec(statSlots))}
+			},
+		},
+		{
+			name:      "mixed/Set-C",
+			spec:      SetC,
+			steps:     []int{1, 2},
+			conjugate: true,
+			circuit:   mixedCircuit(),
+			inputs: func(t *testing.T, k *oracleKit) map[string]*Ciphertext {
+				return map[string]*Ciphertext{
+					"x": k.encrypt(t, randVec(8)),
+					"y": k.encrypt(t, randVec(8)),
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := newOracleKit(t, tc.spec, tc.steps, tc.conjugate)
+			plan, err := tc.circuit.Compile(k.params, k.evk,
+				WithPlanWorkers(2), WithPlanInFlight(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := tc.inputs(t, k)
+			want := replayPlan(t, plan, in)
+			for run := 0; run < 2; run++ {
+				got, err := plan.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, ct := range want {
+					if !ctBitEqual(ct, got[name]) {
+						t.Fatalf("run %d: output %q differs from the imperative replay\n%s",
+							run, name, plan.Describe())
+					}
+				}
+			}
+			// And streamed through RunBatch, which shares the same pools.
+			batch, err := plan.RunBatch([]map[string]*Ciphertext{in, in, in})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, out := range batch {
+				for name, ct := range want {
+					if !ctBitEqual(ct, out[name]) {
+						t.Fatalf("batch %d: output %q differs from the imperative replay", i, name)
+					}
+				}
+			}
+		})
+	}
+}

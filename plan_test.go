@@ -1,0 +1,362 @@
+package heax_test
+
+// Black-box tests of the Circuit → Compile → Plan pipeline: value
+// correctness against cleartext, compile-time structure (CSE, pruning,
+// hoisting), the compile-time sentinels, and run-time input validation.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"heax"
+)
+
+func encryptVals(t testing.TB, k *apiKit, vals []float64) *heax.Ciphertext {
+	t.Helper()
+	return k.encrypt(t, vals)
+}
+
+// TestPlanSquarePlusOne: y = x² + 1 with zero manual maintenance.
+func TestPlanSquarePlusOne(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	c.Output("y", c.AddConst(c.MulRelin(x, x), 1))
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.5, -1.25, 2.0}
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": encryptVals(t, k, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decodeReal(t, out["y"], len(in))
+	for i, v := range in {
+		want := v*v + 1
+		if math.Abs(got[i]-want) > 1e-3 {
+			t.Fatalf("slot %d: got %g, want %g", i, got[i], want)
+		}
+	}
+	if lv, _ := plan.OutputLevel("y"); lv != k.params.MaxLevel() {
+		t.Fatalf("x²+1 should stay at the top level (unrescaled product), got %d", lv)
+	}
+}
+
+// TestPlanDepthChain drives a chain of squarings through every level of
+// Set-B and checks both the values and the inferred levels.
+func TestPlanDepthChain(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	// ((x²)²)² consumes MaxLevel rescales when each square feeds the next.
+	v := x
+	for i := 0; i < k.params.MaxLevel(); i++ {
+		v = c.MulRelin(v, v)
+	}
+	c.Output("y", v)
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{1.1, -0.9}
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": encryptVals(t, k, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decodeReal(t, out["y"], len(in))
+	for i, val := range in {
+		want := val
+		for j := 0; j < k.params.MaxLevel(); j++ {
+			want *= want
+		}
+		if math.Abs(got[i]-want) > 1e-2 {
+			t.Fatalf("slot %d: got %g, want %g", i, got[i], want)
+		}
+	}
+	// MaxLevel+1 squarings still fit — the final product may stay
+	// unrescaled at level 0 — but one more has nowhere to go.
+	c2 := heax.NewCircuit()
+	x2 := c2.Input("x")
+	v2 := x2
+	for i := 0; i <= k.params.MaxLevel()+1; i++ {
+		v2 = c2.MulRelin(v2, v2)
+	}
+	c2.Output("y", v2)
+	if _, err := c2.Compile(k.params, k.evk); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("over-deep circuit: got %v, want ErrLevelMismatch", err)
+	}
+}
+
+// TestPlanMixedLevelsAdd reconciles operands that live at different
+// levels and tiers — the case that forces compiler-inserted lifts.
+func TestPlanMixedLevelsAdd(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	cube := c.MulRelin(c.MulRelin(x, x), x) // two levels deep
+	lin := c.MulConst(x, 0.5)               // shallow product
+	c.Output("y", c.AddConst(c.Add(cube, lin), 0.25))
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.75, -0.5, 1.25}
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": encryptVals(t, k, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decodeReal(t, out["y"], len(in))
+	for i, v := range in {
+		want := v*v*v + 0.5*v + 0.25
+		if math.Abs(got[i]-want) > 1e-3 {
+			t.Fatalf("slot %d: got %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+// TestPlanCSEAndPruning: duplicate subexpressions compile once, dead
+// nodes compile to nothing.
+func TestPlanCSEAndPruning(t *testing.T) {
+	k := newAPIKit(t)
+
+	build := func(dedup bool) *heax.Circuit {
+		c := heax.NewCircuit()
+		x := c.Input("x")
+		y := c.Input("y")
+		a := c.MulRelin(x, y)
+		var b heax.Node
+		if dedup {
+			b = c.MulRelin(y, x) // commutative duplicate of a
+		} else {
+			b = a
+		}
+		c.Output("z", c.Add(a, b))
+		return c
+	}
+	single, err := build(false).Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := build(true).Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.NumSteps() != dup.NumSteps() {
+		t.Fatalf("CSE failed: %d steps with duplicate vs %d without\n%s", dup.NumSteps(), single.NumSteps(), dup.Describe())
+	}
+
+	// A dead branch (never reaching an output) adds no steps.
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	y := c.Input("y")
+	a := c.MulRelin(x, y)
+	c.InnerSum(c.MulRelin(a, a), 4) // dead
+	c.Output("z", c.Add(a, a))
+	pruned, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumSteps() != single.NumSteps() {
+		t.Fatalf("pruning failed: %d steps, want %d\n%s", pruned.NumSteps(), single.NumSteps(), pruned.Describe())
+	}
+}
+
+// TestPlanRotationHoisting: rotations sharing a source compile into one
+// hoisted-decomposition batch; disabling hoisting keeps them separate.
+func TestPlanRotationHoisting(t *testing.T) {
+	k := newAPIKit(t)
+	build := func() *heax.Circuit {
+		c := heax.NewCircuit()
+		x := c.Input("x")
+		s := c.Add(c.Rotate(x, 1), c.Rotate(x, 2))
+		c.Output("y", c.Add(s, x))
+		return c
+	}
+	hoisted, err := build().Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := build().Compile(k.params, k.evk, heax.WithoutHoisting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hoisted.Describe(), "RotateHoisted") {
+		t.Fatalf("expected a hoisted batch:\n%s", hoisted.Describe())
+	}
+	if strings.Contains(plain.Describe(), "RotateHoisted") {
+		t.Fatalf("WithoutHoisting must keep plain rotations:\n%s", plain.Describe())
+	}
+	if hoisted.NumSteps() != plain.NumSteps()-1 {
+		t.Fatalf("hoisting should merge 2 rotations into 1 step: %d vs %d", hoisted.NumSteps(), plain.NumSteps())
+	}
+
+	in := map[string]*heax.Ciphertext{"x": encryptVals(t, k, []float64{1, 2, 3, 4})}
+	outH, err := hoisted.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, err := plain.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotH := k.decodeReal(t, outH["y"], 4)
+	gotP := k.decodeReal(t, outP["y"], 4)
+	for i := range gotH {
+		if math.Abs(gotH[i]-gotP[i]) > 1e-4 {
+			t.Fatalf("hoisted and plain plans diverge at slot %d: %g vs %g", i, gotH[i], gotP[i])
+		}
+	}
+}
+
+// TestPlanCompileSentinels: missing keys and impossible assignments are
+// rejected at compile time with the PR-3 sentinels.
+func TestPlanCompileSentinels(t *testing.T) {
+	k := newAPIKit(t)
+
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	c.Output("y", c.MulRelin(x, x))
+	if _, err := c.Compile(k.params, nil); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("MulRelin without relin key: got %v, want ErrKeyMissing", err)
+	}
+
+	c2 := heax.NewCircuit()
+	x2 := c2.Input("x")
+	c2.Output("y", c2.Rotate(x2, 999))
+	if _, err := c2.Compile(k.params, k.evk); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("Rotate with missing step key: got %v, want ErrKeyMissing", err)
+	}
+
+	c3 := heax.NewCircuit()
+	x3 := c3.Input("x")
+	c3.Output("y", c3.InnerSum(x3, 8)) // needs steps 4, 2, 1; kit has 1, 2
+	if _, err := c3.Compile(k.params, k.evk); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("InnerSum with missing span keys: got %v, want ErrKeyMissing", err)
+	}
+
+	// Builder misuse surfaces at Compile.
+	c4 := heax.NewCircuit()
+	other := heax.NewCircuit()
+	c4.Output("y", c4.Add(c4.Input("x"), other.Input("z")))
+	if _, err := c4.Compile(k.params, k.evk); err == nil {
+		t.Fatal("cross-circuit node must fail to compile")
+	}
+
+	// No outputs.
+	c5 := heax.NewCircuit()
+	c5.Input("x")
+	if _, err := c5.Compile(k.params, k.evk); err == nil {
+		t.Fatal("output-less circuit must fail to compile")
+	}
+}
+
+// TestPlanRunValidation: Run rejects missing and malformed inputs with
+// the usual sentinels.
+func TestPlanRunValidation(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	c.Output("y", c.MulConst(x, 2))
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := plan.Run(map[string]*heax.Ciphertext{}); err == nil {
+		t.Fatal("missing input must fail")
+	}
+	dropped, err := k.eval.DropLevel(encryptVals(t, k, []float64{1}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Run(map[string]*heax.Ciphertext{"x": dropped}); !errors.Is(err, heax.ErrLevelMismatch) {
+		t.Fatalf("low-level input: got %v, want ErrLevelMismatch", err)
+	}
+	pt, err := k.enc.EncodeReal([]float64{1}, k.params.MaxLevel(), 2*k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Run(map[string]*heax.Ciphertext{"x": odd}); !errors.Is(err, heax.ErrScaleMismatch) {
+		t.Fatalf("off-scale input: got %v, want ErrScaleMismatch", err)
+	}
+}
+
+// TestPlanRunBatch streams several input sets and pins every batch to
+// its single-run result.
+func TestPlanRunBatch(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	y := c.Input("y")
+	c.Output("z", c.AddConst(c.MulRelin(x, y), -0.5))
+	plan, err := c.Compile(k.params, k.evk, heax.WithBatchWindow(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batches = 6
+	ins := make([]map[string]*heax.Ciphertext, batches)
+	for i := range ins {
+		ins[i] = map[string]*heax.Ciphertext{
+			"x": encryptVals(t, k, []float64{float64(i), 1}),
+			"y": encryptVals(t, k, []float64{2, float64(-i)}),
+		}
+	}
+	outs, err := plan.RunBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		single, err := plan.Run(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ctEqual(single["z"], out["z"]) {
+			t.Fatalf("batch %d diverged from its single run", i)
+		}
+		got := k.decodeReal(t, out["z"], 2)
+		want := []float64{float64(i)*2 - 0.5, float64(-i) - 0.5}
+		for s := range want {
+			if math.Abs(got[s]-want[s]) > 1e-3 {
+				t.Fatalf("batch %d slot %d: got %g, want %g", i, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+// TestPlanOutputAliases: outputs naming an input or the same node twice
+// still come back as distinct, caller-owned ciphertexts.
+func TestPlanOutputAliases(t *testing.T) {
+	k := newAPIKit(t)
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	d := c.MulConst(x, 3)
+	c.Output("thrice", d)
+	c.Output("same", d)
+	c.Output("echo", x)
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encryptVals(t, k, []float64{1.5})
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["thrice"] == out["same"] || out["echo"] == ct {
+		t.Fatal("outputs must be distinct, caller-owned ciphertexts")
+	}
+	if !ctEqual(out["thrice"], out["same"]) {
+		t.Fatal("aliased outputs must hold equal values")
+	}
+	if got := k.decodeReal(t, out["echo"], 1); math.Abs(got[0]-1.5) > 1e-4 {
+		t.Fatalf("echo output: got %g, want 1.5", got[0])
+	}
+}

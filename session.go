@@ -180,12 +180,18 @@ func (s *Session) Submit(op Op) *Future {
 
 // Flush blocks until every operation submitted before the call has
 // resolved and returns the first error among them (in submission
-// order), or nil. Resolved futures are released from the session's
-// bookkeeping; their results remain available through the Future.
+// order), or nil — deterministically the earliest-submitted failure,
+// so a poisoned dependency chain reports its root cause rather than
+// whichever ErrDependency casualty happened to finish first. Flush is
+// safe to call concurrently (every call waits for the work submitted
+// before it — a second Flush does not return early just because the
+// first one holds the same futures) and to call again after more
+// Submits: the session keeps working batch after batch. Resolved
+// futures are released from the session's bookkeeping; their results
+// remain available through the Future.
 func (s *Session) Flush() error {
 	s.mu.Lock()
-	futs := s.pending
-	s.pending = nil
+	futs := append([]*Future(nil), s.pending...)
 	s.mu.Unlock()
 	var first error
 	for _, f := range futs {
@@ -193,5 +199,25 @@ func (s *Session) Flush() error {
 			first = err
 		}
 	}
+	// Prune exactly the futures this call waited on (all resolved and
+	// error-checked above). Anything else — later Submits, work another
+	// concurrent Flush snapshotted but this one never examined — stays
+	// tracked, so no failure is discarded before some Flush reports it.
+	waited := make(map[*Future]bool, len(futs))
+	for _, f := range futs {
+		waited[f] = true
+	}
+	s.mu.Lock()
+	kept := s.pending[:0]
+	for _, f := range s.pending {
+		if !waited[f] {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = kept
+	s.mu.Unlock()
 	return first
 }

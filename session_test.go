@@ -136,6 +136,76 @@ func TestSessionConcurrentSubmit(t *testing.T) {
 	}
 }
 
+// TestSessionSubmitAfterFlush: Flush is a barrier, not a close — the
+// session accepts and completes new batches after each Flush, and an
+// empty Flush (double Flush included) returns nil.
+func TestSessionSubmitAfterFlush(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2})
+	y := k.encrypt(t, []float64{3, 4})
+	want, err := k.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval)
+	if err := sess.Flush(); err != nil {
+		t.Fatalf("empty Flush: %v", err)
+	}
+	for batch := 0; batch < 3; batch++ {
+		f := sess.Submit(heax.AddOp(heax.Arg(x), heax.Arg(y)))
+		if err := sess.Flush(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		got, err := f.Wait()
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !ctEqual(want, got) {
+			t.Fatalf("batch %d diverged", batch)
+		}
+		// Double Flush: nothing pending, must return nil.
+		if err := sess.Flush(); err != nil {
+			t.Fatalf("batch %d double Flush: %v", batch, err)
+		}
+	}
+}
+
+// TestSessionFlushRootFailureDeterministic: with a poisoned dependency
+// chain and a later independent failure in flight, Flush always reports
+// the chain's root (the earliest-submitted failure) — not a dependent,
+// not the later failure.
+func TestSessionFlushRootFailureDeterministic(t *testing.T) {
+	k := newAPIKit(t)
+	x := k.encrypt(t, []float64{1, 2})
+	bottom, err := k.eval.DropLevel(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := k.enc.EncodeReal([]float64{1}, k.params.MaxLevel(), 2*k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offScale, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := heax.NewSession(k.eval)
+	for round := 0; round < 10; round++ {
+		fBad := sess.Submit(heax.RescaleOp(heax.Arg(bottom)))    // root: ErrLevelMismatch
+		sess.Submit(heax.RotateOp(fBad, 1))                      // poisoned dependent
+		sess.Submit(heax.AddOp(heax.Arg(x), heax.Arg(offScale))) // later, independent: ErrScaleMismatch
+		err := sess.Flush()
+		if !errors.Is(err, heax.ErrLevelMismatch) {
+			t.Fatalf("round %d: got %v, want the root ErrLevelMismatch", round, err)
+		}
+		if errors.Is(err, heax.ErrDependency) || errors.Is(err, heax.ErrScaleMismatch) {
+			t.Fatalf("round %d: Flush reported a non-root failure: %v", round, err)
+		}
+	}
+}
+
 // TestSessionErrorPropagation: a failing op poisons its dependents with
 // ErrDependency while the root cause stays reachable through errors.Is,
 // and Flush surfaces the failure.

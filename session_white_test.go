@@ -1,0 +1,157 @@
+package heax
+
+// White-box session tests: by constructing gate futures directly, these
+// pin down scheduling-order semantics that black-box tests could only
+// probe probabilistically — that every Flush waits for the work
+// submitted before it even when another Flush holds the same futures,
+// and that the first ErrDependency-poisoned failure (in submission
+// order) is the one Flush reports.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var tinySpec = ParamSpec{Name: "tiny", LogN: 4, QBits: []int{36, 36}, PBits: 37, LogScale: 30}
+
+func tinySession(t *testing.T) *Session {
+	t.Helper()
+	params, err := NewParams(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(NewEvaluator(params, nil))
+}
+
+// gate returns an unresolved Future and a function resolving it with
+// the given error.
+func gate() (*Future, func(error)) {
+	f := &Future{done: make(chan struct{})}
+	return f, func(err error) {
+		f.err = err
+		close(f.done)
+	}
+}
+
+// TestSessionConcurrentFlushBothWait: two concurrent Flushes must both
+// wait for (and report) an operation submitted before either of them —
+// a second Flush may not return early just because the first snapshot
+// claimed the pending futures.
+func TestSessionConcurrentFlushBothWait(t *testing.T) {
+	sess := tinySession(t)
+	g, resolve := gate()
+	sess.Submit(RescaleOp(g))
+
+	errs := make([]error, 2)
+	var started, finished sync.WaitGroup
+	for i := range errs {
+		started.Add(1)
+		finished.Add(1)
+		go func(i int) {
+			started.Done()
+			errs[i] = sess.Flush()
+			finished.Done()
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let both flushes block on the gate
+	resolve(errors.New("gate failed"))
+	finished.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrDependency) {
+			t.Fatalf("flush %d: got %v, want the gated failure", i, err)
+		}
+	}
+}
+
+// TestSessionFlushFirstPoisonedDeterministic: when one failure poisons
+// several submitted operations, Flush reports the earliest-submitted
+// one — every time, regardless of resolution timing.
+func TestSessionFlushFirstPoisonedDeterministic(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		sess := tinySession(t)
+		g, resolve := gate()
+		sess.Submit(RescaleOp(g))     // first poisoned: Rescale
+		sess.Submit(RotateOp(g, 1))   // second poisoned: Rotate
+		sess.Submit(InnerSumOp(g, 2)) // third poisoned: InnerSum
+		resolve(errors.New("gate failed"))
+		err := sess.Flush()
+		if !errors.Is(err, ErrDependency) {
+			t.Fatalf("round %d: got %v, want ErrDependency", round, err)
+		}
+		if !strings.Contains(err.Error(), "Rescale") {
+			t.Fatalf("round %d: Flush reported %q, want the first-submitted (Rescale) failure", round, err)
+		}
+	}
+}
+
+// TestSessionFlushPrunesOnlyItsSnapshot: a Flush may prune only the
+// futures it actually waited on. An operation submitted (and failed)
+// while another goroutine's Flush is mid-wait must survive that
+// Flush's bookkeeping, so the submitter's own later Flush still
+// reports the failure.
+func TestSessionFlushPrunesOnlyItsSnapshot(t *testing.T) {
+	sess := tinySession(t)
+	g1, resolve1 := gate()
+	sess.Submit(AddOp(g1, g1)) // future A: blocks the first Flush
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- sess.Flush() }()
+	time.Sleep(10 * time.Millisecond) // first Flush snapshots [A] and blocks
+
+	// Future B resolves with a failure while the first Flush is waiting.
+	g2, resolve2 := gate()
+	resolve2(errors.New("late failure"))
+	fB := sess.Submit(RescaleOp(g2))
+	if _, err := fB.Wait(); !errors.Is(err, ErrDependency) {
+		t.Fatalf("B: got %v, want ErrDependency", err)
+	}
+
+	resolve1(errors.New("gate 1 failed"))
+	if err := <-flushDone; !errors.Is(err, ErrDependency) {
+		t.Fatalf("first Flush: got %v, want A's failure", err)
+	}
+	// B was not in the first Flush's snapshot, so it must still be
+	// tracked: the second Flush reports it rather than returning nil.
+	if err := sess.Flush(); !errors.Is(err, ErrDependency) {
+		t.Fatalf("second Flush: got %v, want B's failure", err)
+	}
+}
+
+// TestSessionFlushReleasesResolved: after a Flush, resolved futures are
+// pruned from the session's bookkeeping while unresolved ones stay.
+func TestSessionFlushReleasesResolved(t *testing.T) {
+	sess := tinySession(t)
+	g1, resolve1 := gate()
+	resolve1(errors.New("already failed"))
+	sess.Submit(AddOp(g1, g1))
+	if err := sess.Flush(); !errors.Is(err, ErrDependency) {
+		t.Fatalf("got %v, want the gated failure", err)
+	}
+	sess.mu.Lock()
+	left := len(sess.pending)
+	sess.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("resolved futures not pruned: %d left", left)
+	}
+
+	g2, resolve2 := gate()
+	f := sess.Submit(RescaleOp(g2))
+	done := make(chan error, 1)
+	go func() { done <- sess.Flush() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Flush returned %v before the pending op resolved", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	resolve2(errors.New("late"))
+	if err := <-done; !errors.Is(err, ErrDependency) {
+		t.Fatalf("got %v, want the gated failure", err)
+	}
+	if _, err := f.Wait(); err == nil {
+		t.Fatal("dependent op must carry the gate failure")
+	}
+}
