@@ -220,7 +220,10 @@ func (c *Circuit) constNode(kind nodeKind, a Node, v float64) Node {
 
 // Rotate rotates message slots left by step positions (negative steps
 // rotate right). Rotations sharing a source are compiled into one
-// hoisted-decomposition batch. Rotate by 0 is the identity.
+// hoisted-decomposition batch. Rotate by 0 is the identity; Compile
+// reduces every step modulo the parameter set's slot count, so
+// Rotate(a, 1) and Rotate(a, 1−slots) dedupe to the same step, share
+// one Galois key, and a step that normalizes to 0 compiles to nothing.
 func (c *Circuit) Rotate(a Node, step int) Node {
 	id, ok := c.arg(a, "Rotate")
 	if !ok {

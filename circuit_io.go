@@ -1,0 +1,192 @@
+package heax
+
+// Circuit DAG export/import: a small, versioned JSON encoding of the
+// symbolic graph, so a circuit built in one process can be compiled in
+// another — the description a client ships to a plan-serving host
+// (cmd/heax-serve), which compiles it against the tenant's keys and
+// caches the resulting Plan. The encoding carries exactly what the
+// builder recorded (no inferred levels or scales: those are the
+// compiling side's job), and the importer re-validates everything a
+// builder call would have, so a hostile or hand-written description
+// can fail but never panic or smuggle in an ill-formed graph.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+const circuitEncodingVersion = 1
+
+// circuitJSON is the interchange form of a Circuit DAG.
+type circuitJSON struct {
+	Version int          `json:"version"`
+	Nodes   []nodeJSON   `json:"nodes"`
+	Outputs []outputJSON `json:"outputs"`
+}
+
+type nodeJSON struct {
+	Op   string `json:"op"`
+	Args []int  `json:"args,omitempty"`
+	// Values and Scalar are mutually exclusive payloads of MulPlain /
+	// AddPlain: an explicit slot vector, or a broadcast constant (a
+	// pointer so that broadcasting 0 survives the round trip).
+	Values []float64 `json:"values,omitempty"`
+	Scalar *float64  `json:"scalar,omitempty"`
+	Name   string    `json:"name,omitempty"`
+	Step   int       `json:"step,omitempty"`
+	N2     int       `json:"n2,omitempty"`
+}
+
+type outputJSON struct {
+	Name string `json:"name"`
+	Node int    `json:"node"`
+}
+
+// kindByName inverts nodeKindNames for the importer.
+var kindByName = func() map[string]nodeKind {
+	m := make(map[string]nodeKind, len(nodeKindNames))
+	for k, name := range nodeKindNames {
+		m[name] = nodeKind(k)
+	}
+	return m
+}()
+
+// argCount is the operand arity of each node kind.
+func argCount(kind nodeKind) int {
+	switch kind {
+	case kindInput:
+		return 0
+	case kindAdd, kindSub, kindMulRelin:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// MarshalJSON encodes the circuit DAG. A circuit whose builder chain
+// already failed refuses to encode with that recorded error, exactly
+// as Compile would.
+func (c *Circuit) MarshalJSON() ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	enc := circuitJSON{
+		Version: circuitEncodingVersion,
+		Nodes:   make([]nodeJSON, len(c.nodes)),
+		Outputs: make([]outputJSON, len(c.outputs)),
+	}
+	for i, n := range c.nodes {
+		nj := nodeJSON{
+			Op:   nodeKindNames[n.kind],
+			Name: n.name,
+			Step: n.step,
+			N2:   n.n2,
+		}
+		if len(n.args) > 0 {
+			nj.Args = append([]int(nil), n.args...)
+		}
+		if n.broadcast {
+			s := n.scalar
+			nj.Scalar = &s
+		} else if len(n.vals) > 0 {
+			nj.Values = append([]float64(nil), n.vals...)
+		}
+		enc.Nodes[i] = nj
+	}
+	for i, o := range c.outputs {
+		enc.Outputs[i] = outputJSON{Name: o.name, Node: o.node}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes and validates a circuit DAG encoded by
+// MarshalJSON (or written by hand / another implementation): node kinds
+// must exist, operands must reference earlier nodes (so the graph is
+// acyclic by construction), inputs must be uniquely named, plaintext
+// payloads must be finite and well-formed, and output names must be
+// unique. The decoded circuit behaves exactly like one assembled
+// through the builder: Compile on both yields the same plan.
+func (c *Circuit) UnmarshalJSON(data []byte) error {
+	var enc circuitJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return fmt.Errorf("heax: circuit decode: %w", err)
+	}
+	if enc.Version != circuitEncodingVersion {
+		return fmt.Errorf("heax: circuit decode: unsupported version %d (want %d)", enc.Version, circuitEncodingVersion)
+	}
+	dec := Circuit{inputID: make(map[string]int), outSet: make(map[string]bool)}
+	for i, nj := range enc.Nodes {
+		kind, ok := kindByName[nj.Op]
+		if !ok {
+			return fmt.Errorf("heax: circuit decode: node %d has unknown op %q", i, nj.Op)
+		}
+		if len(nj.Args) != argCount(kind) {
+			return fmt.Errorf("heax: circuit decode: node %d (%s) has %d operands, want %d", i, nj.Op, len(nj.Args), argCount(kind))
+		}
+		for _, a := range nj.Args {
+			if a < 0 || a >= i {
+				return fmt.Errorf("heax: circuit decode: node %d (%s) references node %d (operands must reference earlier nodes)", i, nj.Op, a)
+			}
+		}
+		n := cnode{kind: kind, step: nj.Step, n2: nj.N2, name: nj.Name}
+		if len(nj.Args) > 0 {
+			n.args = append([]int(nil), nj.Args...)
+		}
+		switch kind {
+		case kindInput:
+			if nj.Name == "" {
+				return fmt.Errorf("heax: circuit decode: node %d: input with empty name", i)
+			}
+			if _, dup := dec.inputID[nj.Name]; dup {
+				return fmt.Errorf("heax: circuit decode: node %d: duplicate input %q", i, nj.Name)
+			}
+			dec.inputID[nj.Name] = i
+			dec.inputs = append(dec.inputs, nj.Name)
+		case kindMulPlain, kindAddPlain:
+			switch {
+			case nj.Scalar != nil && len(nj.Values) > 0:
+				return fmt.Errorf("heax: circuit decode: node %d (%s) carries both a scalar and a vector payload", i, nj.Op)
+			case nj.Scalar != nil:
+				if !isFinite(*nj.Scalar) {
+					return fmt.Errorf("heax: circuit decode: node %d (%s): constant is %g", i, nj.Op, *nj.Scalar)
+				}
+				n.scalar, n.broadcast = *nj.Scalar, true
+			case len(nj.Values) > 0:
+				for j, v := range nj.Values {
+					if !isFinite(v) {
+						return fmt.Errorf("heax: circuit decode: node %d (%s): value %d is %g", i, nj.Op, j, v)
+					}
+				}
+				n.vals = append([]float64(nil), nj.Values...)
+			default:
+				return fmt.Errorf("heax: circuit decode: node %d (%s) has no plaintext payload", i, nj.Op)
+			}
+		case kindInnerSum:
+			if nj.N2 < 1 || nj.N2&(nj.N2-1) != 0 {
+				return fmt.Errorf("heax: circuit decode: node %d: InnerSum width %d must be a power of two", i, nj.N2)
+			}
+		}
+		if kind != kindInput && nj.Name != "" {
+			return fmt.Errorf("heax: circuit decode: node %d (%s) must not carry an input name", i, nj.Op)
+		}
+		dec.nodes = append(dec.nodes, n)
+	}
+	for _, oj := range enc.Outputs {
+		if oj.Name == "" {
+			return fmt.Errorf("heax: circuit decode: output with empty name")
+		}
+		if dec.outSet[oj.Name] {
+			return fmt.Errorf("heax: circuit decode: duplicate output %q", oj.Name)
+		}
+		if oj.Node < 0 || oj.Node >= len(dec.nodes) {
+			return fmt.Errorf("heax: circuit decode: output %q references node %d of %d", oj.Name, oj.Node, len(dec.nodes))
+		}
+		dec.outSet[oj.Name] = true
+		dec.outputs = append(dec.outputs, circuitOut{name: oj.Name, node: oj.Node})
+	}
+	*c = dec
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

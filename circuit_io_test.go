@@ -1,0 +1,121 @@
+package heax
+
+// Round-trip and validation tests for the circuit DAG encoding: an
+// exported circuit must import to one that compiles to a bit-identical
+// plan, and malformed descriptions must fail with typed errors, never
+// panic.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exampleCircuit() *Circuit {
+	c := NewCircuit()
+	x := c.Input("x")
+	w := c.Input("w")
+	sq := c.MulRelin(x, x)
+	rot := c.Add(c.Rotate(x, 1), c.Rotate(x, 2))
+	mix := c.Add(c.MulPlain(w, []float64{0.5, -1, 2}), c.MulConst(rot, 0.25))
+	c.Output("y", c.AddConst(c.Add(sq, mix), 1))
+	c.Output("z", c.InnerSum(rot, 2))
+	return c
+}
+
+func TestCircuitJSONRoundTrip(t *testing.T) {
+	k := newOracleKit(t, SetA, []int{1, 2}, false)
+	orig := exampleCircuit()
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imported Circuit
+	if err := json.Unmarshal(blob, &imported); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := orig.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := imported.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Describe() != p2.Describe() {
+		t.Fatalf("imported circuit compiles differently:\n--- original\n%s--- imported\n%s", p1.Describe(), p2.Describe())
+	}
+
+	in := map[string]*Ciphertext{
+		"x": k.encrypt(t, []float64{0.5, -0.25, 1}),
+		"w": k.encrypt(t, []float64{1, 2, 3}),
+	}
+	o1, err := p1.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := p2.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"y", "z"} {
+		if !ctBitEqual(o1[name], o2[name]) {
+			t.Fatalf("output %q differs between original and imported plan", name)
+		}
+	}
+
+	// The round trip is a fixed point: export(import(export(c))) ==
+	// export(c), which the serving plan cache keys on.
+	blob2, err := json.Marshal(&imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("re-export is not byte-identical")
+	}
+}
+
+func TestCircuitJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+		want string
+	}{
+		{"bad version", `{"version":7,"nodes":[],"outputs":[]}`, "unsupported version"},
+		{"unknown op", `{"version":1,"nodes":[{"op":"Bootstrap"}],"outputs":[]}`, "unknown op"},
+		{"forward reference", `{"version":1,"nodes":[{"op":"Rotate","args":[1],"step":1},{"op":"Input","name":"x"}],"outputs":[]}`, "earlier nodes"},
+		{"self reference", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"Add","args":[1,0]}],"outputs":[]}`, "earlier nodes"},
+		{"wrong arity", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"Add","args":[0]}],"outputs":[]}`, "operands"},
+		{"empty input name", `{"version":1,"nodes":[{"op":"Input"}],"outputs":[]}`, "empty name"},
+		{"duplicate input", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"Input","name":"x"}],"outputs":[]}`, "duplicate input"},
+		{"missing payload", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"MulPlain","args":[0]}],"outputs":[]}`, "no plaintext payload"},
+		{"double payload", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"MulPlain","args":[0],"values":[1],"scalar":2}],"outputs":[]}`, "both a scalar and a vector"},
+		{"bad width", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"InnerSum","args":[0],"n2":3}],"outputs":[]}`, "power of two"},
+		{"stray name", `{"version":1,"nodes":[{"op":"Input","name":"x"},{"op":"Rotate","args":[0],"step":1,"name":"x"}],"outputs":[]}`, "must not carry"},
+		{"bad output node", `{"version":1,"nodes":[{"op":"Input","name":"x"}],"outputs":[{"name":"y","node":3}]}`, "references node"},
+		{"duplicate output", `{"version":1,"nodes":[{"op":"Input","name":"x"}],"outputs":[{"name":"y","node":0},{"name":"y","node":0}]}`, "duplicate output"},
+		{"empty output name", `{"version":1,"nodes":[{"op":"Input","name":"x"}],"outputs":[{"name":"","node":0}]}`, "empty name"},
+	}
+	for _, tc := range cases {
+		var c Circuit
+		err := json.Unmarshal([]byte(tc.blob), &c)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCircuitJSONFailedBuilderRefuses: a circuit whose builder chain
+// failed exports that error instead of a half-built graph.
+func TestCircuitJSONFailedBuilderRefuses(t *testing.T) {
+	c := NewCircuit()
+	other := NewCircuit()
+	c.Add(c.Input("x"), other.Input("y")) // cross-circuit misuse
+	if _, err := json.Marshal(c); err == nil {
+		t.Fatal("marshaling a failed builder must surface its error")
+	}
+}

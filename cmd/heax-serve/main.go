@@ -1,0 +1,99 @@
+// heax-serve is the multi-tenant plan-serving daemon: the host process
+// of the paper's system view (Section 5.2), exposing the compile-once /
+// run-many Plan pipeline over a framed TCP protocol. Tenants register
+// serialized evaluation key sets, ship circuit DAGs that are compiled
+// into an LRU-bounded plan cache, and stream ciphertext batches through
+// a global admission window that shares the evaluator worker pool
+// fairly across tenants.
+//
+// Usage:
+//
+//	heax-serve [-addr :7609] [-params B] [-cache 64] [-admission 0]
+//	           [-max-frame-mb 1024] [-plan-workers 0]
+//
+// -params picks the paper's Table 2 parameter set (A, B or C) — one
+// set per daemon, like one synthesized accelerator. -admission 0 means
+// GOMAXPROCS concurrent input sets; -plan-workers 0 leaves each plan's
+// row-level fan-out at the evaluator default. See examples/client for
+// the matching client flow.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+
+	"heax"
+	"heax/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heax-serve: ")
+	addr := flag.String("addr", ":7609", "TCP listen address")
+	paramSet := flag.String("params", "B", "parameter set: A, B or C (Table 2)")
+	cache := flag.Int("cache", 64, "compiled-plan cache capacity (LRU, all tenants)")
+	admission := flag.Int("admission", 0, "concurrent input sets across all tenants (0 = GOMAXPROCS)")
+	maxFrameMB := flag.Int("max-frame-mb", serve.DefaultMaxFrame>>20, "maximum protocol frame size in MiB")
+	planWorkers := flag.Int("plan-workers", 0, "row-level worker cap per compiled plan (0 = evaluator default)")
+	flag.Parse()
+
+	var spec heax.ParamSpec
+	switch strings.ToUpper(*paramSet) {
+	case "A":
+		spec = heax.SetA
+	case "B":
+		spec = heax.SetB
+	case "C":
+		spec = heax.SetC
+	default:
+		log.Fatalf("unknown parameter set %q (want A, B or C)", *paramSet)
+	}
+	params, err := heax.NewParams(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []serve.Option{
+		serve.WithCacheCapacity(*cache),
+		serve.WithMaxFrameBytes(*maxFrameMB << 20),
+	}
+	window := *admission
+	if window <= 0 {
+		window = runtime.GOMAXPROCS(0)
+	}
+	opts = append(opts, serve.WithAdmissionWindow(window))
+	if *planWorkers > 0 {
+		opts = append(opts, serve.WithCompileOptions(heax.WithPlanWorkers(*planWorkers)))
+	}
+
+	srv, err := serve.NewServer(params, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s on %s (LogN=%d, k=%d primes, %d slots); cache=%d plans, admission=%d",
+		spec.Name, ln.Addr(), params.LogN, params.K(), params.Slots(), *cache, window)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		st := srv.Stats()
+		log.Printf("shutting down (%d tenants, %d cached plans, %d cancelled runs)",
+			st.Tenants, st.CachedPlans, st.CanceledRuns)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != serve.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -41,7 +41,7 @@ func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...Compile
 		opt(&cfg)
 	}
 
-	rep := c.eliminateCommon()
+	rep := c.eliminateCommon(params)
 	reach := c.reachable(rep)
 
 	k := &compiler{
@@ -104,13 +104,13 @@ func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...Compile
 	for _, in := range p.inputs {
 		p.inputSlot[in.slot] = true
 	}
-	p.bufs = &sync.Pool{New: func() any {
+	p.bufs = &syncCtPool{p: sync.Pool{New: func() any {
 		ct, err := NewCiphertext(params, 1, params.MaxLevel(), 0)
 		if err != nil {
 			panic(err) // degree/level are fixed valid constants
 		}
 		return ct
-	}}
+	}}}
 	return p, nil
 }
 
@@ -173,14 +173,25 @@ func WithBatchWindow(n int) CompileOption {
 // eliminateCommon maps every node to its representative: the earliest
 // node computing the same value. Add and MulRelin are commutative, so
 // their operands are compared order-insensitively; plaintext payloads
-// are compared by value.
-func (c *Circuit) eliminateCommon() []int {
+// are compared by value. Rotation steps are reduced modulo the slot
+// count first — Rotate(a, 1) and Rotate(a, 1−slots) are the same slot
+// permutation — so equivalent rotations share one step (and one Galois
+// key), and a rotation that normalizes to 0 collapses onto its operand.
+func (c *Circuit) eliminateCommon(params *Params) []int {
 	rep := make([]int, len(c.nodes))
 	seen := make(map[string][]int)
 	for id, n := range c.nodes {
 		rep[id] = id
 		if n.kind == kindInput {
 			continue // inputs are already deduplicated by name
+		}
+		step := n.step
+		if n.kind == kindRotate {
+			step = params.NormalizeRotation(step)
+			if step == 0 { // identity: the node IS its operand
+				rep[id] = rep[n.args[0]]
+				continue
+			}
 		}
 		args := make([]int, len(n.args))
 		for i, a := range n.args {
@@ -189,7 +200,7 @@ func (c *Circuit) eliminateCommon() []int {
 		if n.kind == kindAdd || n.kind == kindMulRelin {
 			sort.Ints(args)
 		}
-		key := fmt.Sprintf("%d|%v|%d|%d", n.kind, args, n.step, n.n2)
+		key := fmt.Sprintf("%d|%v|%d|%d", n.kind, args, step, n.n2)
 		for _, prior := range seen[key] {
 			if samePayload(&c.nodes[prior], &n) {
 				rep[id] = prior
@@ -518,11 +529,14 @@ func (k *compiler) lower(id int) error {
 		return nil
 
 	case kindRotate:
-		if err := k.rotationKeyPresent(n.step); err != nil {
+		// eliminateCommon collapsed normalized-0 rotations onto their
+		// operand, so the normalized step here is always nonzero.
+		step := k.params.NormalizeRotation(n.step)
+		if err := k.rotationKeyPresent(step); err != nil {
 			return err
 		}
 		a := k.st(n.args[0])
-		slot := k.emit(planStep{kind: stepRotate, args: []int{a.slot}, rots: []int{n.step}, level: a.level, scale: a.scale})
+		slot := k.emit(planStep{kind: stepRotate, args: []int{a.slot}, rots: []int{step}, level: a.level, scale: a.scale})
 		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
 		return nil
 
@@ -537,8 +551,10 @@ func (k *compiler) lower(id int) error {
 
 	case kindInnerSum:
 		for span := n.n2 >> 1; span >= 1; span >>= 1 {
-			if err := k.rotationKeyPresent(span); err != nil {
-				return err
+			if norm := k.params.NormalizeRotation(span); norm != 0 {
+				if err := k.rotationKeyPresent(norm); err != nil {
+					return err
+				}
 			}
 		}
 		a := k.st(n.args[0])

@@ -58,7 +58,20 @@
 //	out, err := plan.Run(map[string]*heax.Ciphertext{"x": ct})
 //
 // Plan.RunBatch streams many input sets through the worker pool — the
-// paper's compile-once, stream-many host model (Section 5.2).
+// paper's compile-once, stream-many host model (Section 5.2) — and the
+// Context variants (RunContext, RunBatchContext, SubmitContext) abort
+// cleanly mid-flight when a serving front end drops a request.
+//
+// # Serving over the wire
+//
+// Circuits export and import as versioned JSON (Circuit.MarshalJSON /
+// UnmarshalJSON), and the serialization layer moves every object a
+// serving host needs — parameters, ciphertexts, whole evaluation key
+// sets (WriteEvaluationKeySet) and named ciphertext batches
+// (WriteCiphertextBatch) — as framed, length-checked blobs that fail
+// with ErrCorrupt on anything malformed. The heax/serve package builds
+// the multi-tenant daemon on top (see cmd/heax-serve and
+// examples/client).
 //
 // The hardware model, architecture generator and cycle-level simulator
 // behind the paper's tables are exported separately in heax/arch, and

@@ -132,3 +132,39 @@ func WriteGaloisKey(w io.Writer, gk *GaloisKey) error { return ckks.WriteGaloisK
 func ReadGaloisKey(r io.Reader, params *Params) (*GaloisKey, error) {
 	return ckks.ReadGaloisKey(r, params)
 }
+
+// WriteEvaluationKeySet serializes a complete evaluation key set
+// (relinearization plus Galois keys, either may be nil) as one framed,
+// length-checked object — the tenant-registration upload of the serving
+// wire format.
+func WriteEvaluationKeySet(w io.Writer, evk *EvaluationKeySet) error {
+	if evk == nil {
+		evk = &EvaluationKeySet{}
+	}
+	return ckks.WriteEvaluationKeys(w, evk.Relin, evk.Galois)
+}
+
+// ReadEvaluationKeySet reconstructs a key set written by
+// WriteEvaluationKeySet; corrupted or truncated blobs fail with
+// ErrCorrupt.
+func ReadEvaluationKeySet(r io.Reader, params *Params) (*EvaluationKeySet, error) {
+	rlk, gks, err := ckks.ReadEvaluationKeys(r, params)
+	if err != nil {
+		return nil, err
+	}
+	return &EvaluationKeySet{Relin: rlk, Galois: gks}, nil
+}
+
+// WriteCiphertextBatch serializes a named ciphertext set — one plan
+// input (or output) batch — as a single framed object with entries in
+// sorted name order.
+func WriteCiphertextBatch(w io.Writer, batch map[string]*Ciphertext) error {
+	return ckks.WriteCiphertextBatch(w, batch)
+}
+
+// ReadCiphertextBatch reconstructs a batch written by
+// WriteCiphertextBatch; corrupted or truncated blobs fail with
+// ErrCorrupt.
+func ReadCiphertextBatch(r io.Reader, params *Params) (map[string]*Ciphertext, error) {
+	return ckks.ReadCiphertextBatch(r, params)
+}

@@ -154,13 +154,13 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int, gks *GaloisKeySe
 	defer ctx.PutPoly(c0g)
 	out := make(map[int]*Ciphertext, len(steps))
 	for _, step := range steps {
-		if step == 0 {
-			out[0] = CopyOf(ct)
-			continue
-		}
-		key, err := gks.rotationKey(step)
+		key, err := ev.rotationKeyFor(gks, step)
 		if err != nil {
 			return nil, err
+		}
+		if key == nil { // the step normalizes to 0: identity
+			out[step] = CopyOf(ct)
+			continue
 		}
 		table := ctx.AutomorphismNTTTable(key.GaloisElt)
 		ctx.AutomorphismNTT(ct.Polys[0], table, c0g)
@@ -184,13 +184,12 @@ func (ev *Evaluator) RotateHoistedInto(ct *Ciphertext, steps []int, gks *GaloisK
 		return fmt.Errorf("ckks: rotation requires a degree-1 ciphertext (got %d): %w", ct.Degree(), ErrDegreeMismatch)
 	}
 	// Resolve every key before writing any output, so a missing step
-	// leaves the outputs untouched.
+	// leaves the outputs untouched. Steps normalize modulo the slot
+	// count; a nil key marks an identity (normalized-0) step, copied
+	// below.
 	keys := make([]*GaloisKey, len(steps))
 	for i, step := range steps {
-		if step == 0 {
-			continue
-		}
-		key, err := gks.rotationKey(step)
+		key, err := ev.rotationKeyFor(gks, step)
 		if err != nil {
 			return err
 		}

@@ -316,13 +316,29 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	return out, nil
 }
 
+// rotationKeyFor normalizes step into [0, Slots()) and fetches the
+// matching Galois key. A nil key with nil error means the normalized
+// step is 0 — the identity permutation, which needs no key.
+func (ev *Evaluator) rotationKeyFor(gks *GaloisKeySet, step int) (*GaloisKey, error) {
+	norm := ev.params.NormalizeRotation(step)
+	if norm == 0 {
+		return nil, nil
+	}
+	return gks.rotationKey(norm)
+}
+
 // RotateLeft rotates message slots left by step positions using the
 // matching Galois key: slot i of the result holds slot i+step of the
-// input.
+// input. Steps are normalized modulo the slot count, so step and
+// step−Slots() use the same key; a step that normalizes to 0 returns a
+// copy of the input.
 func (ev *Evaluator) RotateLeft(ct *Ciphertext, step int, gks *GaloisKeySet) (*Ciphertext, error) {
-	key, err := gks.rotationKey(step)
+	key, err := ev.rotationKeyFor(gks, step)
 	if err != nil {
 		return nil, err
+	}
+	if key == nil {
+		return CopyOf(ct), nil
 	}
 	return ev.applyGalois(ct, key)
 }

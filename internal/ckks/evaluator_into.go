@@ -201,7 +201,7 @@ func (ev *Evaluator) InnerSumInto(ct *Ciphertext, n2 int, gks *GaloisKeySet, out
 	// and a missing key discovered mid-accumulation would leave the
 	// caller's ciphertext partially overwritten.
 	for span := n2 >> 1; span >= 1; span >>= 1 {
-		if _, err := gks.rotationKey(span); err != nil {
+		if _, err := ev.rotationKeyFor(gks, span); err != nil {
 			return err
 		}
 	}
@@ -319,11 +319,15 @@ func (ev *Evaluator) RescaleInto(ct, out *Ciphertext) error {
 }
 
 // RotateLeftInto rotates message slots left by step positions into out
-// using the matching Galois key.
+// using the matching Galois key. Steps normalize modulo the slot count;
+// a step that normalizes to 0 copies ct into out.
 func (ev *Evaluator) RotateLeftInto(ct *Ciphertext, step int, gks *GaloisKeySet, out *Ciphertext) error {
-	key, err := gks.rotationKey(step)
+	key, err := ev.rotationKeyFor(gks, step)
 	if err != nil {
 		return err
+	}
+	if key == nil {
+		return ev.CopyInto(ct, out)
 	}
 	return ev.applyGaloisInto(ct, key, out)
 }

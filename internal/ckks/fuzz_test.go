@@ -83,3 +83,99 @@ func FuzzReadParams(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadEvaluationKeys: the framed key-set codec must never panic or
+// over-allocate, whatever the bytes — an error or a structurally valid
+// key set are the only outcomes.
+func FuzzReadEvaluationKeys(f *testing.F) {
+	params := MustParams(ParamSpec{Name: "fuzz", LogN: 4, QBits: []int{30, 30}, PBits: 31, LogScale: 20})
+	kg := NewKeyGenerator(params, 3)
+	sk := kg.GenSecretKey()
+	var buf bytes.Buffer
+	if err := WriteEvaluationKeys(&buf, kg.GenRelinearizationKey(sk), kg.GenGaloisKeySet(sk, []int{1, 2}, true)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 8, 12, 16, len(valid) / 3, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	mutated := append([]byte(nil), valid...)
+	mutated[13] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rlk, gks, err := ReadEvaluationKeys(bytes.NewReader(data), params)
+		if err != nil {
+			return
+		}
+		if rlk != nil && len(rlk.Digits) != params.K() {
+			t.Fatal("accepted relinearization key with wrong digit count")
+		}
+		if gks != nil {
+			for step, gk := range gks.Rotations {
+				if step <= 0 || step >= params.Slots() {
+					t.Fatalf("accepted out-of-range rotation step %d", step)
+				}
+				if gk.GaloisElt&1 == 0 || gk.GaloisElt >= uint64(2*params.N) {
+					t.Fatal("accepted invalid Galois element")
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCiphertextBatch: same contract for the batch codec, with the
+// additional guarantee that accepted entries carry in-range residues.
+func FuzzReadCiphertextBatch(f *testing.F) {
+	params := MustParams(ParamSpec{Name: "fuzz", LogN: 4, QBits: []int{30, 30}, PBits: 31, LogScale: 20})
+	kg := NewKeyGenerator(params, 4)
+	sk := kg.GenSecretKey()
+	enc := NewEncoder(params)
+	encr := NewSymmetricEncryptor(params, sk, 5)
+	pt, err := enc.Encode([]complex128{3, 1}, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCiphertextBatch(&buf, map[string]*Ciphertext{"x": ct, "y": ct}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 4, 12, 16, 17, 21, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	mutated := append([]byte(nil), valid...)
+	mutated[12] ^= 0x04 // entry count
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := ReadCiphertextBatch(bytes.NewReader(data), params)
+		if err != nil {
+			return
+		}
+		for name, got := range batch {
+			if name == "" {
+				t.Fatal("accepted empty entry name")
+			}
+			if got.Degree() < 1 || got.Degree() > 2 {
+				t.Fatalf("accepted entry with degree %d", got.Degree())
+			}
+			for _, p := range got.Polys {
+				for i, row := range p.Coeffs {
+					prime := params.RingQP.Basis.Primes[i]
+					for _, v := range row {
+						if v >= prime {
+							t.Fatal("accepted out-of-range residue")
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -180,11 +180,21 @@ func (kg *KeyGenerator) genGaloisKeyForElt(sk *SecretKey, g uint64) *GaloisKey {
 }
 
 // GenGaloisKeySet generates rotation keys for the given steps and,
-// optionally, the conjugation key.
+// optionally, the conjugation key. Steps are normalized into
+// [0, Slots()) first — step and step−Slots() are the same slot
+// permutation — so equivalent requests share one key and a step that
+// normalizes to 0 (the identity) generates none.
 func (kg *KeyGenerator) GenGaloisKeySet(sk *SecretKey, steps []int, conjugate bool) *GaloisKeySet {
 	set := &GaloisKeySet{Rotations: make(map[int]*GaloisKey, len(steps))}
 	for _, s := range steps {
-		set.Rotations[s] = kg.GenGaloisKey(sk, s)
+		norm := kg.params.NormalizeRotation(s)
+		if norm == 0 {
+			continue
+		}
+		if _, ok := set.Rotations[norm]; ok {
+			continue
+		}
+		set.Rotations[norm] = kg.GenGaloisKey(sk, norm)
 	}
 	if conjugate {
 		set.Conjugate = kg.GenConjugationKey(sk)
@@ -192,7 +202,9 @@ func (kg *KeyGenerator) GenGaloisKeySet(sk *SecretKey, steps []int, conjugate bo
 	return set
 }
 
-// rotationKey fetches the key for a step, with a helpful error.
+// rotationKey fetches the key for a step, with a helpful error. The
+// step must already be normalized into [0, Slots()); evaluator call
+// sites go through Evaluator.rotationKeyFor, which normalizes.
 func (g *GaloisKeySet) rotationKey(step int) (*GaloisKey, error) {
 	if g == nil {
 		return nil, fmt.Errorf("ckks: no Galois keys provided: %w", ErrKeyMissing)

@@ -131,6 +131,17 @@ func (p *Params) K() int { return len(p.Q) }
 // Slots is the number of complex message slots, n/2.
 func (p *Params) Slots() int { return p.N / 2 }
 
+// NormalizeRotation reduces a slot-rotation step into [0, Slots()).
+// Rotating by the slot count is the identity permutation, so step,
+// step−Slots() and any other representative of the same residue name
+// the same Galois element; every key lookup normalizes through this so
+// equivalent steps resolve to one key instead of demanding redundant
+// key material.
+func (p *Params) NormalizeRotation(step int) int {
+	s := p.Slots()
+	return ((step % s) + s) % s
+}
+
 // DefaultScale returns Δ.
 func (p *Params) DefaultScale() float64 { return math.Exp2(float64(p.LogScale)) }
 

@@ -3,9 +3,11 @@ package ckks
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"heax/internal/ring"
 )
@@ -31,7 +33,36 @@ const (
 	kindPublicKey
 	kindSwitchingKey
 	kindGaloisKey
+	kindEvalKeys
+	kindCiphertextBatch
 )
+
+// Readers bound every length prefix before allocating: a corrupted or
+// hostile prefix must yield ErrCorrupt, not an over-allocation (let
+// alone a panic). These caps are far above anything the parameter sets
+// produce while keeping the worst-case allocation a prefix can trigger
+// small.
+const (
+	maxBatchEntries = 1 << 12
+	maxEntryNameLen = 1 << 8
+	maxGaloisKeys   = 1 << 14
+)
+
+// corrupted normalizes low-level read failures into the ErrCorrupt
+// sentinel: a stream that ends (io.EOF / io.ErrUnexpectedEOF) in the
+// middle of an object is a truncated blob, and any other transport
+// error equally leaves the object unreconstructable. The underlying
+// error stays in the chain for errors.Is.
+func corrupted(what string, err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("ckks: %s: %w: %w", what, err, ErrCorrupt)
+}
+
+func readValue(r io.Reader, what string, v any) error {
+	return corrupted(what, binary.Read(r, binary.LittleEndian, v))
+}
 
 func writeHeader(w io.Writer, kind objectKind) error {
 	for _, v := range []uint32{serialMagic, serialVersion, uint32(kind)} {
@@ -45,7 +76,7 @@ func writeHeader(w io.Writer, kind objectKind) error {
 func readHeader(r io.Reader, want objectKind) error {
 	var magic, version, kind uint32
 	for _, p := range []*uint32{&magic, &version, &kind} {
-		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+		if err := readValue(r, "object header", p); err != nil {
 			return err
 		}
 	}
@@ -78,12 +109,14 @@ func writePoly(w io.Writer, p *ring.Poly) error {
 
 func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
 	var rows, n uint32
-	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+	if err := readValue(r, "polynomial shape", &rows); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	if err := readValue(r, "polynomial shape", &n); err != nil {
 		return nil, err
 	}
+	// Shape checks precede any allocation, so an oversized prefix can
+	// never make the reader reserve memory the basis does not justify.
 	if int(n) != ctx.N {
 		return nil, fmt.Errorf("ckks: polynomial degree %d does not match context %d: %w", n, ctx.N, ErrCorrupt)
 	}
@@ -92,7 +125,7 @@ func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
 	}
 	p := ctx.NewPoly(int(rows))
 	for _, row := range p.Coeffs {
-		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
+		if err := readValue(r, "polynomial row", row); err != nil {
 			return nil, err
 		}
 	}
@@ -140,24 +173,24 @@ func ReadParams(r io.Reader) (*Params, error) {
 		return nil, err
 	}
 	var logN, logScale, k uint32
-	if err := binary.Read(br, binary.LittleEndian, &logN); err != nil {
+	if err := readValue(br, "params", &logN); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &logScale); err != nil {
+	if err := readValue(br, "params", &logScale); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+	if err := readValue(br, "params", &k); err != nil {
 		return nil, err
 	}
 	if k == 0 || k > 64 {
-		return nil, fmt.Errorf("ckks: implausible prime count %d", k)
+		return nil, fmt.Errorf("ckks: implausible prime count %d: %w", k, ErrCorrupt)
 	}
 	q := make([]uint64, k)
-	if err := binary.Read(br, binary.LittleEndian, q); err != nil {
+	if err := readValue(br, "params primes", q); err != nil {
 		return nil, err
 	}
 	var special uint64
-	if err := binary.Read(br, binary.LittleEndian, &special); err != nil {
+	if err := readValue(br, "params special prime", &special); err != nil {
 		return nil, err
 	}
 	return ParamsFromRaw(int(logN), q, special, int(logScale))
@@ -187,21 +220,30 @@ func WriteCiphertext(w io.Writer, ct *Ciphertext) error {
 	if err := writeHeader(bw, kindCiphertext); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(ct.Scale)); err != nil {
+	if err := writeCiphertextBody(bw, ct); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(ct.Level)); err != nil {
+	return bw.Flush()
+}
+
+// writeCiphertextBody is the header-less ciphertext encoding, shared by
+// WriteCiphertext and the batch codec.
+func writeCiphertextBody(w io.Writer, ct *Ciphertext) error {
+	if err := binary.Write(w, binary.LittleEndian, math.Float64bits(ct.Scale)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ct.Polys))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(ct.Level)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ct.Polys))); err != nil {
 		return err
 	}
 	for _, p := range ct.Polys {
-		if err := writePoly(bw, p); err != nil {
+		if err := writePoly(w, p); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // ReadCiphertext deserializes a ciphertext against params.
@@ -210,15 +252,20 @@ func ReadCiphertext(r io.Reader, params *Params) (*Ciphertext, error) {
 	if err := readHeader(br, kindCiphertext); err != nil {
 		return nil, err
 	}
+	return readCiphertextBody(br, params)
+}
+
+// readCiphertextBody deserializes the header-less ciphertext encoding.
+func readCiphertextBody(br io.Reader, params *Params) (*Ciphertext, error) {
 	var scaleBits uint64
-	if err := binary.Read(br, binary.LittleEndian, &scaleBits); err != nil {
+	if err := readValue(br, "ciphertext scale", &scaleBits); err != nil {
 		return nil, err
 	}
 	var level, np uint32
-	if err := binary.Read(br, binary.LittleEndian, &level); err != nil {
+	if err := readValue(br, "ciphertext level", &level); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &np); err != nil {
+	if err := readValue(br, "ciphertext arity", &np); err != nil {
 		return nil, err
 	}
 	if np < 2 || np > 3 {
@@ -315,11 +362,11 @@ func writeSwitchingKey(w io.Writer, swk *SwitchingKey) error {
 // must not be copied).
 func readSwitchingKey(r io.Reader, params *Params, swk *SwitchingKey) error {
 	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	if err := readValue(r, "switching key digits", &n); err != nil {
 		return err
 	}
 	if int(n) != params.K() {
-		return fmt.Errorf("ckks: key has %d digits, params need %d", n, params.K())
+		return fmt.Errorf("ckks: key has %d digits, params need %d: %w", n, params.K(), ErrCorrupt)
 	}
 	swk.Digits = make([][2]*ring.Poly, n)
 	for i := range swk.Digits {
@@ -383,16 +430,231 @@ func ReadGaloisKey(r io.Reader, params *Params) (*GaloisKey, error) {
 	if err := readHeader(br, kindGaloisKey); err != nil {
 		return nil, err
 	}
+	return readGaloisKeyBody(br, params)
+}
+
+// --- Framed aggregate codecs (the serving wire format) ---------------------
+//
+// A plan-serving host moves two aggregate objects: a tenant's complete
+// evaluation key set (one upload at registration) and named ciphertext
+// batches (one per request and response). Both are single framed
+// objects whose counts and name lengths are checked against hard caps
+// before anything is allocated, so a stream either yields a complete,
+// validated aggregate or fails with ErrCorrupt — never a partial object
+// and never an attacker-sized allocation.
+
+// WriteEvaluationKeys serializes a relinearization key and a Galois key
+// set as one framed object; either may be nil. Rotation entries are
+// written in sorted step order, so equal key sets serialize to equal
+// bytes.
+func WriteEvaluationKeys(w io.Writer, rlk *RelinearizationKey, gks *GaloisKeySet) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindEvalKeys); err != nil {
+		return err
+	}
+	var flags uint32
+	if rlk != nil {
+		flags |= 1
+	}
+	if gks != nil {
+		flags |= 2
+		if gks.Conjugate != nil {
+			flags |= 4
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if rlk != nil {
+		if err := writeSwitchingKey(bw, &rlk.SwitchingKey); err != nil {
+			return err
+		}
+	}
+	if gks != nil {
+		steps := make([]int, 0, len(gks.Rotations))
+		for s := range gks.Rotations {
+			steps = append(steps, s)
+		}
+		sort.Ints(steps)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(steps))); err != nil {
+			return err
+		}
+		for _, s := range steps {
+			gk := gks.Rotations[s]
+			if err := binary.Write(bw, binary.LittleEndian, int64(s)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, gk.GaloisElt); err != nil {
+				return err
+			}
+			if err := writeSwitchingKey(bw, &gk.SwitchingKey); err != nil {
+				return err
+			}
+		}
+		if gks.Conjugate != nil {
+			if err := binary.Write(bw, binary.LittleEndian, gks.Conjugate.GaloisElt); err != nil {
+				return err
+			}
+			if err := writeSwitchingKey(bw, &gks.Conjugate.SwitchingKey); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// readGaloisKeyBody reads the header-less Galois key encoding (element
+// plus switching key), validating the element against the ring.
+func readGaloisKeyBody(r io.Reader, params *Params) (*GaloisKey, error) {
 	var elt uint64
-	if err := binary.Read(br, binary.LittleEndian, &elt); err != nil {
+	if err := readValue(r, "Galois element", &elt); err != nil {
 		return nil, err
 	}
 	if elt&1 == 0 || elt >= uint64(2*params.N) {
-		return nil, fmt.Errorf("ckks: invalid Galois element %d", elt)
+		return nil, fmt.Errorf("ckks: invalid Galois element %d: %w", elt, ErrCorrupt)
 	}
 	gk := &GaloisKey{GaloisElt: elt}
-	if err := readSwitchingKey(br, params, &gk.SwitchingKey); err != nil {
+	if err := readSwitchingKey(r, params, &gk.SwitchingKey); err != nil {
 		return nil, err
 	}
 	return gk, nil
+}
+
+// ReadEvaluationKeys reconstructs a key set written by
+// WriteEvaluationKeys, validating counts, step ranges and Galois
+// elements before allocating.
+func ReadEvaluationKeys(r io.Reader, params *Params) (*RelinearizationKey, *GaloisKeySet, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindEvalKeys); err != nil {
+		return nil, nil, err
+	}
+	var flags uint32
+	if err := readValue(br, "evaluation keys flags", &flags); err != nil {
+		return nil, nil, err
+	}
+	if flags&^7 != 0 || (flags&4 != 0 && flags&2 == 0) {
+		return nil, nil, fmt.Errorf("ckks: invalid evaluation key flags %#x: %w", flags, ErrCorrupt)
+	}
+	var rlk *RelinearizationKey
+	if flags&1 != 0 {
+		rlk = &RelinearizationKey{}
+		if err := readSwitchingKey(br, params, &rlk.SwitchingKey); err != nil {
+			return nil, nil, err
+		}
+	}
+	var gks *GaloisKeySet
+	if flags&2 != 0 {
+		var n uint32
+		if err := readValue(br, "rotation key count", &n); err != nil {
+			return nil, nil, err
+		}
+		// Steps are unique in [1, Slots()), so the count is bounded by
+		// the slot count (and the absolute cap) before the map exists.
+		if int64(n) > int64(maxGaloisKeys) || int64(n) >= int64(params.Slots()) {
+			return nil, nil, fmt.Errorf("ckks: implausible rotation key count %d: %w", n, ErrCorrupt)
+		}
+		gks = &GaloisKeySet{Rotations: make(map[int]*GaloisKey, n)}
+		for i := 0; i < int(n); i++ {
+			var step int64
+			if err := readValue(br, "rotation step", &step); err != nil {
+				return nil, nil, err
+			}
+			if step <= 0 || step >= int64(params.Slots()) {
+				return nil, nil, fmt.Errorf("ckks: rotation step %d out of range [1, %d): %w", step, params.Slots(), ErrCorrupt)
+			}
+			if _, dup := gks.Rotations[int(step)]; dup {
+				return nil, nil, fmt.Errorf("ckks: duplicate rotation step %d: %w", step, ErrCorrupt)
+			}
+			gk, err := readGaloisKeyBody(br, params)
+			if err != nil {
+				return nil, nil, err
+			}
+			gks.Rotations[int(step)] = gk
+		}
+		if flags&4 != 0 {
+			gk, err := readGaloisKeyBody(br, params)
+			if err != nil {
+				return nil, nil, err
+			}
+			gks.Conjugate = gk
+		}
+	}
+	return rlk, gks, nil
+}
+
+// WriteCiphertextBatch serializes one named input (or output) set — the
+// unit a plan-serving request streams — as a single framed object,
+// entries in sorted name order for deterministic bytes.
+func WriteCiphertextBatch(w io.Writer, batch map[string]*Ciphertext) error {
+	if len(batch) > maxBatchEntries {
+		return fmt.Errorf("ckks: batch has %d entries, the wire format allows %d", len(batch), maxBatchEntries)
+	}
+	names := make([]string, 0, len(batch))
+	for name := range batch {
+		if len(name) == 0 || len(name) > maxEntryNameLen {
+			return fmt.Errorf("ckks: batch entry name %q has length %d, the wire format allows [1, %d]", name, len(name), maxEntryNameLen)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindCiphertextBatch); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := writeCiphertextBody(bw, batch[name]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCiphertextBatch reconstructs a batch written by
+// WriteCiphertextBatch, bounding the entry count and name lengths
+// before allocating.
+func ReadCiphertextBatch(r io.Reader, params *Params) (map[string]*Ciphertext, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, kindCiphertextBatch); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := readValue(br, "batch entry count", &n); err != nil {
+		return nil, err
+	}
+	if n > maxBatchEntries {
+		return nil, fmt.Errorf("ckks: batch claims %d entries, the wire format allows %d: %w", n, maxBatchEntries, ErrCorrupt)
+	}
+	batch := make(map[string]*Ciphertext, n)
+	for i := 0; i < int(n); i++ {
+		var nameLen uint32
+		if err := readValue(br, "batch entry name length", &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen == 0 || nameLen > maxEntryNameLen {
+			return nil, fmt.Errorf("ckks: batch entry name length %d out of range [1, %d]: %w", nameLen, maxEntryNameLen, ErrCorrupt)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, corrupted("batch entry name", err)
+		}
+		name := string(nameBytes)
+		if _, dup := batch[name]; dup {
+			return nil, fmt.Errorf("ckks: duplicate batch entry %q: %w", name, ErrCorrupt)
+		}
+		ct, err := readCiphertextBody(br, params)
+		if err != nil {
+			return nil, err
+		}
+		batch[name] = ct
+	}
+	return batch, nil
 }

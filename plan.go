@@ -1,6 +1,7 @@
 package heax
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,9 +42,39 @@ type Plan struct {
 	sem chan struct{}
 	// window bounds how many input sets RunBatch keeps in flight.
 	window int
-	// bufs pools full-basis intermediate ciphertexts.
-	bufs *sync.Pool
+	// bufs pools full-basis intermediate ciphertexts. Ownership protocol
+	// (audited by TestPlanFailingStepPoolIntegrity with an instrumented
+	// pool): a buffer is held by exactly one party at a time — the pool,
+	// exec between get and the slot handoff (on kernel failure exec puts
+	// it straight back), or the run slot until the last consumer's
+	// refcount decrement puts it back. Poisoned steps never draw
+	// buffers, and failed steps publish no ciphertext, so dependents
+	// can never return a buffer their producer already reclaimed.
+	bufs ctBufPool
+	// slotStates recycles the per-run slot-state slices across Run
+	// calls, so a steady serving loop does not reallocate executor
+	// state per request (the done channels are per-run by construction:
+	// a closed channel cannot be reused).
+	slotStates sync.Pool
+	// failStep, when non-nil, injects an error into the named step
+	// after its output buffers are drawn — a test seam for exercising
+	// the executor's error paths (buffer recycling, ErrDependency
+	// poisoning) with real kernels otherwise unable to fail.
+	failStep func(idx int) error
 }
+
+// ctBufPool is the plan's intermediate-buffer pool behind an interface,
+// so tests can swap in an instrumented implementation that detects
+// double-put and leaked buffers.
+type ctBufPool interface {
+	get() *Ciphertext
+	put(*Ciphertext)
+}
+
+type syncCtPool struct{ p sync.Pool }
+
+func (s *syncCtPool) get() *Ciphertext   { return s.p.Get().(*Ciphertext) }
+func (s *syncCtPool) put(ct *Ciphertext) { s.p.Put(ct) }
 
 type planInput struct {
 	name string
@@ -219,10 +250,22 @@ func (p *Plan) validateInputs(in map[string]*Ciphertext) error {
 // ciphertexts (always freshly allocated — inputs are never modified).
 // Concurrent Runs share the plan's in-flight window and buffer pool.
 func (p *Plan) Run(in map[string]*Ciphertext) (map[string]*Ciphertext, error) {
+	return p.RunContext(context.Background(), in)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, steps
+// that have not started skip their kernels and resolve with ctx's
+// error (wrapping context.Canceled / DeadlineExceeded), steps already
+// executing run to completion, and every pooled buffer is still
+// reclaimed — cancellation aborts the dataflow, never its accounting.
+// This is how a serving front end drops a plan mid-flight when the
+// client disconnects.
+func (p *Plan) RunContext(ctx context.Context, in map[string]*Ciphertext) (map[string]*Ciphertext, error) {
 	if err := p.validateInputs(in); err != nil {
 		return nil, err
 	}
-	slots := make([]runSlot, p.nSlots)
+	slots := p.getSlots()
+	defer p.putSlots(slots)
 	for i := range slots {
 		slots[i].refs = int32(p.consumers[i])
 		// Input slots share the one resolved channel; slots nobody reads
@@ -247,10 +290,10 @@ func (p *Plan) Run(in map[string]*Ciphertext) (map[string]*Ciphertext, error) {
 	for i := 0; i < last; i++ {
 		go func(idx int) {
 			defer wg.Done()
-			p.runStep(idx, slots)
+			p.runStep(ctx, idx, slots)
 		}(i)
 	}
-	p.runStep(last, slots)
+	p.runStep(ctx, last, slots)
 	wg.Wait()
 	// The first failing step in plan order is the root cause: dependents
 	// always appear after the step that poisoned them.
@@ -266,12 +309,36 @@ func (p *Plan) Run(in map[string]*Ciphertext) (map[string]*Ciphertext, error) {
 	return out, nil
 }
 
+// getSlots draws a zeroed per-run slot-state slice from the recycler.
+func (p *Plan) getSlots() []runSlot {
+	if s, ok := p.slotStates.Get().([]runSlot); ok {
+		return s
+	}
+	return make([]runSlot, p.nSlots)
+}
+
+// putSlots clears a run's slot states (dropping ciphertext and channel
+// references so they do not outlive the run) and recycles the slice.
+func (p *Plan) putSlots(slots []runSlot) {
+	for i := range slots {
+		slots[i] = runSlot{}
+	}
+	p.slotStates.Put(slots)
+}
+
 // RunBatch streams many input sets through the plan, keeping the
 // configured window of them in flight at once (WithBatchWindow,
 // default 2 — double buffering). Results are returned in input order;
 // on failure the first failing batch's error is returned and the
 // corresponding result entries are nil.
 func (p *Plan) RunBatch(batches []map[string]*Ciphertext) ([]map[string]*Ciphertext, error) {
+	return p.RunBatchContext(context.Background(), batches)
+}
+
+// RunBatchContext is RunBatch with cancellation: input sets not yet
+// started when ctx is cancelled fail immediately with ctx's error, and
+// in-flight sets abort as RunContext does.
+func (p *Plan) RunBatchContext(ctx context.Context, batches []map[string]*Ciphertext) ([]map[string]*Ciphertext, error) {
 	results := make([]map[string]*Ciphertext, len(batches))
 	errs := make([]error, len(batches))
 	// A fixed crew of window workers drains the queue in order — the
@@ -290,7 +357,11 @@ func (p *Plan) RunBatch(batches []map[string]*Ciphertext) ([]map[string]*Ciphert
 				if i >= len(batches) {
 					return
 				}
-				results[i], errs[i] = p.Run(batches[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = p.RunContext(ctx, batches[i])
 			}
 		}()
 	}
@@ -303,13 +374,16 @@ func (p *Plan) RunBatch(batches []map[string]*Ciphertext) ([]map[string]*Ciphert
 	return results, nil
 }
 
-func (p *Plan) runStep(idx int, slots []runSlot) {
+func (p *Plan) runStep(ctx context.Context, idx int, slots []runSlot) {
 	st := &p.steps[idx]
 	var inBuf [2]*Ciphertext
 	in := inBuf[:0]
 	if len(st.args) > len(inBuf) {
 		in = make([]*Ciphertext, 0, len(st.args))
 	}
+	// Always wait for every operand, even when poisoned or cancelled:
+	// the refcount release below must not race the producer's handoff,
+	// and upstream steps resolve promptly under cancellation anyway.
 	var depErr error
 	for _, a := range st.args {
 		<-slots[a].done
@@ -322,9 +396,17 @@ func (p *Plan) runStep(idx int, slots []runSlot) {
 	if depErr != nil {
 		err = fmt.Errorf("heax: plan step %d (%s): %w", idx, stepKindNames[st.kind], errors.Join(ErrDependency, depErr))
 	} else {
-		p.sem <- struct{}{}
-		err = p.exec(st, in, slots)
-		<-p.sem
+		select {
+		case p.sem <- struct{}{}:
+			// Re-check after the (possibly long) semaphore wait so a
+			// cancelled run stops admitting kernels.
+			if err = ctx.Err(); err == nil {
+				err = p.exec(idx, st, in, slots)
+			}
+			<-p.sem
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
 		if err != nil {
 			err = fmt.Errorf("heax: plan step %d (%s): %w", idx, stepKindNames[st.kind], err)
 		}
@@ -338,17 +420,22 @@ func (p *Plan) runStep(idx int, slots []runSlot) {
 		}
 	}
 	// Release operand references; a non-escaping buffer with no readers
-	// left returns to the pool for a later step (or the next run).
+	// left returns to the pool for a later step (or the next run). This
+	// runs on every path — success, kernel failure, poisoning and
+	// cancellation — and is the ONLY place consumed buffers are
+	// reclaimed: a failed producer puts its own drawn outputs back in
+	// exec and publishes ct == nil, so the guard below cannot return a
+	// buffer twice.
 	for _, a := range st.args {
 		if atomic.AddInt32(&slots[a].refs, -1) == 0 && slots[a].pooled && slots[a].ct != nil {
-			p.bufs.Put(slots[a].ct)
+			p.bufs.put(slots[a].ct)
 		}
 	}
 }
 
 // exec runs one step's kernel, drawing output storage from the buffer
 // pool (intermediates) or allocating it fresh (named outputs).
-func (p *Plan) exec(st *planStep, in []*Ciphertext, slots []runSlot) error {
+func (p *Plan) exec(idx int, st *planStep, in []*Ciphertext, slots []runSlot) error {
 	var outBuf [1]*Ciphertext
 	outs := outBuf[:0]
 	if len(st.outs) > len(outBuf) {
@@ -363,41 +450,53 @@ func (p *Plan) exec(st *planStep, in []*Ciphertext, slots []runSlot) error {
 			c0, c1 := p.params.RingQP.NewPolyPair(st.level + 1)
 			outs[i] = &Ciphertext{Polys: []*Poly{c0, c1}}
 		} else {
-			outs[i] = p.bufs.Get().(*Ciphertext)
+			outs[i] = p.bufs.get()
 		}
 	}
 	e := p.eval
 	var err error
-	switch st.kind {
-	case stepAdd:
-		err = e.inner.AddInto(in[0], in[1], outs[0])
-	case stepSub:
-		err = e.inner.SubInto(in[0], in[1], outs[0])
-	case stepMulRelin:
-		err = e.inner.MulRelinInto(in[0], in[1], e.keys.Relin, outs[0])
-	case stepMulPlain:
-		err = e.inner.MulPlainInto(in[0], st.pt, outs[0])
-	case stepAddPlain:
-		err = e.inner.AddPlainInto(in[0], st.pt, outs[0])
-	case stepRescale:
-		err = e.inner.RescaleInto(in[0], outs[0])
-	case stepRotate:
-		err = e.inner.RotateLeftInto(in[0], st.rots[0], e.keys.Galois, outs[0])
-	case stepRotateHoisted:
-		err = e.inner.RotateHoistedInto(in[0], st.rots, e.keys.Galois, outs)
-	case stepConjugate:
-		err = e.inner.ConjugateSlotsInto(in[0], e.keys.Galois, outs[0])
-	case stepInnerSum:
-		err = e.inner.InnerSumInto(in[0], st.n2, e.keys.Galois, outs[0])
-	case stepCopy:
-		err = e.inner.CopyInto(in[0], outs[0])
-	default:
-		err = fmt.Errorf("unknown step kind %d", st.kind)
+	if p.failStep != nil {
+		// Injected failure (test seam): taken after the output buffers
+		// are drawn, so it exercises exactly the recycling a real kernel
+		// failure would.
+		err = p.failStep(idx)
+	}
+	if err == nil {
+		switch st.kind {
+		case stepAdd:
+			err = e.inner.AddInto(in[0], in[1], outs[0])
+		case stepSub:
+			err = e.inner.SubInto(in[0], in[1], outs[0])
+		case stepMulRelin:
+			err = e.inner.MulRelinInto(in[0], in[1], e.keys.Relin, outs[0])
+		case stepMulPlain:
+			err = e.inner.MulPlainInto(in[0], st.pt, outs[0])
+		case stepAddPlain:
+			err = e.inner.AddPlainInto(in[0], st.pt, outs[0])
+		case stepRescale:
+			err = e.inner.RescaleInto(in[0], outs[0])
+		case stepRotate:
+			err = e.inner.RotateLeftInto(in[0], st.rots[0], e.keys.Galois, outs[0])
+		case stepRotateHoisted:
+			err = e.inner.RotateHoistedInto(in[0], st.rots, e.keys.Galois, outs)
+		case stepConjugate:
+			err = e.inner.ConjugateSlotsInto(in[0], e.keys.Galois, outs[0])
+		case stepInnerSum:
+			err = e.inner.InnerSumInto(in[0], st.n2, e.keys.Galois, outs[0])
+		case stepCopy:
+			err = e.inner.CopyInto(in[0], outs[0])
+		default:
+			err = fmt.Errorf("unknown step kind %d", st.kind)
+		}
 	}
 	if err != nil {
+		// A failed step owns its drawn buffers and must return every one
+		// exactly once, publishing no ciphertext: dependents observe
+		// ct == nil and their refcount release skips the pool, so the
+		// buffers cannot come back a second time.
 		for i, o := range st.outs {
 			if !p.escapes[o] {
-				p.bufs.Put(outs[i])
+				p.bufs.put(outs[i])
 			}
 		}
 		return err

@@ -1,0 +1,204 @@
+package heax
+
+// White-box executor failure tests: inject kernel faults through the
+// Plan.failStep seam and audit the buffer pool's ownership protocol
+// with an instrumented pool — every drawn buffer must come back exactly
+// once (no leak), and never twice (no double put), on every error path:
+// kernel failure, ErrDependency poisoning, and cancellation. The plan
+// must then serve a clean second run. Runs under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+var errInjected = errors.New("injected kernel fault")
+
+// auditPool is a ctBufPool that detects double puts and counts
+// outstanding buffers.
+type auditPool struct {
+	t      *testing.T
+	params *Params
+
+	mu     sync.Mutex
+	free   []*Ciphertext
+	inPool map[*Ciphertext]bool
+	gets   int
+	puts   int
+}
+
+func newAuditPool(t *testing.T, params *Params) *auditPool {
+	return &auditPool{t: t, params: params, inPool: make(map[*Ciphertext]bool)}
+}
+
+func (a *auditPool) get() *Ciphertext {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if n := len(a.free); n > 0 {
+		ct := a.free[n-1]
+		a.free = a.free[:n-1]
+		delete(a.inPool, ct)
+		return ct
+	}
+	ct, err := NewCiphertext(a.params, 1, a.params.MaxLevel(), 0)
+	if err != nil {
+		panic(err)
+	}
+	return ct
+}
+
+func (a *auditPool) put(ct *Ciphertext) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.puts++
+	if ct == nil {
+		a.t.Error("pool: put of a nil ciphertext")
+		return
+	}
+	if a.inPool[ct] {
+		a.t.Error("pool: buffer returned twice")
+		return
+	}
+	a.inPool[ct] = true
+	a.free = append(a.free, ct)
+}
+
+func (a *auditPool) outstanding() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets - a.puts
+}
+
+// failurePlan compiles a circuit with parallel branches, a hoisted
+// multi-output rotation batch and a poisoning chain — enough structure
+// that an injected fault at any step exercises dependents, multi-out
+// recycling and independent branches at once.
+func failurePlan(t *testing.T) (*oracleKit, *Plan, *auditPool) {
+	t.Helper()
+	k := newOracleKit(t, SetA, []int{1, 2}, false)
+	c := NewCircuit()
+	x := c.Input("x")
+	sq := c.MulRelin(x, x)
+	sum := c.Add(c.Rotate(x, 1), c.Rotate(x, 2))
+	c.Output("y", c.Add(sq, sum))
+	c.Output("z", c.AddConst(sq, 1))
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newAuditPool(t, k.params)
+	plan.bufs = pool
+	return k, plan, pool
+}
+
+func (k *oracleKit) failureInputs(t *testing.T, n int) []map[string]*Ciphertext {
+	t.Helper()
+	batches := make([]map[string]*Ciphertext, n)
+	for i := range batches {
+		batches[i] = map[string]*Ciphertext{"x": k.encrypt(t, []float64{0.5, -0.25, 1.0 + float64(i)})}
+	}
+	return batches
+}
+
+// TestPlanFailingStepPoolIntegrity injects a fault into every step of
+// the plan in turn, streams a batch through RunBatch, and asserts that
+// (1) the injected error is the reported root cause, (2) no pooled
+// buffer leaked or was returned twice, and (3) the same plan then
+// completes a clean, correct second run.
+func TestPlanFailingStepPoolIntegrity(t *testing.T) {
+	k, plan, pool := failurePlan(t)
+	for idx := 0; idx < plan.NumSteps(); idx++ {
+		plan.failStep = func(i int) error {
+			if i == idx {
+				return errInjected
+			}
+			return nil
+		}
+		_, err := plan.RunBatch(k.failureInputs(t, 3))
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("fail@%d: want the injected fault as root cause, got %v", idx, err)
+		}
+		if n := pool.outstanding(); n != 0 {
+			t.Fatalf("fail@%d: %d pooled buffers leaked", idx, n)
+		}
+	}
+
+	// The plan must be reusable after every failure mode above.
+	plan.failStep = nil
+	out, err := plan.RunBatch(k.failureInputs(t, 2))
+	if err != nil {
+		t.Fatalf("clean run after injected failures: %v", err)
+	}
+	if n := pool.outstanding(); n != 0 {
+		t.Fatalf("clean run: %d pooled buffers leaked", n)
+	}
+	for i, res := range out {
+		pt, err := k.decryptor.Decrypt(res["z"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := real(k.enc.Decode(pt)[2])
+		want := (1.0+float64(i))*(1.0+float64(i)) + 1
+		if math.Abs(got-want) > 1e-2 {
+			t.Fatalf("batch %d: z slot 2 = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestPlanDependencyPoisoningKeepsPoolClean pins the poisoning path
+// specifically: a failure in the earliest step poisons every dependent,
+// and the poisoned steps' reference releases must still retire every
+// in-flight pooled buffer exactly once.
+func TestPlanDependencyPoisoningKeepsPoolClean(t *testing.T) {
+	k, plan, pool := failurePlan(t)
+	plan.failStep = func(i int) error {
+		if i == 0 {
+			return errInjected
+		}
+		return nil
+	}
+	_, err := plan.Run(map[string]*Ciphertext{"x": k.encrypt(t, []float64{1, 2, 3})})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("want injected root cause, got %v", err)
+	}
+	if n := pool.outstanding(); n != 0 {
+		t.Fatalf("%d pooled buffers leaked through poisoned dependents", n)
+	}
+}
+
+// TestPlanCancellationKeepsPoolClean cancels a run mid-flight (from
+// inside a step, so cancellation lands while dependents are in every
+// phase) and asserts the pool balances and the plan reruns cleanly.
+func TestPlanCancellationKeepsPoolClean(t *testing.T) {
+	k, plan, pool := failurePlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan.failStep = func(i int) error {
+		if i == 1 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := plan.RunBatchContext(ctx, k.failureInputs(t, 3))
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, errInjected) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	if err == nil {
+		t.Fatal("cancelled batch run should report an error")
+	}
+	if n := pool.outstanding(); n != 0 {
+		t.Fatalf("%d pooled buffers leaked under cancellation", n)
+	}
+
+	plan.failStep = nil
+	if _, err := plan.RunContext(context.Background(), map[string]*Ciphertext{"x": k.encrypt(t, []float64{1})}); err != nil {
+		t.Fatalf("clean run after cancellation: %v", err)
+	}
+	if n := pool.outstanding(); n != 0 {
+		t.Fatalf("clean run: %d pooled buffers leaked", n)
+	}
+}

@@ -1,0 +1,134 @@
+package heax
+
+// Regression tests for rotation-step normalization: steps are reduced
+// modulo the slot count before Galois-element lookup, so equivalent
+// rotations dedupe in CSE/hoisting, share one rotation key, and a step
+// that normalizes to 0 compiles to the identity.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRotateStepNormalization: Rotate(a, 1) and Rotate(a, 1−slots) are
+// the same slot permutation and must compile to bit-identical plans —
+// with only the step-1 Galois key generated.
+func TestRotateStepNormalization(t *testing.T) {
+	k := newOracleKit(t, SetA, []int{1}, false)
+	slots := k.params.Slots()
+
+	build := func(step int) *Plan {
+		c := NewCircuit()
+		c.Output("y", c.Rotate(c.Input("x"), step))
+		plan, err := c.Compile(k.params, k.evk)
+		if err != nil {
+			t.Fatalf("Rotate step %d: %v", step, err)
+		}
+		return plan
+	}
+	pos := build(1)
+	neg := build(1 - slots)
+	wrapped := build(1 + slots)
+
+	vals := []float64{0.25, -1.5, 3.0, 0.125}
+	ct := k.encrypt(t, vals)
+	in := map[string]*Ciphertext{"x": ct}
+	want, err := pos.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range map[string]*Plan{"1-slots": neg, "1+slots": wrapped} {
+		got, err := plan.Run(in)
+		if err != nil {
+			t.Fatalf("step %s: %v", name, err)
+		}
+		if !ctBitEqual(got["y"], want["y"]) {
+			t.Fatalf("Rotate(a, %s) not bit-identical to Rotate(a, 1)", name)
+		}
+	}
+}
+
+// TestRotateStepCSEDedupe: equivalent steps inside one circuit collapse
+// to a single rotation step, so the plan never demands a redundant key
+// for the un-normalized alias.
+func TestRotateStepCSEDedupe(t *testing.T) {
+	k := newOracleKit(t, SetA, []int{1}, false)
+	slots := k.params.Slots()
+
+	c := NewCircuit()
+	x := c.Input("x")
+	c.Output("y", c.Add(c.Rotate(x, 1), c.Rotate(x, 1-slots)))
+	plan, err := c.Compile(k.params, k.evk) // only the step-1 key exists
+	if err != nil {
+		t.Fatalf("equivalent rotations should need only the step-1 key: %v", err)
+	}
+	if n := strings.Count(plan.Describe(), "Rotate"); n != 1 {
+		t.Fatalf("equivalent rotations should CSE to one step, Describe shows %d:\n%s", n, plan.Describe())
+	}
+
+	// The dedup must also be semantically right: rot+rot == 2·rot.
+	vals := []float64{1, 2, 3, 4}
+	out, err := plan.Run(map[string]*Ciphertext{"x": k.encrypt(t, vals)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := k.decryptor.Decrypt(out["y"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.enc.Decode(pt)
+	for i := 0; i < len(vals)-1; i++ {
+		want := 2 * vals[i+1]
+		if d := real(got[i]) - want; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("slot %d: got %g, want %g", i, real(got[i]), want)
+		}
+	}
+}
+
+// TestRotateFullTurnIsIdentity: a step of ±slots normalizes to 0 and
+// compiles to the identity (a pass-through copy), needing no key at all.
+func TestRotateFullTurnIsIdentity(t *testing.T) {
+	k := newOracleKit(t, SetA, nil, false) // no Galois keys whatsoever
+	slots := k.params.Slots()
+	for _, step := range []int{slots, -slots, 2 * slots} {
+		c := NewCircuit()
+		c.Output("y", c.Rotate(c.Input("x"), step))
+		plan, err := c.Compile(k.params, k.evk)
+		if err != nil {
+			t.Fatalf("Rotate by %d should normalize to the identity: %v", step, err)
+		}
+		ct := k.encrypt(t, []float64{1, -2, 3})
+		out, err := plan.Run(map[string]*Ciphertext{"x": ct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ctBitEqual(out["y"], ct) {
+			t.Fatalf("Rotate by %d should pass the input through bit-for-bit", step)
+		}
+	}
+}
+
+// TestRotateNegativeStepUsesNormalizedKey: keygen and compile agree on
+// the normalized step, so a key requested as −1 serves a circuit that
+// rotates by −1, slots−1, or −1−slots.
+func TestRotateNegativeStepUsesNormalizedKey(t *testing.T) {
+	k := newOracleKit(t, SetA, []int{-1}, false)
+	slots := k.params.Slots()
+	if _, ok := k.evk.Galois.Rotations[slots-1]; !ok {
+		t.Fatalf("GenGaloisKeySet should store step −1 under its normalized form %d", slots-1)
+	}
+	for _, step := range []int{-1, slots - 1, -1 - slots} {
+		c := NewCircuit()
+		c.Output("y", c.Rotate(c.Input("x"), step))
+		if _, err := c.Compile(k.params, k.evk); err != nil {
+			t.Fatalf("step %d should find the normalized −1 key: %v", step, err)
+		}
+	}
+	// And a genuinely absent key still fails with the typed sentinel.
+	c := NewCircuit()
+	c.Output("y", c.Rotate(c.Input("x"), 2))
+	if _, err := c.Compile(k.params, k.evk); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("missing key should wrap ErrKeyMissing, got %v", err)
+	}
+}

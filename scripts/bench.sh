@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
 # Snapshot the CPU hot-path benchmarks (Tables 7 and 8, lazy and strict,
 # single-op latency plus the multi-op key-switch throughput benches at
-# GOMAXPROCS) and the public-API serving benches (the *Into zero-alloc
+# GOMAXPROCS), the public-API serving benches (the *Into zero-alloc
 # hot path, Session.Submit batch throughput vs direct calls, and the
 # compiled-plan Plan_*/PlanBatch_* benches — PlanBatch_MulRelin reports
 # ns per MulRelin exactly like Session_SubmitMulRelin, so the two rows
 # compare the circuit API's streaming throughput against the imperative
-# baseline directly) into a JSON file so the perf trajectory is tracked
-# across PRs.
+# baseline directly), and the wire-serving Serve_* benches (heax/serve
+# loopback: Serve_RunBatchMatvec is the full framed round trip per
+# input set, Serve_CompileCached the plan-cache hit) into a JSON file
+# so the perf trajectory is tracked across PRs.
 #
-#   scripts/bench.sh [out.json]     # default: BENCH_4.json
+#   scripts/bench.sh [out.json]     # default: BENCH_5.json
 #   BENCHTIME=3s scripts/bench.sh   # steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 benchtime=${BENCHTIME:-1s}
 maxprocs=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
 
-go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_' -benchmem -benchtime="$benchtime" . |
+go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_|Serve_' -benchmem -benchtime="$benchtime" . ./serve/ |
 	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$maxprocs" '
 BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"results\": [\n", date, procs }
 /^Benchmark/ {

@@ -1,0 +1,68 @@
+package serve_test
+
+// Serve_* benches: wire-protocol serving throughput over loopback —
+// the end-to-end cost of one streamed input set (serialize, frame,
+// admit, Plan.RunContext, serialize back) and of a plan-cache hit.
+// Tracked in BENCH_5.json by scripts/bench.sh.
+
+import (
+	"testing"
+
+	"heax/serve"
+)
+
+func BenchmarkServe_RunBatchMatvec(b *testing.B) {
+	addr := startServer(b, testParams(b))
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	kit := newTenantKit(b, cl.Params(), 51)
+	if err := cl.Register("bench", kit.evk); err != nil {
+		b.Fatal(err)
+	}
+	info, err := cl.Compile("bench", kit.matvecCircuit())
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, _ := kit.batches(b, 52, 8)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		chunk := in
+		if rem := b.N - done; rem < len(chunk) {
+			chunk = chunk[:rem]
+		}
+		if _, err := cl.Run("bench", info.ID, chunk); err != nil {
+			b.Fatal(err)
+		}
+		done += len(chunk)
+	}
+}
+
+func BenchmarkServe_CompileCached(b *testing.B) {
+	addr := startServer(b, testParams(b))
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	kit := newTenantKit(b, cl.Params(), 53)
+	if err := cl.Register("bench", kit.evk); err != nil {
+		b.Fatal(err)
+	}
+	circ := kit.matvecCircuit()
+	if _, err := cl.Compile("bench", circ); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := cl.Compile("bench", circ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"heax"
+)
+
+// Client is the wire-protocol handle an application uses against a
+// heax-serve daemon: fetch the server's parameter set, register a
+// tenant's evaluation keys, compile circuit descriptions into cached
+// plans, and stream ciphertext batches through them. A Client is one
+// connection and is not safe for concurrent use; open one per
+// goroutine (the server interleaves them through its admission
+// window).
+type Client struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	params   *heax.Params
+	maxFrame int
+}
+
+// String renders a plan id as hex.
+func (id PlanID) String() string { return hex.EncodeToString(id[:]) }
+
+// PlanInfo describes a compiled (or cache-hit) plan.
+type PlanInfo struct {
+	ID    PlanID
+	Steps int
+	// Cached reports a server-side cache hit: the circuit was already
+	// compiled for this tenant.
+	Cached bool
+}
+
+// Dial connects to a heax-serve daemon and fetches its parameter set.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (the server side of the
+// handshake is a running Server) and fetches the parameter set.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		maxFrame: DefaultMaxFrame,
+	}
+	payload, err := c.roundTrip(reqParams, nil, respParams)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	params, err := heax.ReadParams(bytes.NewReader(payload))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.params = params
+	return c, nil
+}
+
+// Params returns the server's parameter set; clients encode, encrypt
+// and decrypt against it (the reconstruction is bit-identical to the
+// server's, so results match the in-process evaluator exactly).
+func (c *Client) Params() *heax.Params { return c.params }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req byte, payload []byte, want byte) ([]byte, error) {
+	if err := writeFrame(c.bw, req, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, resp, err := readFrame(c.br, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if typ == respErr {
+		if len(resp) < 1 {
+			return nil, fmt.Errorf("serve: malformed error frame: %w", heax.ErrCorrupt)
+		}
+		return nil, codeToErr(resp[0], string(resp[1:]))
+	}
+	if typ != want {
+		return nil, fmt.Errorf("serve: expected response %#x, got %#x: %w", want, typ, heax.ErrCorrupt)
+	}
+	return resp, nil
+}
+
+// Register uploads a tenant's evaluation key set. The name must be
+// free; Unregister releases it.
+func (c *Client) Register(tenant string, evk *heax.EvaluationKeySet) error {
+	var pw payloadWriter
+	if err := pw.str(tenant); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := heax.WriteEvaluationKeySet(&buf, evk); err != nil {
+		return err
+	}
+	pw.blob(buf.Bytes())
+	_, err := c.roundTrip(reqRegister, pw.buf, respOK)
+	return err
+}
+
+// Unregister evicts a tenant: its keys and cached plans are released
+// (in-flight requests finish on the retained references).
+func (c *Client) Unregister(tenant string) error {
+	var pw payloadWriter
+	if err := pw.str(tenant); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(reqUnregister, pw.buf, respOK)
+	return err
+}
+
+// Compile ships a circuit DAG and compiles it against the tenant's
+// registered keys into the server's plan cache, returning the plan id
+// to run against. Compiling the same circuit again is a cache hit.
+func (c *Client) Compile(tenant string, circ *heax.Circuit) (PlanInfo, error) {
+	dag, err := json.Marshal(circ)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	var pw payloadWriter
+	if err := pw.str(tenant); err != nil {
+		return PlanInfo{}, err
+	}
+	pw.blob(dag)
+	resp, err := c.roundTrip(reqCompile, pw.buf, respPlan)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	pr := payloadReader{buf: resp}
+	idBytes, err := pr.take(len(PlanID{}), "plan id")
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	var info PlanInfo
+	copy(info.ID[:], idBytes)
+	steps, err := pr.u32("step count")
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	info.Steps = int(steps)
+	flag, err := pr.take(1, "cache flag")
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	info.Cached = flag[0] != 0
+	if err := pr.done("compile response"); err != nil {
+		return PlanInfo{}, err
+	}
+	return info, nil
+}
+
+// Run streams input batches through a compiled plan and returns one
+// named output set per input set, in order. The server admits the
+// batches through its global window, so concurrent tenants interleave.
+func (c *Client) Run(tenant string, id PlanID, batches []map[string]*heax.Ciphertext) ([]map[string]*heax.Ciphertext, error) {
+	var pw payloadWriter
+	if err := pw.str(tenant); err != nil {
+		return nil, err
+	}
+	pw.bytes(id[:])
+	pw.u32(uint32(len(batches)))
+	var buf bytes.Buffer
+	for _, batch := range batches {
+		buf.Reset()
+		if err := heax.WriteCiphertextBatch(&buf, batch); err != nil {
+			return nil, err
+		}
+		pw.blob(buf.Bytes())
+	}
+	resp, err := c.roundTrip(reqRun, pw.buf, respBatches)
+	if err != nil {
+		return nil, err
+	}
+	pr := payloadReader{buf: resp}
+	n, err := pr.u32("batch count")
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != len(batches) {
+		return nil, fmt.Errorf("serve: sent %d batches, received %d: %w", len(batches), n, heax.ErrCorrupt)
+	}
+	out := make([]map[string]*heax.Ciphertext, 0, len(batches))
+	for i := 0; i < int(n); i++ {
+		blob, err := pr.blob("output batch")
+		if err != nil {
+			return nil, err
+		}
+		batch, err := heax.ReadCiphertextBatch(bytes.NewReader(blob), c.params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, batch)
+	}
+	if err := pr.done("run response"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+// Package serve implements a multi-tenant plan-serving daemon over the
+// heax wire format — the host process of the paper's system view
+// (Section 5.2): clients upload their evaluation keys once, ship
+// circuit descriptions that are compiled into cached, reusable Plans,
+// and then stream ciphertext batches through those plans over a
+// framed TCP protocol.
+//
+// The server is built from four pieces:
+//
+//   - a tenant key registry (registry.go): uploaded EvaluationKeySets
+//     with ref-counted eviction, so unregistering a tenant never pulls
+//     keys out from under a cached plan or an in-flight request;
+//   - an LRU-bounded plan cache (cache.go) keyed by (tenant, digest of
+//     the canonicalized circuit DAG) — compile once, run many, shared
+//     across connections of the same tenant;
+//   - a global admission window (server.go): a fixed pool of executor
+//     workers drains per-request run jobs in FIFO order, so concurrent
+//     tenants share the worker pool fairly instead of the first big
+//     batch monopolizing it;
+//   - a framed, length-checked protocol (protocol.go) whose payloads
+//     are the internal/ckks stream codecs; malformed frames fail with
+//     heax.ErrCorrupt and oversized frames are rejected before
+//     allocation.
+//
+// A run in flight is bound to its connection: when the client
+// disconnects, the connection's context is cancelled and the plan
+// executor abandons the remaining steps (Plan.RunContext), returning
+// every pooled buffer.
+//
+// Client is the matching client-side handle; cmd/heax-serve wraps
+// Server in a daemon and examples/client demonstrates the full
+// register → compile → stream flow against the in-process oracle.
+package serve

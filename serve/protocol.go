@@ -1,0 +1,253 @@
+package serve
+
+// The wire protocol: fixed-header frames carrying one message each.
+//
+//	frame := magic(u32 LE) | type(u8) | length(u32 LE) | payload
+//
+// Payloads are built from the heax serialization codecs (params, key
+// sets, ciphertext batches) plus small length-prefixed strings. Every
+// length is checked against the negotiated frame cap before anything
+// is allocated; a malformed frame fails with an error wrapping
+// heax.ErrCorrupt.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"heax"
+)
+
+const frameMagic uint32 = 0x31535848 // "HXS1"
+
+// DefaultMaxFrame bounds a frame payload (1 GiB): large enough for a
+// Set-C key upload, small enough that a hostile length prefix cannot
+// exhaust memory.
+const DefaultMaxFrame = 1 << 30
+
+// Message types. Requests have the high bit clear, responses set.
+const (
+	reqParams     byte = 0x01
+	reqRegister   byte = 0x02
+	reqUnregister byte = 0x03
+	reqCompile    byte = 0x04
+	reqRun        byte = 0x05
+
+	respOK      byte = 0x80
+	respParams  byte = 0x81
+	respPlan    byte = 0x82
+	respBatches byte = 0x83
+	respErr     byte = 0xff
+)
+
+// Error codes carried by respErr frames, mapped back to sentinels on
+// the client side.
+const (
+	codeInternal byte = iota
+	codeCorrupt
+	codeUnknownTenant
+	codeTenantExists
+	codeUnknownPlan
+	codeKeyMissing
+	codeCompile
+	codeCanceled
+)
+
+// Sentinel errors of the serving layer; wire errors arriving at the
+// client wrap one of these (or a heax sentinel) so callers can branch
+// with errors.Is.
+var (
+	// ErrUnknownTenant: the request names a tenant that is not
+	// registered (or was evicted).
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrTenantExists: Register for a name that is already bound to a
+	// key set; unregister it first.
+	ErrTenantExists = errors.New("serve: tenant already registered")
+	// ErrUnknownPlan: the request references a plan id that is not in
+	// the cache (never compiled, or evicted — compile again).
+	ErrUnknownPlan = errors.New("serve: unknown plan")
+	// ErrServerClosed: the server is shutting down.
+	ErrServerClosed = errors.New("serve: server closed")
+)
+
+func errToCode(err error) (byte, string) {
+	switch {
+	case errors.Is(err, heax.ErrCorrupt):
+		return codeCorrupt, err.Error()
+	case errors.Is(err, ErrUnknownTenant):
+		return codeUnknownTenant, err.Error()
+	case errors.Is(err, ErrTenantExists):
+		return codeTenantExists, err.Error()
+	case errors.Is(err, ErrUnknownPlan):
+		return codeUnknownPlan, err.Error()
+	case errors.Is(err, heax.ErrKeyMissing):
+		return codeKeyMissing, err.Error()
+	case errors.Is(err, errCompile):
+		return codeCompile, err.Error()
+	default:
+		return codeInternal, err.Error()
+	}
+}
+
+// errCompile marks server-side compilation failures that are not key
+// related (depth, scale, malformed DAG semantics).
+var errCompile = errors.New("serve: compile failed")
+
+func codeToErr(code byte, msg string) error {
+	switch code {
+	case codeCorrupt:
+		return fmt.Errorf("serve: remote: %s: %w", msg, heax.ErrCorrupt)
+	case codeUnknownTenant:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrUnknownTenant)
+	case codeTenantExists:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrTenantExists)
+	case codeUnknownPlan:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrUnknownPlan)
+	case codeKeyMissing:
+		return fmt.Errorf("serve: remote: %s: %w", msg, heax.ErrKeyMissing)
+	case codeCompile:
+		return fmt.Errorf("serve: remote: %s: %w", msg, errCompile)
+	case codeCanceled:
+		return fmt.Errorf("serve: remote: %s: request canceled", msg)
+	default:
+		return fmt.Errorf("serve: remote: %s", msg)
+	}
+}
+
+// writeFrame emits one frame. The payload is fully assembled first so
+// a failed encoder never leaves a half-written frame on the socket; a
+// payload the u32 length field cannot carry is refused rather than
+// silently truncated into a desynchronized stream.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if int64(len(payload)) > int64(^uint32(0)) {
+		return fmt.Errorf("serve: frame payload of %d bytes exceeds the wire format's 4 GiB limit", len(payload))
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting bad magic and payloads larger
+// than maxFrame before allocating.
+func readFrame(r io.Reader, maxFrame int) (byte, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // clean EOF at a frame boundary is not corruption
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != frameMagic {
+		return 0, nil, fmt.Errorf("serve: bad frame magic %#x: %w", got, heax.ErrCorrupt)
+	}
+	typ := hdr[4]
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte cap: %w", n, maxFrame, heax.ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("serve: truncated frame: %w: %w", err, heax.ErrCorrupt)
+	}
+	return typ, payload, nil
+}
+
+// Payload encoding: frames embed strings as [u32 length | bytes] and
+// serialized heax objects (params, key sets, ciphertext batches) as
+// length-prefixed blobs [u32 length | object bytes]. Blobs keep the
+// payload parseable without trusting the embedded codec to consume an
+// exact byte count, and let the parser hand each object a private
+// sub-slice (the heax readers buffer internally and may read ahead).
+
+const maxStringLen = 1 << 8
+
+// payloadWriter accumulates a frame payload.
+type payloadWriter struct {
+	buf []byte
+}
+
+func (p *payloadWriter) u32(v uint32) {
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, v)
+}
+
+func (p *payloadWriter) bytes(b []byte) {
+	p.buf = append(p.buf, b...)
+}
+
+func (p *payloadWriter) str(s string) error {
+	if len(s) == 0 || len(s) > maxStringLen {
+		return fmt.Errorf("serve: string field length %d out of range [1, %d]", len(s), maxStringLen)
+	}
+	p.u32(uint32(len(s)))
+	p.buf = append(p.buf, s...)
+	return nil
+}
+
+func (p *payloadWriter) blob(b []byte) {
+	p.u32(uint32(len(b)))
+	p.buf = append(p.buf, b...)
+}
+
+// payloadReader parses a frame payload in place: strings and blobs are
+// sub-slices of the frame buffer, so parsing allocates nothing beyond
+// the frame itself and a corrupt length can never over-allocate.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) remaining() int { return len(p.buf) - p.off }
+
+func (p *payloadReader) u32(what string) (uint32, error) {
+	if p.remaining() < 4 {
+		return 0, fmt.Errorf("serve: truncated %s: %w", what, heax.ErrCorrupt)
+	}
+	v := binary.LittleEndian.Uint32(p.buf[p.off:])
+	p.off += 4
+	return v, nil
+}
+
+func (p *payloadReader) take(n int, what string) ([]byte, error) {
+	if n < 0 || p.remaining() < n {
+		return nil, fmt.Errorf("serve: %s claims %d bytes, %d remain: %w", what, n, p.remaining(), heax.ErrCorrupt)
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+func (p *payloadReader) str(what string) (string, error) {
+	n, err := p.u32(what)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || n > maxStringLen {
+		return "", fmt.Errorf("serve: %s length %d out of range [1, %d]: %w", what, n, maxStringLen, heax.ErrCorrupt)
+	}
+	b, err := p.take(int(n), what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (p *payloadReader) blob(what string) ([]byte, error) {
+	n, err := p.u32(what)
+	if err != nil {
+		return nil, err
+	}
+	return p.take(int(n), what)
+}
+
+// done rejects trailing garbage, so a framing bug surfaces as
+// ErrCorrupt instead of a silent misparse.
+func (p *payloadReader) done(what string) error {
+	if p.remaining() != 0 {
+		return fmt.Errorf("serve: %s carries %d trailing bytes: %w", what, p.remaining(), heax.ErrCorrupt)
+	}
+	return nil
+}

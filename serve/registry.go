@@ -1,0 +1,132 @@
+package serve
+
+// The tenant key registry: uploaded evaluation key sets with
+// ref-counted eviction. A tenant entry is referenced by its
+// registration, by every cached plan compiled against its keys, and by
+// every in-flight compile; Unregister drops the registration reference
+// and bars new acquisitions, but the keys stay live until the last
+// holder releases them — eviction never pulls key material out from
+// under a plan.
+
+import (
+	"fmt"
+	"sync"
+
+	"heax"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantEntry
+}
+
+// tenantEntry is one tenant's uploaded key set.
+type tenantEntry struct {
+	name string
+	evk  *heax.EvaluationKeySet
+
+	// refs counts the registration itself plus one per holder (cached
+	// plan or in-flight compile); guarded by the registry mutex.
+	refs int
+	// gone marks an unregistered tenant: no new acquisitions, entry
+	// retired when refs drains to zero.
+	gone bool
+	// retired flips exactly once, when the last reference goes — the
+	// observable end of the key lifecycle (asserted by tests; a real
+	// deployment could hook secure key destruction here).
+	retired bool
+}
+
+func newRegistry() *registry {
+	return &registry{tenants: make(map[string]*tenantEntry)}
+}
+
+// register binds a key set to a fresh tenant name.
+func (r *registry) register(name string, evk *heax.EvaluationKeySet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	r.tenants[name] = &tenantEntry{name: name, evk: evk, refs: 1}
+	return nil
+}
+
+// acquire takes a reference on a live tenant's keys.
+func (r *registry) acquire(name string) (*tenantEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	e.refs++
+	return e, nil
+}
+
+// release returns a reference taken by acquire (or held by a cached
+// plan); the entry is retired when the registration is gone and the
+// last reference drains.
+func (r *registry) release(e *tenantEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.releaseLocked(e)
+}
+
+func (r *registry) releaseLocked(e *tenantEntry) {
+	if e.refs <= 0 {
+		panic("serve: tenant reference over-released")
+	}
+	e.refs--
+	if e.refs == 0 {
+		if !e.gone {
+			panic("serve: tenant registration reference released without unregister")
+		}
+		e.retired = true
+	}
+}
+
+// live reports whether e is still the current registration of its
+// name — a cached plan whose entry is no longer live belongs to an
+// evicted (possibly re-registered) tenant and must not be served.
+func (r *registry) live(e *tenantEntry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[e.name] == e
+}
+
+// retain takes an additional reference on a specific entry (not a
+// name: after re-registration the name resolves to a different entry)
+// if its references have not already drained. A run holds one for its
+// whole duration, so eviction mid-run never retires the keys under it.
+func (r *registry) retain(e *tenantEntry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.refs == 0 {
+		return false
+	}
+	e.refs++
+	return true
+}
+
+// unregister evicts a tenant: the name is freed immediately (a new
+// registration under the same name gets a fresh entry), the keys stay
+// live for current holders.
+func (r *registry) unregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.tenants[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	delete(r.tenants, name)
+	e.gone = true
+	r.releaseLocked(e) // the registration's own reference
+	return nil
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tenants)
+}

@@ -1,0 +1,577 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heax"
+)
+
+// Server is the multi-tenant plan-serving daemon: one process, one
+// parameter set (the fixed accelerator pipeline), many tenants. See
+// the package documentation for the architecture.
+type Server struct {
+	params     *heax.Params
+	paramsBlob []byte
+	reg        *registry
+	cache      *planCache
+	opts       serverOptions
+
+	// jobs is the global admission window: len(executor pool) workers
+	// drain it in FIFO order, so concurrent tenants' input sets
+	// interleave instead of the first large batch monopolizing the
+	// evaluator worker pool.
+	jobs   chan runJob
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]bool
+	conns     map[net.Conn]bool
+	closed    bool
+
+	connWG sync.WaitGroup
+	execWG sync.WaitGroup
+
+	canceledRuns atomic.Int64
+}
+
+type serverOptions struct {
+	cacheCap    int
+	admission   int
+	maxFrame    int
+	compileOpts []heax.CompileOption
+}
+
+// Option configures a Server at construction.
+type Option func(*serverOptions)
+
+// WithCacheCapacity bounds how many compiled plans the LRU cache holds
+// across all tenants (default 64). The least recently used plan is
+// evicted first; an evicted plan id simply recompiles on next use.
+func WithCacheCapacity(n int) Option {
+	return func(o *serverOptions) { o.cacheCap = n }
+}
+
+// WithAdmissionWindow sets how many input sets may execute concurrently
+// across all tenants and connections (default GOMAXPROCS) — the host
+// analogue of the paper's bounded device queue.
+func WithAdmissionWindow(n int) Option {
+	return func(o *serverOptions) {
+		if n < 1 {
+			n = 1
+		}
+		o.admission = n
+	}
+}
+
+// WithMaxFrameBytes caps the size of a single protocol frame (default
+// DefaultMaxFrame). Oversized frames are rejected before allocation.
+func WithMaxFrameBytes(n int) Option {
+	return func(o *serverOptions) {
+		if n < 1<<10 {
+			n = 1 << 10
+		}
+		o.maxFrame = n
+	}
+}
+
+// WithCompileOptions forwards compile options (worker caps, batch
+// window, hoisting) to every plan the server compiles.
+func WithCompileOptions(opts ...heax.CompileOption) Option {
+	return func(o *serverOptions) { o.compileOpts = append(o.compileOpts, opts...) }
+}
+
+// NewServer builds a server for one parameter set and starts its
+// executor pool. Callers own the listeners: combine with Serve, and
+// Close to shut down.
+func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
+	if params == nil {
+		return nil, errors.New("serve: nil parameters")
+	}
+	o := serverOptions{
+		cacheCap:  64,
+		admission: runtime.GOMAXPROCS(0),
+		maxFrame:  DefaultMaxFrame,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var pb bytes.Buffer
+	if err := heax.WriteParams(&pb, params); err != nil {
+		return nil, fmt.Errorf("serve: serializing parameters: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		params:     params,
+		paramsBlob: pb.Bytes(),
+		reg:        newRegistry(),
+		cache:      newPlanCache(o.cacheCap),
+		opts:       o,
+		jobs:       make(chan runJob),
+		ctx:        ctx,
+		cancel:     cancel,
+		listeners:  make(map[net.Listener]bool),
+		conns:      make(map[net.Conn]bool),
+	}
+	s.execWG.Add(o.admission)
+	for i := 0; i < o.admission; i++ {
+		go s.executor()
+	}
+	return s, nil
+}
+
+// runJob is one input set bound for one plan — the unit of admission.
+type runJob struct {
+	ctx  context.Context
+	plan *heax.Plan
+	in   map[string]*heax.Ciphertext
+	idx  int
+	out  []map[string]*heax.Ciphertext
+	errs []error
+	wg   *sync.WaitGroup
+}
+
+func (s *Server) executor() {
+	defer s.execWG.Done()
+	for job := range s.jobs {
+		if err := job.ctx.Err(); err != nil {
+			job.errs[job.idx] = err
+			s.canceledRuns.Add(1)
+		} else {
+			job.out[job.idx], job.errs[job.idx] = job.plan.RunContext(job.ctx, job.in)
+			if job.errs[job.idx] != nil && errors.Is(job.errs[job.idx], context.Canceled) {
+				s.canceledRuns.Add(1)
+			}
+		}
+		job.wg.Done()
+	}
+}
+
+// Serve accepts connections on ln until Close (or a listener error)
+// and handles each on its own goroutine. It always returns a non-nil
+// error; after Close, the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = true
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on the TCP address and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close shuts the server down: in-flight runs are cancelled, listeners
+// and connections closed, and the executor pool drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.connWG.Wait()
+	close(s.jobs)
+	s.execWG.Wait()
+	return nil
+}
+
+// Stats reports the server's current occupancy.
+type Stats struct {
+	Tenants      int
+	CachedPlans  int
+	CanceledRuns int64
+}
+
+// Stats snapshots registry and cache occupancy.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Tenants:      s.reg.len(),
+		CachedPlans:  s.cache.len(),
+		CanceledRuns: s.canceledRuns.Load(),
+	}
+}
+
+// --- Connection handling ---------------------------------------------------
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// The connection context cancels in-flight work when the peer goes
+	// away (or the server closes).
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		typ, payload, err := readFrame(br, s.opts.maxFrame)
+		if err != nil {
+			// Corrupt framing gets a best-effort error frame; a clean
+			// EOF or closed connection just ends the handler.
+			if errors.Is(err, heax.ErrCorrupt) {
+				s.writeErr(bw, err)
+			}
+			return
+		}
+		var rtyp byte
+		var rpayload []byte
+		switch typ {
+		case reqParams:
+			rtyp, rpayload = respParams, s.paramsBlob
+		case reqRegister:
+			rtyp, err = respOK, s.handleRegister(payload)
+		case reqUnregister:
+			rtyp, err = respOK, s.handleUnregister(payload)
+		case reqCompile:
+			rtyp = respPlan
+			rpayload, err = s.handleCompile(payload)
+		case reqRun:
+			rtyp = respBatches
+			rpayload, err = s.handleRun(ctx, cancel, conn, br, payload)
+		default:
+			err = fmt.Errorf("serve: unknown request type %#x: %w", typ, heax.ErrCorrupt)
+		}
+		if err != nil {
+			if !s.writeErr(bw, err) {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(bw, rtyp, rpayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) writeErr(bw *bufio.Writer, err error) bool {
+	code, msg := errToCode(err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = codeCanceled
+	}
+	var pw payloadWriter
+	pw.bytes([]byte{code})
+	pw.bytes([]byte(msg))
+	if werr := writeFrame(bw, respErr, pw.buf); werr != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+func (s *Server) handleRegister(payload []byte) error {
+	pr := payloadReader{buf: payload}
+	name, err := pr.str("tenant name")
+	if err != nil {
+		return err
+	}
+	blob, err := pr.blob("evaluation key set")
+	if err != nil {
+		return err
+	}
+	if err := pr.done("register request"); err != nil {
+		return err
+	}
+	evk, err := heax.ReadEvaluationKeySet(bytes.NewReader(blob), s.params)
+	if err != nil {
+		return err
+	}
+	return s.reg.register(name, evk)
+}
+
+func (s *Server) handleUnregister(payload []byte) error {
+	pr := payloadReader{buf: payload}
+	name, err := pr.str("tenant name")
+	if err != nil {
+		return err
+	}
+	if err := pr.done("unregister request"); err != nil {
+		return err
+	}
+	if err := s.reg.unregister(name); err != nil {
+		return err
+	}
+	// Evicting the tenant drops its cached plans; each purged plan
+	// releases its key reference, and the keys retire when the last
+	// in-flight user finishes.
+	for _, cp := range s.cache.purgeTenant(name) {
+		s.reg.release(cp.tenant)
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(payload []byte) ([]byte, error) {
+	pr := payloadReader{buf: payload}
+	name, err := pr.str("tenant name")
+	if err != nil {
+		return nil, err
+	}
+	dag, err := pr.blob("circuit description")
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.done("compile request"); err != nil {
+		return nil, err
+	}
+	// Canonicalize (decode → re-encode) so formatting differences in
+	// client JSON do not split the cache, then key by tenant + digest.
+	var circ heax.Circuit
+	if err := json.Unmarshal(dag, &circ); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, heax.ErrCorrupt)
+	}
+	canonical, err := json.Marshal(&circ)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, heax.ErrCorrupt)
+	}
+	id := digestCircuit(canonical)
+	key := cacheKey{tenant: name, id: id}
+	if cp, ok := s.cache.get(key); ok {
+		// A hit only counts if the entry belongs to the name's current
+		// registration: after an unregister (or unregister +
+		// re-register with fresh keys) a lingering entry must never be
+		// served — drop it and recompile against the live keys.
+		if s.reg.live(cp.tenant) {
+			return compileResponse(id, cp.steps, true), nil
+		}
+		if s.cache.removeEntry(cp) {
+			s.reg.release(cp.tenant)
+		}
+	}
+	entry, err := s.reg.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := circ.Compile(s.params, entry.evk, s.opts.compileOpts...)
+	if err != nil {
+		s.reg.release(entry)
+		if errors.Is(err, heax.ErrKeyMissing) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", errCompile, err)
+	}
+	cp := &cachedPlan{key: key, plan: plan, tenant: entry, steps: plan.NumSteps()}
+	for _, old := range s.cache.add(cp) {
+		s.reg.release(old.tenant)
+	}
+	// If the tenant was evicted while we compiled, the purge may have
+	// run before our insert landed; retire the entry ourselves rather
+	// than leave a stale plan under a (possibly re-registered) name.
+	// removeEntry is pointer-precise, so a plan the eviction already
+	// purged (or a racing duplicate add already retired) is not
+	// released twice.
+	if !s.reg.live(entry) && s.cache.removeEntry(cp) {
+		s.reg.release(entry)
+	}
+	return compileResponse(id, cp.steps, false), nil
+}
+
+func compileResponse(id PlanID, steps int, cached bool) []byte {
+	var pw payloadWriter
+	pw.bytes(id[:])
+	pw.u32(uint32(steps))
+	flag := byte(0)
+	if cached {
+		flag = 1
+	}
+	pw.bytes([]byte{flag})
+	return pw.buf
+}
+
+func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, payload []byte) ([]byte, error) {
+	pr := payloadReader{buf: payload}
+	name, err := pr.str("tenant name")
+	if err != nil {
+		return nil, err
+	}
+	idBytes, err := pr.take(len(PlanID{}), "plan id")
+	if err != nil {
+		return nil, err
+	}
+	var id PlanID
+	copy(id[:], idBytes)
+	n, err := pr.u32("batch count")
+	if err != nil {
+		return nil, err
+	}
+	batches := make([]map[string]*heax.Ciphertext, 0, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		blob, err := pr.blob("ciphertext batch")
+		if err != nil {
+			return nil, err
+		}
+		batch, err := heax.ReadCiphertextBatch(bytes.NewReader(blob), s.params)
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, batch)
+	}
+	if err := pr.done("run request"); err != nil {
+		return nil, err
+	}
+	cp, ok := s.cache.get(cacheKey{tenant: name, id: id})
+	if ok && !s.reg.live(cp.tenant) {
+		// Stale entry from an evicted (possibly re-registered) tenant:
+		// never serve it — a fresh registration under the same name
+		// must recompile against its own keys.
+		if s.cache.removeEntry(cp) {
+			s.reg.release(cp.tenant)
+		}
+		ok = false
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, name, id[:4])
+	}
+	// Hold a key reference for the whole run, so an eviction mid-run
+	// can purge the cache but never retire the keys under us.
+	if !s.reg.retain(cp.tenant) {
+		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, name, id[:4])
+	}
+	defer s.reg.release(cp.tenant)
+
+	// While the executors stream this request, watch the socket: a
+	// vanished client cancels the connection context and the plan
+	// executor abandons the remaining steps.
+	stopWatch := watchDisconnect(conn, br, cancel)
+	defer stopWatch()
+
+	out := make([]map[string]*heax.Ciphertext, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	for i, in := range batches {
+		job := runJob{ctx: ctx, plan: cp.plan, in: in, idx: i, out: out, errs: errs, wg: &wg}
+		wg.Add(1)
+		select {
+		case s.jobs <- job:
+		case <-ctx.Done():
+			wg.Done()
+			errs[i] = ctx.Err()
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: batch %d: %w", i, err)
+		}
+	}
+	var pw payloadWriter
+	pw.u32(uint32(len(out)))
+	var buf bytes.Buffer
+	for _, batch := range out {
+		buf.Reset()
+		if err := heax.WriteCiphertextBatch(&buf, batch); err != nil {
+			return nil, err
+		}
+		pw.blob(buf.Bytes())
+		// Bound the response by the same frame cap requests obey: an
+		// explicit, actionable error beats shipping a frame the peer
+		// must reject as corrupt (both sides share one cap contract).
+		if len(pw.buf) > s.opts.maxFrame {
+			return nil, fmt.Errorf("serve: response of %d+ bytes exceeds the %d-byte frame cap (raise it on both sides or send fewer batches per request)",
+				len(pw.buf), s.opts.maxFrame)
+		}
+	}
+	return pw.buf, nil
+}
+
+// watchDisconnect peeks the connection while a request is processed:
+// an EOF or reset mid-request means the client is gone, so the
+// connection context cancels and in-flight plan runs abort. The
+// returned stop function pokes the blocked peek with an immediate read
+// deadline and clears it again; pipelined bytes from a live client
+// terminate the watch without being consumed.
+func watchDisconnect(conn net.Conn, br *bufio.Reader, cancel context.CancelFunc) (stop func()) {
+	stopped := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		_, err := br.Peek(1)
+		select {
+		case <-stopped:
+			return
+		default:
+		}
+		if err == nil {
+			return // pipelined request: client is alive
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return
+		}
+		cancel()
+	}()
+	return func() {
+		close(stopped)
+		conn.SetReadDeadline(time.Now())
+		<-finished
+		conn.SetReadDeadline(time.Time{})
+	}
+}

@@ -1,6 +1,7 @@
 package heax
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -151,6 +152,17 @@ func NewSession(eval *Evaluator, opts ...SessionOption) *Session {
 // runs as soon as all of its operands have resolved and an in-flight
 // slot is free; independent submissions complete out of order.
 func (s *Session) Submit(op Op) *Future {
+	return s.SubmitContext(context.Background(), op)
+}
+
+// SubmitContext is Submit bound to a context: an operation whose
+// context is cancelled before it starts — while waiting on operand
+// futures or on an in-flight slot — resolves its future with the
+// context's error instead of running (operations already executing
+// finish normally). This is how a serving front end abandons a
+// disconnected client's queued work; dependents of an abandoned
+// operation poison with ErrDependency as usual.
+func (s *Session) SubmitContext(ctx context.Context, op Op) *Future {
 	f := &Future{done: make(chan struct{})}
 	s.mu.Lock()
 	s.pending = append(s.pending, f)
@@ -159,15 +171,24 @@ func (s *Session) Submit(op Op) *Future {
 		defer close(f.done)
 		in := make([]*Ciphertext, len(op.args))
 		for i, a := range op.args {
-			ct, err := a.await()
+			ct, err := awaitOperand(ctx, a)
 			if err != nil {
 				f.err = fmt.Errorf("heax: %s input %d: %w", op.name, i, errors.Join(ErrDependency, err))
 				return
 			}
 			in[i] = ct
 		}
-		s.sem <- struct{}{}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			f.err = fmt.Errorf("heax: %s: %w", op.name, ctx.Err())
+			return
+		}
 		defer func() { <-s.sem }()
+		if err := ctx.Err(); err != nil {
+			f.err = fmt.Errorf("heax: %s: %w", op.name, err)
+			return
+		}
 		ct, err := op.run(s.eval, in)
 		if err != nil {
 			f.err = fmt.Errorf("heax: %s: %w", op.name, err)
@@ -176,6 +197,21 @@ func (s *Session) Submit(op Op) *Future {
 		f.ct = ct
 	}()
 	return f
+}
+
+// awaitOperand waits for an operand, abandoning the wait when ctx is
+// cancelled (ready ciphertexts resolve immediately either way).
+func awaitOperand(ctx context.Context, a Operand) (*Ciphertext, error) {
+	fut, ok := a.(*Future)
+	if !ok || ctx.Done() == nil {
+		return a.await()
+	}
+	select {
+	case <-fut.done:
+		return fut.ct, fut.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Flush blocks until every operation submitted before the call has

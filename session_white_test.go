@@ -8,6 +8,7 @@ package heax
 // order) is the one Flush reports.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -154,4 +155,36 @@ func TestSessionFlushReleasesResolved(t *testing.T) {
 	if _, err := f.Wait(); err == nil {
 		t.Fatal("dependent op must carry the gate failure")
 	}
+}
+
+// TestSessionSubmitContext: a cancelled context abandons queued work —
+// while waiting on operands or on the in-flight window — with the
+// context's error, and dependents poison as usual.
+func TestSessionSubmitContext(t *testing.T) {
+	sess := tinySession(t)
+	g, resolve := gate()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	blocked := sess.SubmitContext(ctx, RescaleOp(g))
+	dependent := sess.Submit(RescaleOp(blocked))
+	cancel()
+	if _, err := blocked.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submission must carry context.Canceled, got %v", err)
+	}
+	if _, err := dependent.Wait(); !errors.Is(err, ErrDependency) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dependent must poison with ErrDependency wrapping the cancellation, got %v", err)
+	}
+	resolve(nil) // the gate resolving later must not disturb anything
+	if err := sess.Flush(); err == nil {
+		t.Fatal("Flush must report the cancelled chain")
+	}
+
+	// A fresh, uncancelled context still runs.
+	g2, resolve2 := gate()
+	f := sess.SubmitContext(context.Background(), RescaleOp(g2))
+	resolve2(errors.New("operand failed"))
+	if _, err := f.Wait(); !errors.Is(err, ErrDependency) {
+		t.Fatalf("want ErrDependency, got %v", err)
+	}
+	sess.Flush()
 }
