@@ -3,34 +3,67 @@
 // run-many Plan pipeline over a framed TCP protocol. Tenants register
 // serialized evaluation key sets, ship circuit DAGs that are compiled
 // into an LRU-bounded plan cache, and stream ciphertext batches through
-// a global admission window that shares the evaluator worker pool
-// fairly across tenants.
+// weighted-fair per-tenant admission queues that share the evaluator
+// worker pool across tenants, shedding load and unmeetable deadlines
+// up front instead of queuing them.
 //
 // Usage:
 //
 //	heax-serve [-addr :7609] [-params B] [-cache 64] [-admission 0]
-//	           [-max-frame-mb 1024] [-plan-workers 0]
+//	           [-max-frame-mb 1024] [-plan-workers 0] [-drain 30s]
+//	           [-tenant-weights alice=3,bob=1] [-tenant-queue 64]
+//	           [-tenant-inflight 0] [-dedup 256]
 //
 // -params picks the paper's Table 2 parameter set (A, B or C) — one
 // set per daemon, like one synthesized accelerator. -admission 0 means
 // GOMAXPROCS concurrent input sets; -plan-workers 0 leaves each plan's
 // row-level fan-out at the evaluator default. See examples/client for
 // the matching client flow.
+//
+// On SIGTERM the daemon drains gracefully: listeners close, in-flight
+// runs finish and flush their responses, new work is refused with the
+// typed draining error, and the process exits 0 once idle (1 if the
+// -drain window expires first). SIGINT stops hard immediately.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"heax"
 	"heax/serve"
 )
+
+// parseTenantWeights parses "name=weight,name=weight" into per-tenant
+// admission policies.
+func parseTenantWeights(s string, queue, inflight int) (map[string]serve.TenantPolicy, error) {
+	out := make(map[string]serve.TenantPolicy)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("malformed tenant weight %q (want name=weight)", part)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("tenant %q: weight %q must be a positive integer", name, w)
+		}
+		out[name] = serve.TenantPolicy{Weight: weight, MaxQueued: queue, MaxInFlight: inflight}
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,6 +74,11 @@ func main() {
 	admission := flag.Int("admission", 0, "concurrent input sets across all tenants (0 = GOMAXPROCS)")
 	maxFrameMB := flag.Int("max-frame-mb", serve.DefaultMaxFrame>>20, "maximum protocol frame size in MiB")
 	planWorkers := flag.Int("plan-workers", 0, "row-level worker cap per compiled plan (0 = evaluator default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain window on SIGTERM before a hard stop")
+	tenantWeights := flag.String("tenant-weights", "", "per-tenant admission weights, e.g. alice=3,bob=1 (others get weight 1)")
+	tenantQueue := flag.Int("tenant-queue", serve.DefaultTenantQueue, "queued input sets allowed per tenant before shedding")
+	tenantInflight := flag.Int("tenant-inflight", 0, "concurrent input sets per tenant (0 = no per-tenant cap)")
+	dedup := flag.Int("dedup", 256, "retry-dedup cache capacity (completed responses kept per request id)")
 	flag.Parse()
 
 	var spec heax.ParamSpec
@@ -62,6 +100,12 @@ func main() {
 	opts := []serve.Option{
 		serve.WithCacheCapacity(*cache),
 		serve.WithMaxFrameBytes(*maxFrameMB << 20),
+		serve.WithDefaultTenantPolicy(serve.TenantPolicy{
+			Weight:      1,
+			MaxQueued:   *tenantQueue,
+			MaxInFlight: *tenantInflight,
+		}),
+		serve.WithDedupCapacity(*dedup),
 	}
 	window := *admission
 	if window <= 0 {
@@ -70,6 +114,13 @@ func main() {
 	opts = append(opts, serve.WithAdmissionWindow(window))
 	if *planWorkers > 0 {
 		opts = append(opts, serve.WithCompileOptions(heax.WithPlanWorkers(*planWorkers)))
+	}
+	weights, err := parseTenantWeights(*tenantWeights, *tenantQueue, *tenantInflight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, pol := range weights {
+		opts = append(opts, serve.WithTenantPolicy(name, pol))
 	}
 
 	srv, err := serve.NewServer(params, opts...)
@@ -80,20 +131,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s on %s (LogN=%d, k=%d primes, %d slots); cache=%d plans, admission=%d",
-		spec.Name, ln.Addr(), params.LogN, params.K(), params.Slots(), *cache, window)
+	log.Printf("%s on %s (LogN=%d, k=%d primes, %d slots); cache=%d plans, admission=%d, drain=%v",
+		spec.Name, ln.Addr(), params.LogN, params.K(), params.Slots(), *cache, window, *drain)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	exited := make(chan int, 1)
 	go func() {
-		<-sig
+		s := <-sig
 		st := srv.Stats()
-		log.Printf("shutting down (%d tenants, %d cached plans, %d cancelled runs)",
+		if s == syscall.SIGTERM {
+			log.Printf("draining (%d tenants, %d cached plans, %d completed / %d shed runs, up to %v)",
+				st.Tenants, st.CachedPlans, st.CompletedRuns, st.ShedRuns, *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("drain window expired; runs were cut: %v", err)
+				exited <- 1
+				return
+			}
+			log.Printf("drained clean")
+			exited <- 0
+			return
+		}
+		log.Printf("interrupted; hard stop (%d tenants, %d cached plans, %d cancelled runs)",
 			st.Tenants, st.CachedPlans, st.CanceledRuns)
 		srv.Close()
+		exited <- 0
 	}()
 
 	if err := srv.Serve(ln); err != serve.ErrServerClosed {
 		log.Fatal(err)
 	}
+	os.Exit(<-exited)
 }

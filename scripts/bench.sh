@@ -8,15 +8,16 @@
 # compare the circuit API's streaming throughput against the imperative
 # baseline directly), and the wire-serving Serve_* benches (heax/serve
 # loopback: Serve_RunBatchMatvec is the full framed round trip per
-# input set, Serve_CompileCached the plan-cache hit) into a JSON file
-# so the perf trajectory is tracked across PRs.
+# input set, Serve_CompileCached the plan-cache hit, Serve_Admission
+# the weighted-fair submit→dispatch→done admission path per input set)
+# into a JSON file so the perf trajectory is tracked across PRs.
 #
-#   scripts/bench.sh [out.json]     # default: BENCH_5.json
+#   scripts/bench.sh [out.json]     # default: BENCH_6.json
 #   BENCHTIME=3s scripts/bench.sh   # steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 benchtime=${BENCHTIME:-1s}
 maxprocs=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
 

@@ -11,6 +11,8 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"heax"
 )
@@ -34,6 +36,20 @@ type cachedPlan struct {
 	plan   *heax.Plan
 	tenant *tenantEntry // the registry reference this plan holds
 	steps  int
+	// estNS is a moving estimate (EWMA, α=¼) of one input set's run
+	// time through this plan, fed back by the executors and consumed by
+	// the admitter's deadline shedding. 0 = no completed run yet.
+	estNS atomic.Int64
+}
+
+// observe folds a completed run's duration into the moving estimate.
+func (cp *cachedPlan) observe(d time.Duration) {
+	old := cp.estNS.Load()
+	if old == 0 {
+		cp.estNS.Store(int64(d))
+		return
+	}
+	cp.estNS.Store(old + (int64(d)-old)/4)
 }
 
 type planCache struct {

@@ -1,0 +1,868 @@
+package serve
+
+// The wire-level chaos harness: every scenario injects a fault —
+// slow byte-dribbled I/O, a mid-frame connection cut, a stalled
+// client that never reads, a graceful drain mid-batch, a dropped
+// response retried by request id — and asserts the same contract:
+// the client observes either a typed error or a result bit-identical
+// to the in-process oracle; the server never hangs, never serves a
+// corrupt frame, and leaks no key-registry or plan-cache reference
+// (refcounts audited to zero after every scenario).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"heax"
+)
+
+// --- fault injection --------------------------------------------------------
+
+// faultConn wraps a net.Conn with injectable faults: per-chunk read and
+// write delays, forced small chunking (so frames cross the wire in
+// dribbles), a hard cut after N written bytes (mid-frame), and a cut
+// after N read bytes (the response is lost mid-frame).
+type faultConn struct {
+	net.Conn
+	mu            sync.Mutex
+	readDelay     time.Duration
+	writeDelay    time.Duration
+	chunk         int // max bytes per underlying op (0 = unlimited)
+	cutAfterWrite int // -1 = never
+	cutAfterRead  int // -1 = never
+	written       int
+	read          int
+	cut           bool
+}
+
+func newFaultConn(c net.Conn) *faultConn {
+	return &faultConn{Conn: c, cutAfterWrite: -1, cutAfterRead: -1}
+}
+
+func (f *faultConn) isCut() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut
+}
+
+func (f *faultConn) doCut() error {
+	f.mu.Lock()
+	f.cut = true
+	f.mu.Unlock()
+	f.Conn.Close()
+	return fmt.Errorf("faultconn: connection cut: %w", net.ErrClosed)
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	d, ch, cutAt, cut := f.readDelay, f.chunk, f.cutAfterRead, f.cut
+	f.mu.Unlock()
+	if cut {
+		return 0, net.ErrClosed
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if ch > 0 && len(p) > ch {
+		p = p[:ch]
+	}
+	if cutAt >= 0 && f.read >= cutAt {
+		return 0, f.doCut()
+	}
+	if cutAt >= 0 && f.read+len(p) > cutAt {
+		p = p[:cutAt-f.read]
+	}
+	n, err := f.Conn.Read(p)
+	f.read += n
+	return n, err
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		f.mu.Lock()
+		d, ch, cutAt, cut := f.writeDelay, f.chunk, f.cutAfterWrite, f.cut
+		f.mu.Unlock()
+		if cut {
+			return total, net.ErrClosed
+		}
+		if d > 0 {
+			time.Sleep(d)
+		}
+		n := len(p)
+		if ch > 0 && n > ch {
+			n = ch
+		}
+		if cutAt >= 0 && f.written+n >= cutAt {
+			if keep := cutAt - f.written; keep > 0 {
+				m, _ := f.Conn.Write(p[:keep])
+				f.written += m
+				total += m
+			}
+			return total, f.doCut()
+		}
+		m, err := f.Conn.Write(p[:n])
+		f.written += m
+		total += m
+		if err != nil {
+			return total, err
+		}
+		p = p[m:]
+	}
+	return total, nil
+}
+
+// --- scenario kit -----------------------------------------------------------
+
+// chaosSpec is a deliberately tiny parameter set so chaos scenarios
+// run hundreds of wire round trips under -race in milliseconds.
+var chaosSpec = heax.ParamSpec{Name: "chaos", LogN: 4, QBits: []int{30, 30}, PBits: 31, LogScale: 20}
+
+var (
+	chaosParamsOnce sync.Once
+	chaosParamsVal  *heax.Params
+)
+
+func chaosParams(t testing.TB) *heax.Params {
+	t.Helper()
+	chaosParamsOnce.Do(func() { chaosParamsVal = heax.MustParams(chaosSpec) })
+	return chaosParamsVal
+}
+
+// chaosKit is one tenant's key material, codec and in-process oracle
+// for the rotate-and-add circuit.
+type chaosKit struct {
+	params    *heax.Params
+	evk       *heax.EvaluationKeySet
+	enc       *heax.Encoder
+	encryptor *heax.Encryptor
+	oracle    *heax.Plan
+}
+
+func newChaosKit(t testing.TB, params *heax.Params, seed int64) *chaosKit {
+	t.Helper()
+	kg := heax.NewKeyGenerator(params, seed)
+	sk := kg.GenSecretKey()
+	k := &chaosKit{
+		params:    params,
+		evk:       heax.GenEvaluationKeys(kg, sk, []int{1}, false),
+		enc:       heax.NewEncoder(params),
+		encryptor: heax.NewEncryptor(params, kg.GenPublicKey(sk), seed+1),
+	}
+	oracle, err := chaosCircuit().Compile(params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.oracle = oracle
+	return k
+}
+
+func chaosCircuit() *heax.Circuit {
+	c := heax.NewCircuit()
+	in := c.Input("x")
+	c.Output("y", c.Add(c.Rotate(in, 1), in))
+	return c
+}
+
+func (k *chaosKit) batches(t testing.TB, seed int64, n int) []map[string]*heax.Ciphertext {
+	t.Helper()
+	slots := k.params.Slots()
+	in := make([]map[string]*heax.Ciphertext, n)
+	for b := 0; b < n; b++ {
+		vec := make([]float64, slots)
+		for i := range vec {
+			vec[i] = float64((seed+int64(b*slots+i))%17) / 17
+		}
+		pt, err := k.enc.EncodeReal(vec, k.params.MaxLevel(), k.params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := k.encryptor.Encrypt(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[b] = map[string]*heax.Ciphertext{"x": ct}
+	}
+	return in
+}
+
+// encodeLegacyRun serializes a Run request in the original reqRun
+// layout (no request id, no deadline budget).
+func encodeLegacyRun(t testing.TB, tenant string, id PlanID, in []map[string]*heax.Ciphertext) []byte {
+	t.Helper()
+	var pw payloadWriter
+	if err := pw.str(tenant); err != nil {
+		t.Fatal(err)
+	}
+	pw.bytes(id[:])
+	pw.u32(uint32(len(in)))
+	var buf bytes.Buffer
+	for _, batch := range in {
+		buf.Reset()
+		if err := heax.WriteCiphertextBatch(&buf, batch); err != nil {
+			t.Fatal(err)
+		}
+		pw.blob(buf.Bytes())
+	}
+	return pw.buf
+}
+
+func chaosCtEqual(a, b *heax.Ciphertext) bool {
+	if a == nil || b == nil || a.Scale != b.Scale || a.Level != b.Level || len(a.Polys) != len(b.Polys) {
+		return false
+	}
+	for i := range a.Polys {
+		if !a.Polys[i].Equal(b.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertOracle checks a wire result bit-identical to the in-process oracle.
+func (k *chaosKit) assertOracle(t *testing.T, in, got []map[string]*heax.Ciphertext) {
+	t.Helper()
+	want, err := k.oracle.RunBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d batches, want %d", len(got), len(want))
+	}
+	for b := range want {
+		if !chaosCtEqual(got[b]["y"], want[b]["y"]) {
+			t.Fatalf("batch %d: wire result not bit-identical to the in-process oracle", b)
+		}
+	}
+}
+
+// startChaosServer starts a server on loopback and returns it with its
+// address. Callers own srv.Close via t.Cleanup.
+func startChaosServer(t testing.TB, params *heax.Params, delay time.Duration, opts ...Option) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(params, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.testRunDelay = delay
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// auditZeroLeak is the post-scenario invariant: once the scenario's
+// connections are gone, every run settles, and evicting all tenants
+// must retire every key-registry entry and empty the plan cache —
+// zero leaked references, whatever fault was injected.
+func auditZeroLeak(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.adm.mu.Lock()
+		settled := s.adm.queuedTotal == 0 && s.adm.inFlightTotal == 0
+		s.adm.mu.Unlock()
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission never settled: jobs leaked or executors hung")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waited := make(chan struct{})
+	go func() { s.runWG.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run handlers never finished: a faulted connection wedged the server")
+	}
+	s.reg.mu.Lock()
+	names := make([]string, 0, len(s.reg.tenants))
+	entries := make([]*tenantEntry, 0, len(s.reg.tenants))
+	for name, e := range s.reg.tenants {
+		names = append(names, name)
+		entries = append(entries, e)
+	}
+	s.reg.mu.Unlock()
+	for _, name := range names {
+		if err := s.evictTenant(name); err != nil {
+			t.Fatalf("evicting %q: %v", name, err)
+		}
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("plan cache leaks %d entries after evicting every tenant", n)
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	for _, e := range entries {
+		if !e.retired {
+			t.Errorf("tenant %q keys not retired: %d references leaked", e.name, e.refs)
+		}
+	}
+	if len(s.reg.tenants) != 0 {
+		t.Fatalf("registry still holds %d tenants", len(s.reg.tenants))
+	}
+}
+
+// dialChaos connects a Client through a faultConn so the scenario can
+// twist the wire underneath an otherwise normal client.
+func dialChaos(t *testing.T, addr string) (*Client, *faultConn) {
+	t.Helper()
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFaultConn(raw)
+	cl, err := NewClient(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, fc
+}
+
+// --- scenarios --------------------------------------------------------------
+
+// TestChaosSlowIO: bytes dribble through 13-byte chunks with per-chunk
+// delays in both directions; the protocol must stay framed and the
+// result bit-identical.
+func TestChaosSlowIO(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	cl, fc := dialChaos(t, addr)
+	defer cl.Close()
+	fc.mu.Lock()
+	fc.chunk = 13
+	fc.readDelay = 200 * time.Microsecond
+	fc.writeDelay = 200 * time.Microsecond
+	fc.mu.Unlock()
+
+	kit := newChaosKit(t, cl.Params(), 101)
+	if err := cl.Register("slow", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("slow", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kit.batches(t, 102, 2)
+	got, err := cl.Run("slow", info.ID, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.assertOracle(t, in, got)
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosMidFrameCut: the connection dies partway through writing a
+// Run request — inside the header, inside the payload — and the server
+// must treat the torn frame as a dead peer (or ErrCorrupt), never
+// execute garbage, never hang, and keep serving healthy clients.
+func TestChaosMidFrameCut(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	setup, _ := dialChaos(t, addr)
+	defer setup.Close()
+	kit := newChaosKit(t, setup.Params(), 111)
+	if err := setup.Register("cut", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := setup.Compile("cut", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cutAt := range []int{3, 9, 20, 200} {
+		cl, fc := dialChaos(t, addr)
+		fc.mu.Lock()
+		fc.cutAfterWrite = fc.written + cutAt
+		fc.mu.Unlock()
+		in := kit.batches(t, 112, 1)
+		_, err := cl.Run("cut", info.ID, in)
+		if err == nil {
+			t.Fatalf("cut at +%d bytes: a torn request cannot succeed", cutAt)
+		}
+		if !fc.isCut() {
+			t.Fatalf("cut at +%d bytes: fault did not trigger (frame smaller than expected)", cutAt)
+		}
+		cl.Close()
+	}
+
+	// The server is still healthy: a clean client round-trips bit-identically.
+	in := kit.batches(t, 113, 1)
+	got, err := setup.Run("cut", info.ID, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.assertOracle(t, in, got)
+	setup.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosStalledClient: a client floods a large run and then never
+// reads its response; a healthy tenant keeps completing runs the whole
+// time, and closing the stalled connection cleans everything up.
+func TestChaosStalledClient(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0,
+		WithAdmissionWindow(1),
+		WithTenantPolicy("stall", TenantPolicy{MaxInFlight: 1, MaxQueued: 4096}))
+	stalled, fc := dialChaos(t, addr)
+	kit := newChaosKit(t, stalled.Params(), 121)
+	if err := stalled.Register("stall", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := stalled.Compile("stall", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire a 256-batch run and go silent: the request lands and
+	// executes, but the response is never read — everything the server
+	// writes backs up into the socket.
+	in := kit.batches(t, 122, 256)
+	if err := writeFrame(stalled.bw, reqRun, encodeLegacyRun(t, "stall", info.ID, in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stalled.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy tenant is admitted and completes throughout the stall.
+	healthy, _ := dialChaos(t, addr)
+	defer healthy.Close()
+	hkit := newChaosKit(t, healthy.Params(), 123)
+	if err := healthy.Register("healthy", hkit.evk); err != nil {
+		t.Fatal(err)
+	}
+	hinfo, err := healthy.Compile("healthy", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		hin := hkit.batches(t, int64(124+round), 2)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		got, err := healthy.RunContext(ctx, "healthy", hinfo.ID, hin)
+		cancel()
+		if err != nil {
+			t.Fatalf("healthy tenant blocked behind a stalled one (round %d): %v", round, err)
+		}
+		hkit.assertOracle(t, hin, got)
+	}
+
+	// Tear the stalled client down; its handler unwedges and the audit
+	// must find nothing pinned.
+	fc.Conn.Close()
+	healthy.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosDrainMidBatch: Shutdown arrives while a multi-batch run is
+// executing. The in-flight run completes bit-identically, new work is
+// rejected with ErrServerDraining, and the drain finishes inside its
+// deadline.
+func TestChaosDrainMidBatch(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 30*time.Millisecond, WithAdmissionWindow(1))
+	cl, _ := dialChaos(t, addr)
+	defer cl.Close()
+	late, _ := dialChaos(t, addr) // connected before the drain begins
+	defer late.Close()
+	kit := newChaosKit(t, cl.Params(), 131)
+	if err := cl.Register("drain", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("drain", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := kit.batches(t, 132, 4) // ≥120ms of injected run time
+	type runResult struct {
+		out []map[string]*heax.Ciphertext
+		err error
+	}
+	resCh := make(chan runResult, 1)
+	go func() {
+		out, err := cl.Run("drain", info.ID, in)
+		resCh <- runResult{out, err}
+	}()
+	// Wait until the run is admitted, then start draining.
+	for {
+		srv.adm.mu.Lock()
+		busy := srv.adm.inFlightTotal > 0
+		srv.adm.mu.Unlock()
+		if busy {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutErr <- srv.Shutdown(ctx)
+	}()
+	// New work during the drain is rejected with the typed sentinel.
+	for {
+		srv.mu.Lock()
+		draining := srv.draining
+		srv.mu.Unlock()
+		if draining {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := late.Run("drain", info.ID, kit.batches(t, 133, 1)); !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("run during drain must be ErrServerDraining, got %v", err)
+	}
+	if _, err := late.Compile("drain", chaosCircuit()); !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("compile during drain must be ErrServerDraining, got %v", err)
+	}
+
+	// The in-flight run drained to completion, bit-identical.
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight run must survive a graceful drain, got %v", res.err)
+	}
+	kit.assertOracle(t, in, res.out)
+	if err := <-shutErr; err != nil {
+		t.Fatalf("drain missed its deadline: %v", err)
+	}
+	// Audit directly: runs settled, registry clean (server is closed,
+	// but registry/cache state must still be releasable).
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosRetryDedup: the response is cut mid-frame after the server
+// executed the run; the client's idempotent retry reconnects, re-sends
+// the same request id, and is answered from the dedup cache — the run
+// executes exactly once, and the retried result is bit-identical.
+func TestChaosRetryDedup(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	cl, err := Dial(addr, WithRetry(3, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 141)
+	if err := cl.Register("retry", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("retry", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the healthy connection for one that loses the response
+	// mid-frame: allow the request out, then cut after 32 response bytes.
+	fc := newFaultConn(cl.conn)
+	fc.cutAfterRead = 32
+	cl.conn = fc
+	cl.br = bufio.NewReaderSize(fc, 64<<10)
+	cl.bw = bufio.NewWriterSize(fc, 64<<10)
+
+	in := kit.batches(t, 142, 2)
+	got, err := cl.Run("retry", info.ID, in)
+	if err != nil {
+		t.Fatalf("retry after a cut response must succeed, got %v", err)
+	}
+	kit.assertOracle(t, in, got)
+	if n := srv.completedRuns.Load(); n != 2 { // 2 input sets, once each
+		t.Fatalf("run executed %d input sets, want 2 — the retry double-executed", n)
+	}
+	if n := srv.dedupHits.Load(); n != 1 {
+		t.Fatalf("dedup hits = %d, want 1 (the retry must be answered from cache)", n)
+	}
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosRetryRequestCut: the cut eats the request itself (the
+// server never saw it); the retry reconnects and the run executes
+// exactly once — on the retry.
+func TestChaosRetryRequestCut(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	cl, err := Dial(addr, WithRetry(3, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 151)
+	if err := cl.Register("retry2", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("retry2", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFaultConn(cl.conn)
+	fc.cutAfterWrite = 40 // inside the Run request frame
+	cl.conn = fc
+	cl.br = bufio.NewReaderSize(fc, 64<<10)
+	cl.bw = bufio.NewWriterSize(fc, 64<<10)
+
+	in := kit.batches(t, 152, 1)
+	got, err := cl.Run("retry2", info.ID, in)
+	if err != nil {
+		t.Fatalf("retry after a cut request must succeed, got %v", err)
+	}
+	kit.assertOracle(t, in, got)
+	if n := srv.completedRuns.Load(); n != 1 {
+		t.Fatalf("run executed %d input sets, want 1", n)
+	}
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosDeadlineShedFast: under a saturated queue with a seeded
+// run-time estimate, an unmeetable deadline is rejected typed and
+// immediately — long before the backlog could drain.
+func TestChaosDeadlineShedFast(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 100*time.Millisecond,
+		WithAdmissionWindow(1),
+		WithDefaultTenantPolicy(TenantPolicy{MaxQueued: 1024}))
+	cl, _ := dialChaos(t, addr)
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 161)
+	if err := cl.Register("shed", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("shed", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the estimator: one completed run ≈ 100ms.
+	seed := kit.batches(t, 162, 1)
+	if _, err := cl.Run("shed", info.ID, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a backlog of ~6 queued input sets on separate connections.
+	// (Inputs are encrypted up front: the encryptor's PRNG is not safe
+	// for concurrent use.)
+	shedIn := kit.batches(t, 169, 1)
+	var floodWG sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		fcl, _ := dialChaos(t, addr)
+		defer fcl.Close()
+		in := kit.batches(t, int64(163+i), 1)
+		floodWG.Add(1)
+		go func(c *Client) {
+			defer floodWG.Done()
+			c.Run("shed", info.ID, in)
+		}(fcl)
+	}
+	for {
+		srv.adm.mu.Lock()
+		deep := srv.adm.queuedTotal >= 4
+		srv.adm.mu.Unlock()
+		if deep {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ~600ms of backlog ahead; a 50ms budget is hopeless and must be
+	// shed in O(ms), not queued until it times out.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err = cl.RunContext(ctx, "shed", info.ID, shedIn)
+	cancel()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("unmeetable deadline must be ErrDeadlineExceeded, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("shed took %v: the request queued instead of being rejected up front", elapsed)
+	}
+	if shed := srv.Stats().ShedRuns; shed < 1 {
+		t.Fatalf("ShedRuns = %d, want ≥1", shed)
+	}
+	floodWG.Wait()
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosMidRunDeadline: a deadline that expires while the plan is
+// executing aborts the run with the typed wire error (not a hang, not
+// an untyped cancel).
+func TestChaosMidRunDeadline(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 80*time.Millisecond)
+	cl, _ := dialChaos(t, addr)
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 171)
+	if err := cl.Register("midrun", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("midrun", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err = cl.RunContext(ctx, "midrun", info.ID, kit.batches(t, 172, 1))
+	if !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-run expiry must surface as a deadline error, got %v", err)
+	}
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosLegacyRunFrame: the original reqRun layout (no request id,
+// no deadline) still round-trips bit-identically — protocol revision 2
+// is backward compatible.
+func TestChaosLegacyRunFrame(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	cl, _ := dialChaos(t, addr)
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 181)
+	if err := cl.Register("legacy", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Compile("legacy", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kit.batches(t, 182, 2)
+	resp, err := cl.roundTrip(context.Background(), reqRun, encodeLegacyRun(t, "legacy", info.ID, in), respBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.parseRunResponse(resp, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.assertOracle(t, in, got)
+	cl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestChaosWeightedFairWire: two tenants at weights 2:1 flood a
+// one-executor server; sampled mid-saturation, the heavy tenant leads
+// ~2:1 and the light one is never starved; both drain fully.
+func TestChaosWeightedFairWire(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 2*time.Millisecond,
+		WithAdmissionWindow(1),
+		WithTenantPolicy("heavy", TenantPolicy{Weight: 2, MaxQueued: 1024}),
+		WithTenantPolicy("light", TenantPolicy{Weight: 1, MaxQueued: 1024}))
+	reg, _ := dialChaos(t, addr)
+	defer reg.Close()
+	params := reg.Params()
+	kits := map[string]*chaosKit{
+		"heavy": newChaosKit(t, params, 191),
+		"light": newChaosKit(t, params, 192),
+	}
+	infos := map[string]PlanInfo{}
+	for name, kit := range kits {
+		if err := reg.Register(name, kit.evk); err != nil {
+			t.Fatal(err)
+		}
+		info, err := reg.Compile(name, chaosCircuit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos[name] = info
+	}
+
+	// Encrypt every round's inputs up front (the encryptor's PRNG is
+	// not safe for concurrent use), then flood from 3 connections per
+	// tenant simultaneously.
+	const conns, rounds = 3, 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for name := range kits {
+		for c := 0; c < conns; c++ {
+			cl, _ := dialChaos(t, addr)
+			defer cl.Close()
+			work := make([][]map[string]*heax.Ciphertext, rounds)
+			for r := 0; r < rounds; r++ {
+				work[r] = kits[name].batches(t, int64(200+c*10+r), 1)
+			}
+			wg.Add(1)
+			go func(cl *Client, name string, work [][]map[string]*heax.Ciphertext) {
+				defer wg.Done()
+				<-start
+				for _, in := range work {
+					if _, err := cl.Run(name, infos[name].ID, in); err != nil {
+						t.Errorf("%s: %v", name, err)
+						return
+					}
+				}
+			}(cl, name, work)
+		}
+	}
+	close(start)
+
+	// Sample mid-saturation: after half the work completes, the heavy
+	// tenant must lead and the light tenant must be making progress.
+	total := int64(2 * conns * rounds)
+	for {
+		done := srv.adm.tenantCompleted("heavy") + srv.adm.tenantCompleted("light")
+		if done >= total/2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	heavy, light := srv.adm.tenantCompleted("heavy"), srv.adm.tenantCompleted("light")
+	if light < 2 {
+		t.Fatalf("light tenant starved: %d completions while heavy has %d", light, heavy)
+	}
+	if heavy <= light {
+		t.Fatalf("weights not honored at saturation: heavy=%d light=%d", heavy, light)
+	}
+	wg.Wait()
+	if h, l := srv.adm.tenantCompleted("heavy"), srv.adm.tenantCompleted("light"); h != conns*rounds || l != conns*rounds {
+		t.Fatalf("drain incomplete: heavy=%d light=%d, want %d each", h, l, conns*rounds)
+	}
+	reg.Close()
+	auditZeroLeak(t, srv)
+}
+
+// FuzzParseRunRequest: both revisions of the Run frame must reject
+// malformed payloads with errors wrapping heax.ErrCorrupt — never a
+// panic, hang, or oversized allocation.
+func FuzzParseRunRequest(f *testing.F) {
+	params := heax.MustParams(chaosSpec)
+	s, err := NewServer(params, WithAdmissionWindow(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	kit := newChaosKit(f, params, 201)
+	enc := kit.batches(f, 202, 1)
+	var buf bytes.Buffer
+	if err := heax.WriteCiphertextBatch(&buf, enc[0]); err != nil {
+		f.Fatal(err)
+	}
+	var pw payloadWriter
+	pw.str("t")
+	pw.bytes(make([]byte, len(PlanID{})))
+	pw.bytes(make([]byte, len(requestID{})))
+	pw.u64(1_000_000)
+	pw.u32(1)
+	pw.blob(buf.Bytes())
+	f.Add(pw.buf, false)
+	f.Add(pw.buf[:len(pw.buf)/2], false)
+	f.Add(pw.buf, true)
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, data []byte, legacy bool) {
+		req, err := s.parseRunRequest(data, legacy)
+		if err != nil {
+			if !errors.Is(err, heax.ErrCorrupt) {
+				t.Fatalf("malformed run request must wrap ErrCorrupt, got %v", err)
+			}
+			return
+		}
+		if len(req.batches) > 1<<20 {
+			t.Fatalf("parser over-allocated %d batches", len(req.batches))
+		}
+	})
+}

@@ -5,29 +5,41 @@
 // and then stream ciphertext batches through those plans over a
 // framed TCP protocol.
 //
-// The server is built from four pieces:
+// The server is built from five pieces:
 //
 //   - a tenant key registry (registry.go): uploaded EvaluationKeySets
 //     with ref-counted eviction, so unregistering a tenant never pulls
 //     keys out from under a cached plan or an in-flight request;
 //   - an LRU-bounded plan cache (cache.go) keyed by (tenant, digest of
 //     the canonicalized circuit DAG) — compile once, run many, shared
-//     across connections of the same tenant;
-//   - a global admission window (server.go): a fixed pool of executor
-//     workers drains per-request run jobs in FIFO order, so concurrent
-//     tenants share the worker pool fairly instead of the first big
-//     batch monopolizing it;
+//     across connections of the same tenant — each plan carrying an
+//     EWMA estimate of its per-input-set run time;
+//   - weighted-fair admission (admission.go): per-tenant bounded queues
+//     drained by a fixed executor pool under stride scheduling, so a
+//     TenantPolicy weight buys a proportional share under saturation
+//     and an idle tenant's first job dispatches promptly. Overflowing
+//     a queue sheds with ErrOverloaded; a client deadline the backlog
+//     cannot meet sheds with ErrDeadlineExceeded before queuing;
+//   - a retry-dedup cache (dedup.go): runs carry an optional client
+//     request id, and a retry of a completed run replays the cached
+//     response instead of executing twice;
 //   - a framed, length-checked protocol (protocol.go) whose payloads
 //     are the internal/ckks stream codecs; malformed frames fail with
 //     heax.ErrCorrupt and oversized frames are rejected before
 //     allocation.
 //
-// A run in flight is bound to its connection: when the client
-// disconnects, the connection's context is cancelled and the plan
-// executor abandons the remaining steps (Plan.RunContext), returning
-// every pooled buffer.
+// A run in flight is bound to its connection and its deadline: when
+// the client disconnects or the propagated budget expires, the run's
+// context is cancelled and the plan executor abandons the remaining
+// steps (Plan.RunContext), returning every pooled buffer.
 //
-// Client is the matching client-side handle; cmd/heax-serve wraps
-// Server in a daemon and examples/client demonstrates the full
-// register → compile → stream flow against the in-process oracle.
+// Server.Shutdown drains gracefully: listeners close, new work is
+// refused with ErrServerDraining, and in-flight runs finish and flush
+// their responses before the server stops.
+//
+// Client is the matching client-side handle — Dial/DialContext with
+// per-call deadlines and opt-in idempotent retry (WithRetry);
+// cmd/heax-serve wraps Server in a daemon and examples/client
+// demonstrates the full register → compile → stream flow against the
+// in-process oracle.
 package serve

@@ -11,6 +11,7 @@ package serve
 // heax.ErrCorrupt.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -33,6 +34,12 @@ const (
 	reqUnregister byte = 0x03
 	reqCompile    byte = 0x04
 	reqRun        byte = 0x05
+	// reqRunEx is the extended Run request (protocol revision 2): the
+	// legacy fields plus a 16-byte client request id (zero = none) and a
+	// u64 deadline budget in microseconds (0 = none). Servers keep
+	// accepting the legacy reqRun, so old clients interoperate; new
+	// clients always send reqRunEx.
+	reqRunEx byte = 0x06
 
 	respOK      byte = 0x80
 	respParams  byte = 0x81
@@ -52,6 +59,9 @@ const (
 	codeKeyMissing
 	codeCompile
 	codeCanceled
+	codeOverloaded
+	codeDeadline
+	codeDraining
 )
 
 // Sentinel errors of the serving layer; wire errors arriving at the
@@ -69,12 +79,31 @@ var (
 	ErrUnknownPlan = errors.New("serve: unknown plan")
 	// ErrServerClosed: the server is shutting down.
 	ErrServerClosed = errors.New("serve: server closed")
+	// ErrServerDraining: the server is gracefully draining
+	// (Server.Shutdown); in-flight runs finish, but new work is
+	// rejected. Retry against another replica.
+	ErrServerDraining = errors.New("serve: server draining")
+	// ErrOverloaded: the tenant's bounded admission queue is full. The
+	// request was rejected immediately instead of queuing; back off and
+	// retry (Client retry with WithRetry does this automatically).
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDeadlineExceeded: the request's deadline budget cannot be met —
+	// either the admission estimator predicted the queue would eat the
+	// budget (rejected in O(ms), before any work), or the deadline
+	// expired mid-run. Not retryable without a larger budget.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
 )
 
 func errToCode(err error) (byte, string) {
 	switch {
 	case errors.Is(err, heax.ErrCorrupt):
 		return codeCorrupt, err.Error()
+	case errors.Is(err, ErrOverloaded):
+		return codeOverloaded, err.Error()
+	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return codeDeadline, err.Error()
+	case errors.Is(err, ErrServerDraining):
+		return codeDraining, err.Error()
 	case errors.Is(err, ErrUnknownTenant):
 		return codeUnknownTenant, err.Error()
 	case errors.Is(err, ErrTenantExists):
@@ -110,6 +139,12 @@ func codeToErr(code byte, msg string) error {
 		return fmt.Errorf("serve: remote: %s: %w", msg, errCompile)
 	case codeCanceled:
 		return fmt.Errorf("serve: remote: %s: request canceled", msg)
+	case codeOverloaded:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrOverloaded)
+	case codeDeadline:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrDeadlineExceeded)
+	case codeDraining:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrServerDraining)
 	default:
 		return fmt.Errorf("serve: remote: %s", msg)
 	}
@@ -174,6 +209,10 @@ func (p *payloadWriter) u32(v uint32) {
 	p.buf = binary.LittleEndian.AppendUint32(p.buf, v)
 }
 
+func (p *payloadWriter) u64(v uint64) {
+	p.buf = binary.LittleEndian.AppendUint64(p.buf, v)
+}
+
 func (p *payloadWriter) bytes(b []byte) {
 	p.buf = append(p.buf, b...)
 }
@@ -208,6 +247,15 @@ func (p *payloadReader) u32(what string) (uint32, error) {
 	}
 	v := binary.LittleEndian.Uint32(p.buf[p.off:])
 	p.off += 4
+	return v, nil
+}
+
+func (p *payloadReader) u64(what string) (uint64, error) {
+	if p.remaining() < 8 {
+		return 0, fmt.Errorf("serve: truncated %s: %w", what, heax.ErrCorrupt)
+	}
+	v := binary.LittleEndian.Uint64(p.buf[p.off:])
+	p.off += 8
 	return v, nil
 }
 

@@ -26,29 +26,42 @@ type Server struct {
 	cache      *planCache
 	opts       serverOptions
 
-	// jobs is the global admission window: len(executor pool) workers
-	// drain it in FIFO order, so concurrent tenants' input sets
-	// interleave instead of the first large batch monopolizing the
-	// evaluator worker pool.
-	jobs   chan runJob
+	// adm is the weighted-fair admission layer (admission.go): one
+	// bounded queue per tenant, stride-scheduled dispatch, deadline
+	// shedding. len(executor pool) workers drain it.
+	adm    *admitter
+	dedup  *dedupCache
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
 	conns     map[net.Conn]bool
+	draining  bool
 	closed    bool
 
 	connWG sync.WaitGroup
 	execWG sync.WaitGroup
+	// runWG tracks every accepted Run request from admission through
+	// response flush; Shutdown drains it before closing connections.
+	runWG sync.WaitGroup
 
-	canceledRuns atomic.Int64
+	canceledRuns  atomic.Int64
+	completedRuns atomic.Int64
+	dedupHits     atomic.Int64
+
+	// testRunDelay stretches every executed run (set by tests before
+	// Serve to saturate the admission layer deterministically).
+	testRunDelay time.Duration
 }
 
 type serverOptions struct {
 	cacheCap    int
 	admission   int
 	maxFrame    int
+	dedupCap    int
+	defPolicy   TenantPolicy
+	policies    map[string]TenantPolicy
 	compileOpts []heax.CompileOption
 }
 
@@ -91,6 +104,38 @@ func WithCompileOptions(opts ...heax.CompileOption) Option {
 	return func(o *serverOptions) { o.compileOpts = append(o.compileOpts, opts...) }
 }
 
+// WithTenantPolicy pins one tenant's admission policy (weight,
+// in-flight cap, queue bound); zero fields inherit the defaults set by
+// WithDefaultTenantPolicy. Tenants without a pinned policy get the
+// defaults.
+func WithTenantPolicy(name string, p TenantPolicy) Option {
+	return func(o *serverOptions) {
+		if o.policies == nil {
+			o.policies = make(map[string]TenantPolicy)
+		}
+		o.policies[name] = p
+	}
+}
+
+// WithDefaultTenantPolicy sets the admission policy applied to every
+// tenant without a WithTenantPolicy pin (defaults: weight 1, no
+// in-flight cap, DefaultTenantQueue queued input sets).
+func WithDefaultTenantPolicy(p TenantPolicy) Option {
+	return func(o *serverOptions) { o.defPolicy = p }
+}
+
+// WithDedupCapacity bounds the retry dedup cache: how many completed
+// Run responses are retained by request id so an idempotent client
+// retry is answered from cache instead of re-executed (default 256).
+func WithDedupCapacity(n int) Option {
+	return func(o *serverOptions) {
+		if n < 1 {
+			n = 1
+		}
+		o.dedupCap = n
+	}
+}
+
 // NewServer builds a server for one parameter set and starts its
 // executor pool. Callers own the listeners: combine with Serve, and
 // Close to shut down.
@@ -102,6 +147,7 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 		cacheCap:  64,
 		admission: runtime.GOMAXPROCS(0),
 		maxFrame:  DefaultMaxFrame,
+		dedupCap:  256,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -117,7 +163,8 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 		reg:        newRegistry(),
 		cache:      newPlanCache(o.cacheCap),
 		opts:       o,
-		jobs:       make(chan runJob),
+		adm:        newAdmitter(o.admission, o.defPolicy, o.policies),
+		dedup:      newDedupCache(o.dedupCap),
 		ctx:        ctx,
 		cancel:     cancel,
 		listeners:  make(map[net.Listener]bool),
@@ -133,7 +180,7 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 // runJob is one input set bound for one plan — the unit of admission.
 type runJob struct {
 	ctx  context.Context
-	plan *heax.Plan
+	cp   *cachedPlan
 	in   map[string]*heax.Ciphertext
 	idx  int
 	out  []map[string]*heax.Ciphertext
@@ -143,26 +190,41 @@ type runJob struct {
 
 func (s *Server) executor() {
 	defer s.execWG.Done()
-	for job := range s.jobs {
+	for {
+		job, tq, ok := s.adm.next()
+		if !ok {
+			return
+		}
 		if err := job.ctx.Err(); err != nil {
+			// Expired or cancelled while queued: surface the typed error
+			// without burning executor time.
 			job.errs[job.idx] = err
 			s.canceledRuns.Add(1)
 		} else {
-			job.out[job.idx], job.errs[job.idx] = job.plan.RunContext(job.ctx, job.in)
-			if job.errs[job.idx] != nil && errors.Is(job.errs[job.idx], context.Canceled) {
+			start := time.Now()
+			if d := s.testRunDelay; d > 0 {
+				time.Sleep(d)
+			}
+			job.out[job.idx], job.errs[job.idx] = job.cp.plan.RunContext(job.ctx, job.in)
+			if job.errs[job.idx] == nil {
+				job.cp.observe(time.Since(start))
+				s.completedRuns.Add(1)
+			} else if errors.Is(job.errs[job.idx], context.Canceled) {
 				s.canceledRuns.Add(1)
 			}
 		}
+		s.adm.done(tq)
 		job.wg.Done()
 	}
 }
 
-// Serve accepts connections on ln until Close (or a listener error)
-// and handles each on its own goroutine. It always returns a non-nil
-// error; after Close, the error is ErrServerClosed.
+// Serve accepts connections on ln until Close or Shutdown (or a
+// listener error) and handles each on its own goroutine. It always
+// returns a non-nil error; after Close or Shutdown it is
+// ErrServerClosed.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return ErrServerClosed
 	}
@@ -176,15 +238,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			select {
-			case <-s.ctx.Done():
+			s.mu.Lock()
+			stopping := s.closed || s.draining
+			s.mu.Unlock()
+			if stopping {
 				return ErrServerClosed
-			default:
-				return err
 			}
+			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return ErrServerClosed
@@ -208,8 +271,9 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Close shuts the server down: in-flight runs are cancelled, listeners
-// and connections closed, and the executor pool drained.
+// Close shuts the server down hard: in-flight runs are cancelled,
+// listeners and connections closed, and the executor pool drained.
+// For a graceful stop that lets in-flight runs finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -235,8 +299,76 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.connWG.Wait()
-	close(s.jobs)
+	s.adm.close()
 	s.execWG.Wait()
+	return nil
+}
+
+// Shutdown drains the server gracefully: listeners close and new work
+// (Run, Compile, Register) is rejected with ErrServerDraining, but
+// every run already admitted — executing or queued — finishes and its
+// response is flushed. When the drain completes (or ctx expires, or
+// ctx was already expired — the hard-stop degenerate case) the server
+// falls back to Close. Returns nil on a clean drain, ctx.Err() if the
+// deadline cut it short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.runWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.Close()
+	return err
+}
+
+// beginRun gates a Run request on the lifecycle: rejected with a typed
+// error while draining or closed, otherwise tracked until endRun so
+// Shutdown can wait for it (through response flush).
+func (s *Server) beginRun() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if s.draining {
+		return fmt.Errorf("%w: run rejected (in-flight runs are finishing)", ErrServerDraining)
+	}
+	s.runWG.Add(1)
+	return nil
+}
+
+func (s *Server) endRun() { s.runWG.Done() }
+
+// stopErr reports the lifecycle rejection for new non-Run work, or nil.
+func (s *Server) stopErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if s.draining {
+		return fmt.Errorf("%w: request rejected during graceful drain", ErrServerDraining)
+	}
 	return nil
 }
 
@@ -244,15 +376,29 @@ func (s *Server) Close() error {
 type Stats struct {
 	Tenants      int
 	CachedPlans  int
+	QueuedRuns   int
 	CanceledRuns int64
+	// CompletedRuns counts input sets executed to completion.
+	CompletedRuns int64
+	// ShedRuns counts requests rejected at admission (ErrOverloaded or
+	// deadline-infeasible ErrDeadlineExceeded) before any work ran.
+	ShedRuns int64
+	// DedupHits counts retried Runs answered from the dedup cache
+	// instead of re-executed.
+	DedupHits int64
 }
 
-// Stats snapshots registry and cache occupancy.
+// Stats snapshots registry, cache and admission occupancy.
 func (s *Server) Stats() Stats {
+	queued, shed := s.adm.snapshot()
 	return Stats{
-		Tenants:      s.reg.len(),
-		CachedPlans:  s.cache.len(),
-		CanceledRuns: s.canceledRuns.Load(),
+		Tenants:       s.reg.len(),
+		CachedPlans:   s.cache.len(),
+		QueuedRuns:    queued,
+		CanceledRuns:  s.canceledRuns.Load(),
+		CompletedRuns: s.completedRuns.Load(),
+		ShedRuns:      shed,
+		DedupHits:     s.dedupHits.Load(),
 	}
 }
 
@@ -287,15 +433,37 @@ func (s *Server) handleConn(conn net.Conn) {
 		case reqParams:
 			rtyp, rpayload = respParams, s.paramsBlob
 		case reqRegister:
-			rtyp, err = respOK, s.handleRegister(payload)
+			rtyp = respOK
+			if err = s.stopErr(); err == nil {
+				err = s.handleRegister(payload)
+			}
 		case reqUnregister:
+			// Allowed during drain: releasing keys is cleanup, not work.
 			rtyp, err = respOK, s.handleUnregister(payload)
 		case reqCompile:
 			rtyp = respPlan
-			rpayload, err = s.handleCompile(payload)
-		case reqRun:
-			rtyp = respBatches
-			rpayload, err = s.handleRun(ctx, cancel, conn, br, payload)
+			if err = s.stopErr(); err == nil {
+				rpayload, err = s.handleCompile(payload)
+			}
+		case reqRun, reqRunEx:
+			// The whole run — admission, execution, response flush — is
+			// tracked by runWG so a graceful drain never cuts a response
+			// mid-frame.
+			if err = s.beginRun(); err == nil {
+				rpayload, err = s.handleRun(ctx, cancel, conn, br, payload, typ == reqRun)
+				if err == nil {
+					werr := writeFrame(bw, respBatches, rpayload)
+					if werr == nil {
+						werr = bw.Flush()
+					}
+					s.endRun()
+					if werr != nil {
+						return
+					}
+					continue
+				}
+				s.endRun()
+			}
 		default:
 			err = fmt.Errorf("serve: unknown request type %#x: %w", typ, heax.ErrCorrupt)
 		}
@@ -316,7 +484,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 func (s *Server) writeErr(bw *bufio.Writer, err error) bool {
 	code, msg := errToCode(err)
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.Canceled) {
 		code = codeCanceled
 	}
 	var pw payloadWriter
@@ -357,15 +525,23 @@ func (s *Server) handleUnregister(payload []byte) error {
 	if err := pr.done("unregister request"); err != nil {
 		return err
 	}
+	return s.evictTenant(name)
+}
+
+// evictTenant unregisters a tenant and releases everything bound to
+// the registration: cached plans (each drops its key reference — the
+// keys retire when the last in-flight user finishes), admission-queue
+// state, and dedup entries (a request id must never resolve to a
+// result under retired keys after the name is re-registered).
+func (s *Server) evictTenant(name string) error {
 	if err := s.reg.unregister(name); err != nil {
 		return err
 	}
-	// Evicting the tenant drops its cached plans; each purged plan
-	// releases its key reference, and the keys retire when the last
-	// in-flight user finishes.
 	for _, cp := range s.cache.purgeTenant(name) {
 		s.reg.release(cp.tenant)
 	}
+	s.dedup.purgeTenant(name)
+	s.adm.dropIdle(name)
 	return nil
 }
 
@@ -446,23 +622,54 @@ func compileResponse(id PlanID, steps int, cached bool) []byte {
 	return pw.buf
 }
 
-func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, payload []byte) ([]byte, error) {
+// runRequest is one parsed Run request (legacy or extended frame).
+type runRequest struct {
+	tenant  string
+	id      PlanID
+	reqID   requestID     // zero = no retry dedup
+	budget  time.Duration // remaining deadline budget; 0 = none
+	batches []map[string]*heax.Ciphertext
+}
+
+// maxBudgetUS caps the wire deadline budget (~106 days in µs): larger
+// values are a corrupt frame, not a quiet Duration overflow.
+const maxBudgetUS = uint64(1) << 53
+
+// parseRunRequest decodes a Run payload. legacy selects the original
+// reqRun layout (no request id / deadline fields); malformed input of
+// either revision fails with an error wrapping heax.ErrCorrupt.
+func (s *Server) parseRunRequest(payload []byte, legacy bool) (*runRequest, error) {
 	pr := payloadReader{buf: payload}
 	name, err := pr.str("tenant name")
 	if err != nil {
 		return nil, err
 	}
+	req := &runRequest{tenant: name}
 	idBytes, err := pr.take(len(PlanID{}), "plan id")
 	if err != nil {
 		return nil, err
 	}
-	var id PlanID
-	copy(id[:], idBytes)
+	copy(req.id[:], idBytes)
+	if !legacy {
+		rid, err := pr.take(len(requestID{}), "request id")
+		if err != nil {
+			return nil, err
+		}
+		copy(req.reqID[:], rid)
+		budgetUS, err := pr.u64("deadline budget")
+		if err != nil {
+			return nil, err
+		}
+		if budgetUS > maxBudgetUS {
+			return nil, fmt.Errorf("serve: deadline budget %d µs out of range: %w", budgetUS, heax.ErrCorrupt)
+		}
+		req.budget = time.Duration(budgetUS) * time.Microsecond
+	}
 	n, err := pr.u32("batch count")
 	if err != nil {
 		return nil, err
 	}
-	batches := make([]map[string]*heax.Ciphertext, 0, min(int(n), 1024))
+	req.batches = make([]map[string]*heax.Ciphertext, 0, min(int(n), 1024))
 	for i := 0; i < int(n); i++ {
 		blob, err := pr.blob("ciphertext batch")
 		if err != nil {
@@ -472,12 +679,52 @@ func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn 
 		if err != nil {
 			return nil, err
 		}
-		batches = append(batches, batch)
+		req.batches = append(req.batches, batch)
 	}
 	if err := pr.done("run request"); err != nil {
 		return nil, err
 	}
-	cp, ok := s.cache.get(cacheKey{tenant: name, id: id})
+	return req, nil
+}
+
+func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, payload []byte, legacy bool) ([]byte, error) {
+	req, err := s.parseRunRequest(payload, legacy)
+	if err != nil {
+		return nil, err
+	}
+	if req.reqID == (requestID{}) {
+		return s.executeRun(ctx, cancel, conn, br, req)
+	}
+	// Idempotent retry: the request id keys a dedup entry. The first
+	// arrival owns the execution; a retry joins it (the original may
+	// still be computing after a dropped connection) or is answered
+	// from the cached response — never executed a second time. An
+	// attempt that failed (cancelled mid-run, shed, ...) is not cached,
+	// so the retry re-claims and re-executes.
+	key := dedupKey{tenant: req.tenant, id: req.reqID}
+	for {
+		e, owner := s.dedup.claim(key)
+		if owner {
+			resp, err := s.executeRun(ctx, cancel, conn, br, req)
+			s.dedup.complete(e, resp, err)
+			return resp, err
+		}
+		select {
+		case <-e.done:
+			if e.err != nil {
+				s.dedup.drop(e)
+				continue
+			}
+			s.dedupHits.Add(1)
+			return e.resp, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (s *Server) executeRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, req *runRequest) ([]byte, error) {
+	cp, ok := s.cache.get(cacheKey{tenant: req.tenant, id: req.id})
 	if ok && !s.reg.live(cp.tenant) {
 		// Stale entry from an evicted (possibly re-registered) tenant:
 		// never serve it — a fresh registration under the same name
@@ -488,14 +735,22 @@ func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn 
 		ok = false
 	}
 	if !ok {
-		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, name, id[:4])
+		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, req.tenant, req.id[:4])
 	}
 	// Hold a key reference for the whole run, so an eviction mid-run
 	// can purge the cache but never retire the keys under us.
 	if !s.reg.retain(cp.tenant) {
-		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, name, id[:4])
+		return nil, fmt.Errorf("%w: tenant %q plan %x (compile it first)", ErrUnknownPlan, req.tenant, req.id[:4])
 	}
 	defer s.reg.release(cp.tenant)
+
+	// The client's deadline budget propagates into every job context,
+	// so a mid-run expiry aborts the plan executor with a typed error.
+	if req.budget > 0 {
+		var cancelBudget context.CancelFunc
+		ctx, cancelBudget = context.WithTimeout(ctx, req.budget)
+		defer cancelBudget()
+	}
 
 	// While the executors stream this request, watch the socket: a
 	// vanished client cancels the connection context and the plan
@@ -503,22 +758,27 @@ func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn 
 	stopWatch := watchDisconnect(conn, br, cancel)
 	defer stopWatch()
 
-	out := make([]map[string]*heax.Ciphertext, len(batches))
-	errs := make([]error, len(batches))
+	out := make([]map[string]*heax.Ciphertext, len(req.batches))
+	errs := make([]error, len(req.batches))
 	var wg sync.WaitGroup
-	for i, in := range batches {
-		job := runJob{ctx: ctx, plan: cp.plan, in: in, idx: i, out: out, errs: errs, wg: &wg}
-		wg.Add(1)
-		select {
-		case s.jobs <- job:
-		case <-ctx.Done():
-			wg.Done()
-			errs[i] = ctx.Err()
-		}
+	jobs := make([]*runJob, len(req.batches))
+	for i, in := range req.batches {
+		jobs[i] = &runJob{ctx: ctx, cp: cp, in: in, idx: i, out: out, errs: errs, wg: &wg}
+	}
+	wg.Add(len(jobs))
+	// All-or-nothing admission: a full tenant queue or an unmeetable
+	// deadline rejects the whole request here, in O(ms), instead of
+	// blocking or timing out mid-run.
+	if err := s.adm.submit(req.tenant, jobs, req.budget, cp.estNS.Load()); err != nil {
+		wg.Add(-len(jobs))
+		return nil, err
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+			}
 			return nil, fmt.Errorf("serve: batch %d: %w", i, err)
 		}
 	}
