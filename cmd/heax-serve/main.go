@@ -13,12 +13,25 @@
 //	           [-max-frame-mb 1024] [-plan-workers 0] [-drain 30s]
 //	           [-tenant-weights alice=3,bob=1] [-tenant-queue 64]
 //	           [-tenant-inflight 0] [-dedup 256]
+//	           [-state-dir DIR] [-fsync always] [-max-tenant-bytes 0]
+//	           [-version]
 //
 // -params picks the paper's Table 2 parameter set (A, B or C) — one
 // set per daemon, like one synthesized accelerator. -admission 0 means
 // GOMAXPROCS concurrent input sets; -plan-workers 0 leaves each plan's
 // row-level fan-out at the evaluator default. See examples/client for
 // the matching client flow.
+//
+// -state-dir makes tenant registrations durable: every register and
+// unregister is appended to a checksummed write-ahead log (snapshotted
+// and compacted automatically) before it is acknowledged, and on
+// startup the daemon replays the log so tenants resume without
+// re-uploading evaluation keys — even after a kill -9. -fsync picks
+// the durability/latency trade-off (always: fsync every record, a
+// crash loses nothing acknowledged; never: leave flushing to the OS).
+// -max-tenant-bytes caps each tenant's server memory (key bytes plus
+// the working set of queued and executing runs); excess work is shed
+// with a typed resource-exhausted error before allocation.
 //
 // On SIGTERM the daemon drains gracefully: listeners close, in-flight
 // runs finish and flush their responses, new work is refused with the
@@ -35,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,7 +56,30 @@ import (
 
 	"heax"
 	"heax/serve"
+	"heax/serve/durable"
 )
+
+// version reports the module version and VCS revision baked into the
+// binary by the Go toolchain (no build-time ldflags needed).
+func version() string {
+	mod, rev, dirty := "(devel)", "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			mod = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("heax-serve %s (revision %s%s, %s)", mod, rev, dirty, runtime.Version())
+}
 
 // parseTenantWeights parses "name=weight,name=weight" into per-tenant
 // admission policies.
@@ -79,7 +116,16 @@ func main() {
 	tenantQueue := flag.Int("tenant-queue", serve.DefaultTenantQueue, "queued input sets allowed per tenant before shedding")
 	tenantInflight := flag.Int("tenant-inflight", 0, "concurrent input sets per tenant (0 = no per-tenant cap)")
 	dedup := flag.Int("dedup", 256, "retry-dedup cache capacity (completed responses kept per request id)")
+	stateDir := flag.String("state-dir", "", "directory for durable tenant state (empty = in-memory only; registrations do not survive restart)")
+	fsyncMode := flag.String("fsync", "always", "tenant-log fsync policy: always (crash-safe per record) or never (leave flushing to the OS)")
+	maxTenantBytes := flag.Int64("max-tenant-bytes", 0, "per-tenant memory budget in bytes: keys + live run working set (0 = unlimited)")
+	showVersion := flag.Bool("version", false, "print version and revision, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version())
+		return
+	}
 
 	var spec heax.ParamSpec
 	switch strings.ToUpper(*paramSet) {
@@ -104,8 +150,30 @@ func main() {
 			Weight:      1,
 			MaxQueued:   *tenantQueue,
 			MaxInFlight: *tenantInflight,
+			MaxBytes:    *maxTenantBytes,
 		}),
 		serve.WithDedupCapacity(*dedup),
+	}
+
+	var store *durable.Store
+	if *stateDir != "" {
+		var fsync durable.FsyncPolicy
+		switch *fsyncMode {
+		case "always":
+			fsync = durable.FsyncAlways
+		case "never":
+			fsync = durable.FsyncNever
+		default:
+			log.Fatalf("unknown -fsync mode %q (want always or never)", *fsyncMode)
+		}
+		store, err = durable.Open(*stateDir, durable.Options{Fsync: fsync})
+		if err != nil {
+			log.Fatalf("opening durable state in %s: %v", *stateDir, err)
+		}
+		if n := store.DroppedTailBytes(); n > 0 {
+			log.Printf("recovered from a torn tenant log: dropped %d unsynced trailing bytes", n)
+		}
+		opts = append(opts, serve.WithTenantLog(store))
 	}
 	window := *admission
 	if window <= 0 {
@@ -127,10 +195,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if store != nil {
+		tenants := store.Tenants()
+		for _, t := range tenants {
+			if err := srv.RestoreTenant(t.Name, t.Keys); err != nil {
+				log.Fatalf("restoring tenant %q from %s: %v", t.Name, *stateDir, err)
+			}
+		}
+		if len(tenants) > 0 {
+			log.Printf("restored %d tenant(s) from %s (no key re-upload needed)", len(tenants), *stateDir)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("%s", version())
 	log.Printf("%s on %s (LogN=%d, k=%d primes, %d slots); cache=%d plans, admission=%d, drain=%v",
 		spec.Name, ln.Addr(), params.LogN, params.K(), params.Slots(), *cache, window, *drain)
 
@@ -163,5 +243,13 @@ func main() {
 	if err := srv.Serve(ln); err != serve.ErrServerClosed {
 		log.Fatal(err)
 	}
-	os.Exit(<-exited)
+	code := <-exited
+	// os.Exit skips defers; close the store explicitly so the final WAL
+	// records hit disk even under -fsync never.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("closing durable state: %v", err)
+		}
+	}
+	os.Exit(code)
 }

@@ -1,6 +1,10 @@
 package heax
 
-import "heax/internal/ckks"
+import (
+	"errors"
+
+	"heax/internal/ckks"
+)
 
 // Sentinel errors. Every error the evaluation and serialization APIs
 // return wraps exactly one of these; branch with errors.Is rather than
@@ -23,4 +27,10 @@ var (
 	ErrKeyMissing = ckks.ErrKeyMissing
 	// ErrCorrupt: a serialized blob failed structural validation.
 	ErrCorrupt = ckks.ErrCorrupt
+	// ErrInternal: an invariant the library owns was violated — most
+	// notably a kernel panic recovered by the plan executor. The
+	// operation that hit it fails with this typed error; concurrent
+	// runs and the process keep going (crash-only serving depends on a
+	// panic poisoning one request, not the daemon).
+	ErrInternal = errors.New("heax: internal error")
 )

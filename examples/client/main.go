@@ -35,6 +35,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("client: ")
 	addr := flag.String("addr", "", "heax-serve address (empty: start an in-process server)")
+	skipRegister := flag.Bool("skip-register", false, "do not upload evaluation keys (tenant \"demo\" is already registered, e.g. restored from a -state-dir after a restart)")
+	keepTenant := flag.Bool("keep-tenant", false, "leave tenant \"demo\" registered on exit (so a daemon with -state-dir can restore it later)")
 	flag.Parse()
 
 	target := *addr
@@ -78,10 +80,18 @@ func main() {
 	encryptor := heax.NewEncryptor(params, pk, 2)
 	decryptor := heax.NewDecryptor(params, sk)
 
-	if err := cl.Register("demo", evk); err != nil {
-		log.Fatal(err)
+	// All key material is derived from fixed seeds, so a client started
+	// with -skip-register regenerates byte-identical keys to the ones a
+	// previous invocation uploaded — which is what lets a daemon restart
+	// with -state-dir serve this client with no re-registration at all.
+	if *skipRegister {
+		fmt.Println("skipping registration: tenant \"demo\" must already be live (e.g. restored from durable state)")
+	} else {
+		if err := cl.Register("demo", evk); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("registered tenant \"demo\" (uploaded relinearization + 7 rotation keys)")
 	}
-	fmt.Println("registered tenant \"demo\" (uploaded relinearization + 7 rotation keys)")
 
 	// The matvec circuit by the diagonal method (see examples/matvec).
 	rng := rand.New(rand.NewSource(4))
@@ -178,6 +188,10 @@ func main() {
 	fmt.Printf("bit-identical to the in-process Plan.RunBatch oracle: %v\n", identical)
 	if !identical {
 		log.Fatal("wire results diverged from the in-process oracle")
+	}
+	if *keepTenant {
+		fmt.Println("tenant left registered; done")
+		return
 	}
 	if err := cl.Unregister("demo"); err != nil {
 		log.Fatal(err)

@@ -453,12 +453,43 @@ func (p *Plan) exec(idx int, st *planStep, in []*Ciphertext, slots []runSlot) er
 			outs[i] = p.bufs.get()
 		}
 	}
+	err := p.execKernel(idx, st, in, outs)
+	if err != nil {
+		// A failed step owns its drawn buffers and must return every one
+		// exactly once, publishing no ciphertext: dependents observe
+		// ct == nil and their refcount release skips the pool, so the
+		// buffers cannot come back a second time.
+		for i, o := range st.outs {
+			if !p.escapes[o] {
+				p.bufs.put(outs[i])
+			}
+		}
+		return err
+	}
+	for i, o := range st.outs {
+		slots[o].ct = outs[i]
+		slots[o].pooled = !p.escapes[o]
+	}
+	return nil
+}
+
+// execKernel dispatches one step to its kernel behind a recover
+// boundary: a panicking kernel (or injected fault) becomes a returned
+// error wrapping ErrInternal, so the run poisons through the normal
+// dependency path — buffers recycled, dependents resolved — instead of
+// killing the process. This is the step-goroutine's own boundary; a
+// serving front end cannot recover for it.
+func (p *Plan) execKernel(idx int, st *planStep, in, outs []*Ciphertext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered panic in %s kernel: %v: %w", stepKindNames[st.kind], r, ErrInternal)
+		}
+	}()
 	e := p.eval
-	var err error
 	if p.failStep != nil {
 		// Injected failure (test seam): taken after the output buffers
 		// are drawn, so it exercises exactly the recycling a real kernel
-		// failure would.
+		// failure would. It may also panic, to drive the recover path.
 		err = p.failStep(idx)
 	}
 	if err == nil {
@@ -489,21 +520,14 @@ func (p *Plan) exec(idx int, st *planStep, in []*Ciphertext, slots []runSlot) er
 			err = fmt.Errorf("unknown step kind %d", st.kind)
 		}
 	}
-	if err != nil {
-		// A failed step owns its drawn buffers and must return every one
-		// exactly once, publishing no ciphertext: dependents observe
-		// ct == nil and their refcount release skips the pool, so the
-		// buffers cannot come back a second time.
-		for i, o := range st.outs {
-			if !p.escapes[o] {
-				p.bufs.put(outs[i])
-			}
-		}
-		return err
-	}
-	for i, o := range st.outs {
-		slots[o].ct = outs[i]
-		slots[o].pooled = !p.escapes[o]
-	}
-	return nil
+	return err
+}
+
+// FootprintBytes is a conservative estimate of one run's working set:
+// every value slot holding a pooled full-basis degree-1 ciphertext at
+// once (2 polynomials × K rows × N coefficients × 8 bytes). Serving
+// front ends budget per-tenant memory against it before admitting a
+// run.
+func (p *Plan) FootprintBytes() int64 {
+	return int64(p.nSlots) * 2 * int64(p.params.K()) * int64(p.params.N) * 8
 }

@@ -149,6 +149,40 @@ func TestPlanFailingStepPoolIntegrity(t *testing.T) {
 	}
 }
 
+// TestPlanPanickingStepRecovers injects a panic (not an error) into
+// every step in turn: the executor's recover boundary must convert it
+// into a typed error wrapping ErrInternal, keep the pool balanced, and
+// leave the plan fully reusable — a panicking kernel poisons one run,
+// never the process. This is the seam a crash-only serving daemon
+// leans on: plan steps run on their own goroutines, so no caller-side
+// recover could catch these.
+func TestPlanPanickingStepRecovers(t *testing.T) {
+	k, plan, pool := failurePlan(t)
+	for idx := 0; idx < plan.NumSteps(); idx++ {
+		plan.failStep = func(i int) error {
+			if i == idx {
+				panic("injected kernel panic")
+			}
+			return nil
+		}
+		_, err := plan.RunBatch(k.failureInputs(t, 3))
+		if !errors.Is(err, ErrInternal) {
+			t.Fatalf("panic@%d: want ErrInternal, got %v", idx, err)
+		}
+		if n := pool.outstanding(); n != 0 {
+			t.Fatalf("panic@%d: %d pooled buffers leaked", idx, n)
+		}
+	}
+
+	plan.failStep = nil
+	if _, err := plan.RunBatch(k.failureInputs(t, 2)); err != nil {
+		t.Fatalf("clean run after recovered panics: %v", err)
+	}
+	if n := pool.outstanding(); n != 0 {
+		t.Fatalf("clean run: %d pooled buffers leaked", n)
+	}
+}
+
 // TestPlanDependencyPoisoningKeepsPoolClean pins the poisoning path
 // specifically: a failure in the earliest step poisons every dependent,
 // and the poisoned steps' reference releases must still retire every

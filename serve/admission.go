@@ -42,6 +42,13 @@ type TenantPolicy struct {
 	// (default DefaultTenantQueue); a full queue rejects with
 	// ErrOverloaded immediately instead of blocking.
 	MaxQueued int
+	// MaxBytes caps the tenant's server-side memory footprint: uploaded
+	// evaluation-key bytes plus the estimated working set of every
+	// queued and executing run (0 = unlimited). Work that would exceed
+	// the cap is shed with ErrResourceExhausted before any allocation,
+	// so one tenant's key set and backlog cannot squeeze the others out
+	// of memory.
+	MaxBytes int64
 }
 
 // DefaultTenantQueue is the default per-tenant admission-queue bound
@@ -60,6 +67,10 @@ type tenantQueue struct {
 	jobs      []*runJob
 	inFlight  int
 	completed int64 // dispatched jobs that finished executing (fairness tests)
+	// liveBytes is the estimated working set of the tenant's queued and
+	// executing jobs, charged at submit and released by done — the run
+	// half of the MaxBytes budget (keys are charged by the caller).
+	liveBytes int64
 }
 
 type admitter struct {
@@ -84,8 +95,11 @@ func newAdmitter(workers int, def TenantPolicy, pinned map[string]TenantPolicy) 
 	a := &admitter{
 		workers: workers,
 		def:     normalizePolicy(def, TenantPolicy{Weight: 1, MaxQueued: DefaultTenantQueue}),
-		pinned:  pinned,
+		pinned:  make(map[string]TenantPolicy, len(pinned)),
 		queues:  make(map[string]*tenantQueue),
+	}
+	for name, pol := range pinned {
+		a.pinned[name] = pol
 	}
 	a.cond = sync.NewCond(&a.mu)
 	return a
@@ -111,6 +125,12 @@ func normalizePolicy(p, def TenantPolicy) TenantPolicy {
 	if p.MaxQueued < 1 {
 		p.MaxQueued = DefaultTenantQueue
 	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = def.MaxBytes
+	}
+	if p.MaxBytes < 0 {
+		p.MaxBytes = 0
+	}
 	return p
 }
 
@@ -125,12 +145,16 @@ func (a *admitter) queueFor(name string) *tenantQueue {
 	return tq
 }
 
-// submit enqueues one request's jobs all-or-nothing. budget is the
-// request's remaining deadline budget (0 = none); estNS the moving
-// per-run estimate for its plan in nanoseconds (0 = unknown, no
-// deadline shedding). Typed errors reject immediately: ErrOverloaded
-// on a full queue, ErrDeadlineExceeded on an unmeetable budget.
-func (a *admitter) submit(name string, jobs []*runJob, budget time.Duration, estNS int64) error {
+// submit enqueues one request's jobs all-or-nothing. keyBytes is the
+// tenant's registered key footprint and each job must carry its
+// estimated run working set in job.bytes — together they are checked
+// against TenantPolicy.MaxBytes. budget is the request's remaining
+// deadline budget (0 = none); estNS the moving per-run estimate for
+// its plan in nanoseconds (0 = unknown, no deadline shedding). Typed
+// errors reject immediately: ErrOverloaded on a full queue,
+// ErrResourceExhausted on a blown memory budget, ErrDeadlineExceeded
+// on an unmeetable budget.
+func (a *admitter) submit(name string, jobs []*runJob, keyBytes int64, budget time.Duration, estNS int64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
@@ -141,6 +165,15 @@ func (a *admitter) submit(name string, jobs []*runJob, budget time.Duration, est
 		a.shedTotal++
 		return fmt.Errorf("%w: tenant %q admission queue holds %d of %d input sets",
 			ErrOverloaded, name, len(tq.jobs), tq.pol.MaxQueued)
+	}
+	var runBytes int64
+	for _, job := range jobs {
+		runBytes += job.bytes
+	}
+	if tq.pol.MaxBytes > 0 && keyBytes+tq.liveBytes+runBytes > tq.pol.MaxBytes {
+		a.shedTotal++
+		return fmt.Errorf("%w: tenant %q would hold %d bytes (keys %d + live runs %d + this request %d) of a %d-byte budget",
+			ErrResourceExhausted, name, keyBytes+tq.liveBytes+runBytes, keyBytes, tq.liveBytes, runBytes, tq.pol.MaxBytes)
 	}
 	if budget > 0 && estNS > 0 {
 		est := time.Duration(estNS)
@@ -158,6 +191,7 @@ func (a *admitter) submit(name string, jobs []*runJob, budget time.Duration, est
 		tq.pass = a.vtime
 	}
 	tq.jobs = append(tq.jobs, jobs...)
+	tq.liveBytes += runBytes
 	a.queuedTotal += len(jobs)
 	a.cond.Broadcast()
 	return nil
@@ -206,14 +240,54 @@ func (a *admitter) next() (*runJob, *tenantQueue, bool) {
 	}
 }
 
-// done releases the executor slot a dispatched job occupied.
-func (a *admitter) done(tq *tenantQueue) {
+// done releases the executor slot and memory charge (the job's
+// submit-time byte estimate) a dispatched job occupied.
+func (a *admitter) done(tq *tenantQueue, bytes int64) {
 	a.mu.Lock()
 	tq.inFlight--
 	a.inFlightTotal--
 	tq.completed++
+	tq.liveBytes -= bytes
+	if tq.liveBytes < 0 {
+		tq.liveBytes = 0
+	}
 	a.cond.Broadcast()
 	a.mu.Unlock()
+}
+
+// setPolicy installs a tenant policy at runtime: future submissions
+// (including jobs already backlogged — the queue's policy pointer is
+// swapped, not the queue) see the new weight, caps, and byte budget
+// immediately. Zero fields select the server default, as at startup.
+func (a *admitter) setPolicy(name string, pol TenantPolicy) {
+	a.mu.Lock()
+	a.pinned[name] = pol
+	if tq, ok := a.queues[name]; ok {
+		tq.pol = normalizePolicy(pol, a.def)
+	}
+	a.cond.Broadcast() // a raised MaxInFlight may unblock dispatch
+	a.mu.Unlock()
+}
+
+// policyFor reports the effective (normalized) policy for a tenant.
+func (a *admitter) policyFor(name string) TenantPolicy {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if tq, ok := a.queues[name]; ok {
+		return tq.pol
+	}
+	return normalizePolicy(a.pinned[name], a.def)
+}
+
+// liveBytesFor reports the tenant's current admitted working set
+// (test observability for the budget accounting).
+func (a *admitter) liveBytesFor(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if tq, ok := a.queues[name]; ok {
+		return tq.liveBytes
+	}
+	return 0
 }
 
 // close stops admission; executors drain what is queued and exit.

@@ -29,10 +29,10 @@ func TestAdmitterWeightedFairDeterministic(t *testing.T) {
 		"heavy": {Weight: 2},
 		"light": {Weight: 1},
 	})
-	if err := adm.submit("heavy", mkJobs(20), 0, 0); err != nil {
+	if err := adm.submit("heavy", mkJobs(20), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := adm.submit("light", mkJobs(10), 0, 0); err != nil {
+	if err := adm.submit("light", mkJobs(10), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
@@ -47,7 +47,7 @@ func TestAdmitterWeightedFairDeterministic(t *testing.T) {
 		if got := counts["light"] * 2; got > counts["heavy"]+2 {
 			t.Fatalf("after %d dispatches: light=%d heavy=%d — weights not honored", i+1, counts["light"], counts["heavy"])
 		}
-		adm.done(tq)
+		adm.done(tq, 0)
 	}
 	if counts["heavy"] != 20 || counts["light"] != 10 {
 		t.Fatalf("dispatched heavy=%d light=%d, want 20/10", counts["heavy"], counts["light"])
@@ -60,20 +60,20 @@ func TestAdmitterWeightedFairDeterministic(t *testing.T) {
 // dispatches within weight+1 rounds of its submission.
 func TestAdmitterNoStarvation(t *testing.T) {
 	adm := newAdmitter(1, TenantPolicy{}, map[string]TenantPolicy{"flood": {Weight: 8, MaxQueued: 1 << 12}})
-	if err := adm.submit("flood", mkJobs(64), 0, 0); err != nil {
+	if err := adm.submit("flood", mkJobs(64), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Let the flood run a while so its pass advances.
 	for i := 0; i < 16; i++ {
 		_, tq, _ := adm.next()
-		adm.done(tq)
+		adm.done(tq, 0)
 	}
-	if err := adm.submit("late", mkJobs(1), 0, 0); err != nil {
+	if err := adm.submit("late", mkJobs(1), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
 		_, tq, _ := adm.next()
-		adm.done(tq)
+		adm.done(tq, 0)
 		if tq.name == "late" {
 			return // dispatched promptly despite the backlog
 		}
@@ -85,14 +85,14 @@ func TestAdmitterNoStarvation(t *testing.T) {
 // ErrOverloaded instead of blocking, all-or-nothing.
 func TestAdmitterQueueBound(t *testing.T) {
 	adm := newAdmitter(1, TenantPolicy{MaxQueued: 4}, nil)
-	if err := adm.submit("t", mkJobs(4), 0, 0); err != nil {
+	if err := adm.submit("t", mkJobs(4), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := adm.submit("t", mkJobs(1), 0, 0); !errors.Is(err, ErrOverloaded) {
+	if err := adm.submit("t", mkJobs(1), 0, 0, 0); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full queue must shed with ErrOverloaded, got %v", err)
 	}
 	// Another tenant is unaffected by t's full queue.
-	if err := adm.submit("u", mkJobs(4), 0, 0); err != nil {
+	if err := adm.submit("u", mkJobs(4), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	_, shed := adm.snapshot()
@@ -107,19 +107,19 @@ func TestAdmitterQueueBound(t *testing.T) {
 func TestAdmitterDeadlineShed(t *testing.T) {
 	adm := newAdmitter(1, TenantPolicy{MaxQueued: 1 << 10}, nil)
 	est := int64(10 * time.Millisecond)
-	if err := adm.submit("t", mkJobs(8), 0, 0); err != nil { // 8 queued sets
+	if err := adm.submit("t", mkJobs(8), 0, 0, 0); err != nil { // 8 queued sets
 		t.Fatal(err)
 	}
 	// Backlog 8 × 10ms + own run 10ms = 90ms needed.
-	if err := adm.submit("t", mkJobs(1), 20*time.Millisecond, est); !errors.Is(err, ErrDeadlineExceeded) {
+	if err := adm.submit("t", mkJobs(1), 0, 20*time.Millisecond, est); !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("unmeetable budget must shed with ErrDeadlineExceeded, got %v", err)
 	}
-	if err := adm.submit("t", mkJobs(1), time.Second, est); err != nil {
+	if err := adm.submit("t", mkJobs(1), 0, time.Second, est); err != nil {
 		t.Fatalf("generous budget must admit, got %v", err)
 	}
 	// No estimate yet → no deadline shedding (admit; the run context
 	// still enforces the budget mid-run).
-	if err := adm.submit("t", mkJobs(1), time.Microsecond, 0); err != nil {
+	if err := adm.submit("t", mkJobs(1), 0, time.Microsecond, 0); err != nil {
 		t.Fatalf("without an estimate the admitter must not guess, got %v", err)
 	}
 }
@@ -128,16 +128,16 @@ func TestAdmitterDeadlineShed(t *testing.T) {
 // skipped, not waited on — another tenant's job dispatches instead.
 func TestAdmitterInFlightCapSkips(t *testing.T) {
 	adm := newAdmitter(4, TenantPolicy{}, map[string]TenantPolicy{"capped": {MaxInFlight: 1}})
-	if err := adm.submit("capped", mkJobs(4), 0, 0); err != nil {
+	if err := adm.submit("capped", mkJobs(4), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := adm.submit("other", mkJobs(2), 0, 0); err != nil {
+	if err := adm.submit("other", mkJobs(2), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	_, tq1, _ := adm.next() // capped's first job (lowest pass, name tie-break)
 	if tq1.name != "capped" {
 		// Either order is fine for the first slot; what matters is below.
-		adm.done(tq1)
+		adm.done(tq1, 0)
 		t.Skip("dispatch order variation")
 	}
 	// capped is now at its cap with 3 queued jobs; the next two
@@ -145,12 +145,12 @@ func TestAdmitterInFlightCapSkips(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		_, tq, _ := adm.next()
 		if tq.name != "capped" {
-			defer adm.done(tq)
+			defer adm.done(tq, 0)
 			continue
 		}
 		t.Fatalf("dispatch %d came from the capped tenant above its in-flight cap", i)
 	}
-	adm.done(tq1)
+	adm.done(tq1, 0)
 }
 
 // TestAdmitterCloseDrainsQueued: jobs queued at close are still handed
@@ -158,7 +158,7 @@ func TestAdmitterInFlightCapSkips(t *testing.T) {
 // next returns ok=false only once empty.
 func TestAdmitterCloseDrainsQueued(t *testing.T) {
 	adm := newAdmitter(1, TenantPolicy{}, nil)
-	if err := adm.submit("t", mkJobs(3), 0, 0); err != nil {
+	if err := adm.submit("t", mkJobs(3), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	adm.close()
@@ -167,12 +167,12 @@ func TestAdmitterCloseDrainsQueued(t *testing.T) {
 		if !ok {
 			t.Fatalf("job %d dropped at close: handlers would deadlock on their WaitGroup", i)
 		}
-		adm.done(tq)
+		adm.done(tq, 0)
 	}
 	if _, _, ok := adm.next(); ok {
 		t.Fatal("next must report closed once the queues drain")
 	}
-	if err := adm.submit("t", mkJobs(1), 0, 0); !errors.Is(err, ErrServerClosed) {
+	if err := adm.submit("t", mkJobs(1), 0, 0, 0); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("submit after close must fail with ErrServerClosed, got %v", err)
 	}
 }
@@ -192,14 +192,14 @@ func BenchmarkServe_Admission(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		job := &runJob{ctx: ctx, wg: &wg}
 		wg.Add(1)
-		if err := adm.submit(names[i&1], []*runJob{job}, time.Second, int64(time.Microsecond)); err != nil {
+		if err := adm.submit(names[i&1], []*runJob{job}, 0, time.Second, int64(time.Microsecond)); err != nil {
 			b.Fatal(err)
 		}
 		j, tq, ok := adm.next()
 		if !ok {
 			b.Fatal("closed")
 		}
-		adm.done(tq)
+		adm.done(tq, 0)
 		j.wg.Done()
 	}
 }

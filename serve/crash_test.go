@@ -1,0 +1,356 @@
+package serve
+
+// The crash-injection harness: the serving daemon is crash-only, and
+// these scenarios prove the three legs of that claim end to end.
+//
+//   - Durability: tenant registrations ride a checksummed WAL
+//     (serve/durable) through an abrupt stop — including a torn or
+//     bit-flipped tail, the on-disk shape a kill -9 mid-append leaves
+//     behind — and a restarted server resumes the surviving tenants
+//     without any key re-upload, serving results bit-identical to the
+//     pre-crash oracle.
+//   - Panic isolation: a panic injected into the executor (the exact
+//     path a panicking kernel takes, via the testRunHook seam) fails
+//     one request with a typed ErrInternal over the wire while
+//     concurrent tenants keep completing bit-identically, and the
+//     recover is visible in Stats.
+//   - Resource governance: a tenant's byte budget sheds an oversized
+//     key set before deserialization and an oversized run working set
+//     before admission, both with typed ErrResourceExhausted, and a
+//     runtime policy update takes effect mid-backlog.
+//
+// Every scenario ends in auditZeroLeak: whatever was injected, no
+// registry reference, cached plan or admission charge survives.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"heax/serve/durable"
+)
+
+// openStore opens (or reopens) the durable tenant store in dir with
+// per-record fsync, the crash-safe configuration under test.
+func openStore(t *testing.T, dir string) *durable.Store {
+	t.Helper()
+	st, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// restoreAll replays a store's surviving tenants into a server, the
+// startup half of crash recovery.
+func restoreAll(t *testing.T, srv *Server, st *durable.Store) []durable.Tenant {
+	t.Helper()
+	tenants := st.Tenants()
+	for _, tn := range tenants {
+		if err := srv.RestoreTenant(tn.Name, tn.Keys); err != nil {
+			t.Fatalf("restoring %q: %v", tn.Name, err)
+		}
+	}
+	return tenants
+}
+
+// TestCrashRestartWithoutReregister: register + unregister through the
+// wire with a durable tenant log, stop the server abruptly (the store
+// is deliberately NOT closed — a kill -9 would not have closed it
+// either; with per-record fsync every acknowledged record is already
+// on disk), reopen the state directory, and serve from a fresh server:
+// the registered tenant resumes without re-uploading keys and its runs
+// are bit-identical to the pre-crash oracle, while the unregistered
+// tenant stays gone.
+func TestCrashRestartWithoutReregister(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	srv1, addr1 := startChaosServer(t, chaosParams(t), 0, WithTenantLog(st1))
+
+	cl1, _ := dialChaos(t, addr1)
+	kit := newChaosKit(t, cl1.Params(), 301)
+	if err := cl1.Register("phoenix", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	ghost := newChaosKit(t, cl1.Params(), 302)
+	if err := cl1.Register("ghost", ghost.evk); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl1.Unregister("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl1.Compile("phoenix", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kit.batches(t, 303, 2)
+	got, err := cl1.Run("phoenix", info.ID, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.assertOracle(t, in, got)
+	cl1.Close()
+	srv1.Close() // abrupt stop: st1 is never closed
+
+	// Restart: replay the log into a new server.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	srv2, addr2 := startChaosServer(t, chaosParams(t), 0, WithTenantLog(st2))
+	tenants := restoreAll(t, srv2, st2)
+	if len(tenants) != 1 || tenants[0].Name != "phoenix" {
+		t.Fatalf("recovered tenants = %v, want exactly [phoenix]", tenants)
+	}
+
+	// No Register call on this connection: the keys came off disk.
+	cl2, _ := dialChaos(t, addr2)
+	defer cl2.Close()
+	info2, err := cl2.Compile("phoenix", chaosCircuit())
+	if err != nil {
+		t.Fatalf("compile against restored keys: %v", err)
+	}
+	in2 := kit.batches(t, 304, 2)
+	got2, err := cl2.Run("phoenix", info2.ID, in2)
+	if err != nil {
+		t.Fatalf("run against restored keys: %v", err)
+	}
+	kit.assertOracle(t, in2, got2)
+	if _, err := cl2.Compile("ghost", chaosCircuit()); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unregistered tenant must stay gone across restart, got %v", err)
+	}
+	cl2.Close()
+	auditZeroLeak(t, srv2)
+}
+
+// TestCrashTornLogTailRestart: the WAL ends mid-record — the shape a
+// kill -9 between write and fsync leaves — in two flavors, truncated
+// and bit-flipped. Recovery must drop exactly the damaged tail record,
+// keep every earlier registration, report the dropped bytes, and the
+// restarted server must serve the surviving tenant bit-identically and
+// accept new registrations (the log stays appendable after repair).
+func TestCrashTornLogTailRestart(t *testing.T) {
+	for _, mode := range []string{"truncated", "bitflipped"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			st1 := openStore(t, dir)
+			srv1, addr1 := startChaosServer(t, chaosParams(t), 0, WithTenantLog(st1))
+			cl1, _ := dialChaos(t, addr1)
+			alice := newChaosKit(t, cl1.Params(), 311)
+			bob := newChaosKit(t, cl1.Params(), 312)
+			if err := cl1.Register("alice", alice.evk); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl1.Register("bob", bob.evk); err != nil {
+				t.Fatal(err)
+			}
+			cl1.Close()
+			srv1.Close()
+			st1.Close()
+
+			// Damage bob's record — the last appended — on disk.
+			wal := filepath.Join(dir, "tenants.wal")
+			raw, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "truncated":
+				raw = raw[:len(raw)-3]
+			case "bitflipped":
+				raw[len(raw)-7] ^= 0x20
+			}
+			if err := os.WriteFile(wal, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			st2 := openStore(t, dir)
+			defer st2.Close()
+			if st2.DroppedTailBytes() == 0 {
+				t.Fatal("a damaged tail must be reported as dropped bytes")
+			}
+			srv2, addr2 := startChaosServer(t, chaosParams(t), 0, WithTenantLog(st2))
+			tenants := restoreAll(t, srv2, st2)
+			if len(tenants) != 1 || tenants[0].Name != "alice" {
+				t.Fatalf("recovered tenants = %v, want exactly [alice] (bob's record was torn)", tenants)
+			}
+
+			cl2, _ := dialChaos(t, addr2)
+			defer cl2.Close()
+			info, err := cl2.Compile("alice", chaosCircuit())
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := alice.batches(t, 313, 1)
+			got, err := cl2.Run("alice", info.ID, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alice.assertOracle(t, in, got)
+			// Bob lost at most his one unsynced record; re-registering
+			// appends cleanly to the repaired log.
+			if err := cl2.Register("bob", bob.evk); err != nil {
+				t.Fatalf("re-register after tail repair: %v", err)
+			}
+			cl2.Close()
+			auditZeroLeak(t, srv2)
+		})
+	}
+}
+
+// TestCrashPanicIsolationWire: panics injected into the executor via
+// the testRunHook seam (the path a panicking kernel takes) fail only
+// the victim tenant's requests, with ErrInternal on the wire; a
+// concurrent healthy tenant completes bit-identically throughout, the
+// recoveries are counted in Stats, and once the fault clears the
+// victim itself serves bit-identical results again — the daemon never
+// dies.
+func TestCrashPanicIsolationWire(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0)
+	var boom atomic.Int32
+	boom.Store(3)
+	srv.testRunHook = func(tenant string) {
+		if tenant == "victim" && boom.Add(-1) >= 0 {
+			panic("injected kernel panic")
+		}
+	}
+
+	vcl, _ := dialChaos(t, addr)
+	defer vcl.Close()
+	hcl, _ := dialChaos(t, addr)
+	defer hcl.Close()
+	vkit := newChaosKit(t, vcl.Params(), 321)
+	hkit := newChaosKit(t, hcl.Params(), 322)
+	if err := vcl.Register("victim", vkit.evk); err != nil {
+		t.Fatal(err)
+	}
+	if err := hcl.Register("healthy", hkit.evk); err != nil {
+		t.Fatal(err)
+	}
+	vinfo, err := vcl.Compile("victim", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinfo, err := hcl.Compile("healthy", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy traffic runs concurrently with the victim's panics.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			hin := hkit.batches(t, int64(330+round), 1)
+			got, err := hcl.Run("healthy", hinfo.ID, hin)
+			if err != nil {
+				t.Errorf("healthy tenant failed beside a panicking one: %v", err)
+				return
+			}
+			hkit.assertOracle(t, hin, got)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		_, err := vcl.Run("victim", vinfo.ID, vkit.batches(t, int64(340+i), 1))
+		if !errors.Is(err, ErrInternal) {
+			t.Fatalf("panic %d must surface as ErrInternal on the wire, got %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// The injected panics are spent; the victim recovers fully.
+	vin := vkit.batches(t, 350, 2)
+	got, err := vcl.Run("victim", vinfo.ID, vin)
+	if err != nil {
+		t.Fatalf("victim must serve again once the fault clears, got %v", err)
+	}
+	vkit.assertOracle(t, vin, got)
+	if n := srv.Stats().PanicsRecovered; n != 3 {
+		t.Fatalf("PanicsRecovered = %d, want 3", n)
+	}
+	vcl.Close()
+	hcl.Close()
+	auditZeroLeak(t, srv)
+}
+
+// TestGuardConvertsPanics: the per-request recover boundary turns any
+// handler panic into ErrInternal and counts it.
+func TestGuardConvertsPanics(t *testing.T) {
+	srv, err := NewServer(chaosParams(t), WithAdmissionWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if gerr := srv.guard(func() error { panic("handler bug") }); !errors.Is(gerr, ErrInternal) {
+		t.Fatalf("guard must convert a panic to ErrInternal, got %v", gerr)
+	}
+	if gerr := srv.guard(func() error { return nil }); gerr != nil {
+		t.Fatalf("guard must pass a clean handler through, got %v", gerr)
+	}
+	if n := srv.Stats().PanicsRecovered; n != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", n)
+	}
+}
+
+// TestCrashBudgetShed: the per-tenant byte budget governs both halves
+// of a tenant's footprint with typed ErrResourceExhausted — an
+// oversized key set is rejected before deserialization, and once
+// registered under a raised budget, a run whose working set would blow
+// the remaining headroom is shed before admission. Raising the budget
+// at runtime (SetTenantPolicy) un-sheds both, and the served result is
+// bit-identical.
+func TestCrashBudgetShed(t *testing.T) {
+	srv, addr := startChaosServer(t, chaosParams(t), 0,
+		WithTenantPolicy("budget", TenantPolicy{MaxBytes: 64}))
+	cl, _ := dialChaos(t, addr)
+	defer cl.Close()
+	kit := newChaosKit(t, cl.Params(), 361)
+
+	// 64 bytes cannot hold an evaluation key set: shed at register.
+	if err := cl.Register("budget", kit.evk); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("oversized key set must shed with ErrResourceExhausted, got %v", err)
+	}
+
+	// Raise the budget enough for the keys but not for a single run's
+	// working set, computed from the same plan the server will run.
+	runBytes := kit.oracle.FootprintBytes()
+	srv.SetTenantPolicy("budget", TenantPolicy{MaxBytes: 1 << 30})
+	if err := cl.Register("budget", kit.evk); err != nil {
+		t.Fatal(err)
+	}
+	srv.reg.mu.Lock()
+	keyBytes := srv.reg.tenants["budget"].keyBytes
+	srv.reg.mu.Unlock()
+	if keyBytes <= 64 {
+		t.Fatalf("keyBytes = %d: the 64-byte shed above would not have triggered", keyBytes)
+	}
+	info, err := cl.Compile("budget", chaosCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetTenantPolicy("budget", TenantPolicy{MaxBytes: keyBytes + runBytes/2})
+	in := kit.batches(t, 362, 1)
+	if _, err := cl.Run("budget", info.ID, in); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("run beyond the byte budget must shed with ErrResourceExhausted, got %v", err)
+	}
+	shed := srv.Stats().ShedRuns
+	if shed < 1 {
+		t.Fatalf("ShedRuns = %d, want ≥1", shed)
+	}
+
+	// Head room for exactly this run: admitted, served bit-identically,
+	// and the charge is released afterwards.
+	srv.SetTenantPolicy("budget", TenantPolicy{MaxBytes: keyBytes + runBytes})
+	got, err := cl.Run("budget", info.ID, in)
+	if err != nil {
+		t.Fatalf("run within the budget must be admitted, got %v", err)
+	}
+	kit.assertOracle(t, in, got)
+	if n := srv.adm.liveBytesFor("budget"); n != 0 {
+		t.Fatalf("liveBytes = %d after the run settled, want 0 (charge leaked)", n)
+	}
+	cl.Close()
+	auditZeroLeak(t, srv)
+}

@@ -33,6 +33,18 @@
 // context is cancelled and the plan executor abandons the remaining
 // steps (Plan.RunContext), returning every pooled buffer.
 //
+// The server is crash-only. Tenant registrations can be made durable
+// through the TenantLog seam (WithTenantLog; serve/durable provides a
+// snapshot + checksummed-WAL implementation): registrations append to
+// the log before they are acknowledged and RestoreTenant replays them
+// on the next boot, so a kill -9 loses nothing a client saw succeed.
+// Panics in an executor worker, a request handler or a connection are
+// recovered into ErrInternal on that one request and counted
+// (Stats.PanicsRecovered) rather than crashing the daemon, and
+// TenantPolicy.MaxBytes bounds each tenant's server-side footprint
+// (uploaded key bytes plus the working sets of queued and executing
+// runs), shedding with ErrResourceExhausted before allocation.
+//
 // Server.Shutdown drains gracefully: listeners close, new work is
 // refused with ErrServerDraining, and in-flight runs finish and flush
 // their responses before the server stops.

@@ -18,10 +18,10 @@ import (
 func TestRegistryRefCountedEviction(t *testing.T) {
 	r := newRegistry()
 	evk := &heax.EvaluationKeySet{}
-	if err := r.register("a", evk); err != nil {
+	if err := r.register("a", evk, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.register("a", evk); !errors.Is(err, ErrTenantExists) {
+	if err := r.register("a", evk, 0); !errors.Is(err, ErrTenantExists) {
 		t.Fatalf("want ErrTenantExists, got %v", err)
 	}
 	e1, err := r.acquire("a") // a cached plan's reference
@@ -53,7 +53,7 @@ func TestRegistryRefCountedEviction(t *testing.T) {
 		t.Fatal("keys must retire when the last reference drains after eviction")
 	}
 	// The name is immediately reusable with fresh keys.
-	if err := r.register("a", &heax.EvaluationKeySet{}); err != nil {
+	if err := r.register("a", &heax.EvaluationKeySet{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if r.len() != 1 {
@@ -249,7 +249,7 @@ func FuzzHandleCompilePayload(f *testing.F) {
 	defer s.Close()
 	kg := heax.NewKeyGenerator(params, 2)
 	sk := kg.GenSecretKey()
-	if err := s.reg.register("t", heax.GenEvaluationKeys(kg, sk, []int{1}, false)); err != nil {
+	if err := s.reg.register("t", heax.GenEvaluationKeys(kg, sk, []int{1}, false), 0); err != nil {
 		f.Fatal(err)
 	}
 	c := heax.NewCircuit()
@@ -274,7 +274,7 @@ func FuzzHandleCompilePayload(f *testing.F) {
 // fails.
 func TestRegistryRetainAcrossEviction(t *testing.T) {
 	r := newRegistry()
-	if err := r.register("a", &heax.EvaluationKeySet{}); err != nil {
+	if err := r.register("a", &heax.EvaluationKeySet{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	e, err := r.acquire("a") // the cached plan's reference

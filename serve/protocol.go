@@ -62,6 +62,7 @@ const (
 	codeOverloaded
 	codeDeadline
 	codeDraining
+	codeResourceExhausted
 )
 
 // Sentinel errors of the serving layer; wire errors arriving at the
@@ -92,6 +93,18 @@ var (
 	// budget (rejected in O(ms), before any work), or the deadline
 	// expired mid-run. Not retryable without a larger budget.
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+	// ErrResourceExhausted: admitting the work would push the tenant
+	// past its TenantPolicy.MaxBytes memory budget (registered key
+	// bytes plus the working set of queued and executing runs). The
+	// request was shed before any allocation; free capacity
+	// (unregister, smaller plans, fewer concurrent batches) or raise
+	// the budget.
+	ErrResourceExhausted = errors.New("serve: tenant resource budget exhausted")
+	// ErrInternal: a panic or invariant violation inside the server was
+	// recovered and converted into this typed failure of the one
+	// request that hit it. The daemon keeps serving; the error is also
+	// counted in Stats (PanicsRecovered / RefcountBugs).
+	ErrInternal = errors.New("serve: internal error")
 )
 
 func errToCode(err error) (byte, string) {
@@ -102,6 +115,8 @@ func errToCode(err error) (byte, string) {
 		return codeOverloaded, err.Error()
 	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
 		return codeDeadline, err.Error()
+	case errors.Is(err, ErrResourceExhausted):
+		return codeResourceExhausted, err.Error()
 	case errors.Is(err, ErrServerDraining):
 		return codeDraining, err.Error()
 	case errors.Is(err, ErrUnknownTenant):
@@ -145,6 +160,10 @@ func codeToErr(code byte, msg string) error {
 		return fmt.Errorf("serve: remote: %s: %w", msg, ErrDeadlineExceeded)
 	case codeDraining:
 		return fmt.Errorf("serve: remote: %s: %w", msg, ErrServerDraining)
+	case codeResourceExhausted:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrResourceExhausted)
+	case codeInternal:
+		return fmt.Errorf("serve: remote: %s: %w", msg, ErrInternal)
 	default:
 		return fmt.Errorf("serve: remote: %s", msg)
 	}

@@ -7,10 +7,18 @@ package serve
 // and bars new acquisitions, but the keys stay live until the last
 // holder releases them — eviction never pulls key material out from
 // under a plan.
+//
+// Refcount invariant violations (an over-release, a drain to zero
+// while the registration still stands) are bugs, but they are not
+// allowed to be fatal: release reports them as errors wrapping
+// ErrInternal and counts them (Stats.RefcountBugs), so a bookkeeping
+// bug degrades the one request that tripped it instead of panicking
+// the daemon out from under every tenant.
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"heax"
 )
@@ -18,12 +26,18 @@ import (
 type registry struct {
 	mu      sync.Mutex
 	tenants map[string]*tenantEntry
+	// bugs counts refcount invariant violations caught (and survived)
+	// by release.
+	bugs atomic.Int64
 }
 
 // tenantEntry is one tenant's uploaded key set.
 type tenantEntry struct {
 	name string
 	evk  *heax.EvaluationKeySet
+	// keyBytes is the serialized size of the uploaded key set, charged
+	// against TenantPolicy.MaxBytes.
+	keyBytes int64
 
 	// refs counts the registration itself plus one per holder (cached
 	// plan or in-flight compile); guarded by the registry mutex.
@@ -41,15 +55,24 @@ func newRegistry() *registry {
 	return &registry{tenants: make(map[string]*tenantEntry)}
 }
 
-// register binds a key set to a fresh tenant name.
-func (r *registry) register(name string, evk *heax.EvaluationKeySet) error {
+// register binds a key set (of keyBytes serialized bytes) to a fresh
+// tenant name.
+func (r *registry) register(name string, evk *heax.EvaluationKeySet, keyBytes int64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.tenants[name]; ok {
 		return fmt.Errorf("%w: %q", ErrTenantExists, name)
 	}
-	r.tenants[name] = &tenantEntry{name: name, evk: evk, refs: 1}
+	r.tenants[name] = &tenantEntry{name: name, evk: evk, keyBytes: keyBytes, refs: 1}
 	return nil
+}
+
+// has reports whether a name is currently registered.
+func (r *registry) has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.tenants[name]
+	return ok
 }
 
 // acquire takes a reference on a live tenant's keys.
@@ -66,24 +89,29 @@ func (r *registry) acquire(name string) (*tenantEntry, error) {
 
 // release returns a reference taken by acquire (or held by a cached
 // plan); the entry is retired when the registration is gone and the
-// last reference drains.
-func (r *registry) release(e *tenantEntry) {
+// last reference drains. A refcount invariant violation is counted and
+// reported as an error wrapping ErrInternal — the release is refused,
+// never amplified into a panic or a double retire.
+func (r *registry) release(e *tenantEntry) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.releaseLocked(e)
+	return r.releaseLocked(e)
 }
 
-func (r *registry) releaseLocked(e *tenantEntry) {
+func (r *registry) releaseLocked(e *tenantEntry) error {
 	if e.refs <= 0 {
-		panic("serve: tenant reference over-released")
+		r.bugs.Add(1)
+		return fmt.Errorf("%w: tenant %q key reference over-released", ErrInternal, e.name)
+	}
+	if e.refs == 1 && !e.gone {
+		r.bugs.Add(1)
+		return fmt.Errorf("%w: tenant %q registration reference released without unregister", ErrInternal, e.name)
 	}
 	e.refs--
 	if e.refs == 0 {
-		if !e.gone {
-			panic("serve: tenant registration reference released without unregister")
-		}
 		e.retired = true
 	}
+	return nil
 }
 
 // live reports whether e is still the current registration of its
@@ -121,8 +149,7 @@ func (r *registry) unregister(name string) error {
 	}
 	delete(r.tenants, name)
 	e.gone = true
-	r.releaseLocked(e) // the registration's own reference
-	return nil
+	return r.releaseLocked(e) // the registration's own reference
 }
 
 func (r *registry) len() int {

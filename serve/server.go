@@ -34,6 +34,12 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// regMu serializes tenant registration lifecycle (registry mutation
+	// + tenant-log append) so the durable log's record order always
+	// matches the order the registry observed — replay reconstructs
+	// exactly the surviving registrations.
+	regMu sync.Mutex
+
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
 	conns     map[net.Conn]bool
@@ -46,13 +52,32 @@ type Server struct {
 	// response flush; Shutdown drains it before closing connections.
 	runWG sync.WaitGroup
 
-	canceledRuns  atomic.Int64
-	completedRuns atomic.Int64
-	dedupHits     atomic.Int64
+	canceledRuns    atomic.Int64
+	completedRuns   atomic.Int64
+	dedupHits       atomic.Int64
+	panicsRecovered atomic.Int64
 
 	// testRunDelay stretches every executed run (set by tests before
 	// Serve to saturate the admission layer deterministically).
 	testRunDelay time.Duration
+	// testRunHook runs inside the executor's recover boundary just
+	// before each job executes (set by tests before Serve): a hook that
+	// panics exercises exactly the path a panicking kernel takes.
+	testRunHook func(tenant string)
+}
+
+// TenantLog records the tenant registration lifecycle durably — the
+// seam between the server and a crash-safe store (serve/durable). The
+// server appends under its registration lock, in registry order, and
+// treats an append failure as a failed request (with the in-memory
+// change rolled back), so the log never trails an acknowledged
+// registration. Implementations must be safe for concurrent use.
+type TenantLog interface {
+	// AppendRegister records that name registered the serialized
+	// evaluation key set keys.
+	AppendRegister(name string, keys []byte) error
+	// AppendUnregister records that name was unregistered.
+	AppendUnregister(name string) error
 }
 
 type serverOptions struct {
@@ -63,6 +88,7 @@ type serverOptions struct {
 	defPolicy   TenantPolicy
 	policies    map[string]TenantPolicy
 	compileOpts []heax.CompileOption
+	tlog        TenantLog
 }
 
 // Option configures a Server at construction.
@@ -124,6 +150,15 @@ func WithDefaultTenantPolicy(p TenantPolicy) Option {
 	return func(o *serverOptions) { o.defPolicy = p }
 }
 
+// WithTenantLog attaches a durable tenant log: every successful
+// Register/Unregister is appended before it is acknowledged, and an
+// append failure fails the request (rolling back the in-memory
+// change). Pair with RestoreTenant at startup to resume tenants across
+// a crash without re-uploading keys.
+func WithTenantLog(l TenantLog) Option {
+	return func(o *serverOptions) { o.tlog = l }
+}
+
 // WithDedupCapacity bounds the retry dedup cache: how many completed
 // Run responses are retained by request id so an idempotent client
 // retry is answered from cache instead of re-executed (default 256).
@@ -179,13 +214,16 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 
 // runJob is one input set bound for one plan — the unit of admission.
 type runJob struct {
-	ctx  context.Context
-	cp   *cachedPlan
-	in   map[string]*heax.Ciphertext
-	idx  int
-	out  []map[string]*heax.Ciphertext
-	errs []error
-	wg   *sync.WaitGroup
+	ctx context.Context
+	cp  *cachedPlan
+	in  map[string]*heax.Ciphertext
+	idx int
+	// bytes is the job's estimated working set, charged against the
+	// tenant's MaxBytes budget from submit until done.
+	bytes int64
+	out   []map[string]*heax.Ciphertext
+	errs  []error
+	wg    *sync.WaitGroup
 }
 
 func (s *Server) executor() {
@@ -195,26 +233,44 @@ func (s *Server) executor() {
 		if !ok {
 			return
 		}
-		if err := job.ctx.Err(); err != nil {
-			// Expired or cancelled while queued: surface the typed error
-			// without burning executor time.
-			job.errs[job.idx] = err
-			s.canceledRuns.Add(1)
-		} else {
-			start := time.Now()
-			if d := s.testRunDelay; d > 0 {
-				time.Sleep(d)
-			}
-			job.out[job.idx], job.errs[job.idx] = job.cp.plan.RunContext(job.ctx, job.in)
-			if job.errs[job.idx] == nil {
-				job.cp.observe(time.Since(start))
-				s.completedRuns.Add(1)
-			} else if errors.Is(job.errs[job.idx], context.Canceled) {
-				s.canceledRuns.Add(1)
-			}
+		s.runOne(job, tq)
+	}
+}
+
+// runOne executes one dispatched job inside the executor's recover
+// boundary: a panic escaping a kernel (or the test hook) fails this
+// one job with ErrInternal and the worker lives on — the job is always
+// marked done and its waiter always released, so no panic can wedge
+// the admission accounting or the requesting connection.
+func (s *Server) runOne(job *runJob, tq *tenantQueue) {
+	defer func() {
+		if r := recover(); r != nil {
+			job.errs[job.idx] = fmt.Errorf("%w: recovered executor panic: %v", ErrInternal, r)
+			s.panicsRecovered.Add(1)
 		}
-		s.adm.done(tq)
+		s.adm.done(tq, job.bytes)
 		job.wg.Done()
+	}()
+	if err := job.ctx.Err(); err != nil {
+		// Expired or cancelled while queued: surface the typed error
+		// without burning executor time.
+		job.errs[job.idx] = err
+		s.canceledRuns.Add(1)
+		return
+	}
+	start := time.Now()
+	if d := s.testRunDelay; d > 0 {
+		time.Sleep(d)
+	}
+	if hook := s.testRunHook; hook != nil {
+		hook(job.cp.key.tenant)
+	}
+	job.out[job.idx], job.errs[job.idx] = job.cp.plan.RunContext(job.ctx, job.in)
+	if job.errs[job.idx] == nil {
+		job.cp.observe(time.Since(start))
+		s.completedRuns.Add(1)
+	} else if errors.Is(job.errs[job.idx], context.Canceled) {
+		s.canceledRuns.Add(1)
 	}
 }
 
@@ -386,26 +442,67 @@ type Stats struct {
 	// DedupHits counts retried Runs answered from the dedup cache
 	// instead of re-executed.
 	DedupHits int64
+	// PanicsRecovered counts panics caught at a recover boundary
+	// (executor worker, request dispatch, connection handler) and
+	// converted into a typed ErrInternal on one request. Nonzero means
+	// a bug fired and the daemon survived it.
+	PanicsRecovered int64
+	// RefcountBugs counts registry refcount invariant violations caught
+	// and refused (over-release, release without unregister) instead of
+	// panicking the process.
+	RefcountBugs int64
 }
 
 // Stats snapshots registry, cache and admission occupancy.
 func (s *Server) Stats() Stats {
 	queued, shed := s.adm.snapshot()
 	return Stats{
-		Tenants:       s.reg.len(),
-		CachedPlans:   s.cache.len(),
-		QueuedRuns:    queued,
-		CanceledRuns:  s.canceledRuns.Load(),
-		CompletedRuns: s.completedRuns.Load(),
-		ShedRuns:      shed,
-		DedupHits:     s.dedupHits.Load(),
+		Tenants:         s.reg.len(),
+		CachedPlans:     s.cache.len(),
+		QueuedRuns:      queued,
+		CanceledRuns:    s.canceledRuns.Load(),
+		CompletedRuns:   s.completedRuns.Load(),
+		ShedRuns:        shed,
+		DedupHits:       s.dedupHits.Load(),
+		PanicsRecovered: s.panicsRecovered.Load(),
+		RefcountBugs:    s.reg.bugs.Load(),
 	}
+}
+
+// SetTenantPolicy installs (or replaces) a tenant's admission policy
+// at runtime — weight, in-flight cap, queue bound and byte budget take
+// effect for all subsequent submissions, including while a backlog is
+// draining. Zero fields inherit the server defaults, exactly as a
+// WithTenantPolicy pin at construction would.
+func (s *Server) SetTenantPolicy(name string, p TenantPolicy) {
+	s.adm.setPolicy(name, p)
+}
+
+// RestoreTenant re-installs a tenant from durably stored state — the
+// startup half of crash recovery. It registers the tenant exactly as a
+// Register request would (the blob is validated against the server's
+// parameter set) but does not append to the tenant log: the record is
+// already in the log, that is where the blob came from.
+func (s *Server) RestoreTenant(name string, keys []byte) error {
+	evk, err := heax.ReadEvaluationKeySet(bytes.NewReader(keys), s.params)
+	if err != nil {
+		return fmt.Errorf("serve: restoring tenant %q: %w", name, err)
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.reg.register(name, evk, int64(len(keys)))
 }
 
 // --- Connection handling ---------------------------------------------------
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
+		// The connection-level recover boundary: a panic that escapes a
+		// request guard (framing, response encoding) tears down this one
+		// connection, never the daemon.
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -435,22 +532,29 @@ func (s *Server) handleConn(conn net.Conn) {
 		case reqRegister:
 			rtyp = respOK
 			if err = s.stopErr(); err == nil {
-				err = s.handleRegister(payload)
+				err = s.guard(func() error { return s.handleRegister(payload) })
 			}
 		case reqUnregister:
 			// Allowed during drain: releasing keys is cleanup, not work.
-			rtyp, err = respOK, s.handleUnregister(payload)
+			rtyp = respOK
+			err = s.guard(func() error { return s.handleUnregister(payload) })
 		case reqCompile:
 			rtyp = respPlan
 			if err = s.stopErr(); err == nil {
-				rpayload, err = s.handleCompile(payload)
+				err = s.guard(func() (gerr error) {
+					rpayload, gerr = s.handleCompile(payload)
+					return gerr
+				})
 			}
 		case reqRun, reqRunEx:
 			// The whole run — admission, execution, response flush — is
 			// tracked by runWG so a graceful drain never cuts a response
 			// mid-frame.
 			if err = s.beginRun(); err == nil {
-				rpayload, err = s.handleRun(ctx, cancel, conn, br, payload, typ == reqRun)
+				err = s.guard(func() (gerr error) {
+					rpayload, gerr = s.handleRun(ctx, cancel, conn, br, payload, typ == reqRun)
+					return gerr
+				})
 				if err == nil {
 					werr := writeFrame(bw, respBatches, rpayload)
 					if werr == nil {
@@ -482,6 +586,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// guard is the per-request recover boundary: a panic anywhere in a
+// request handler becomes a typed ErrInternal response for that one
+// request, the connection stays up, and the daemon keeps serving every
+// other tenant.
+func (s *Server) guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			err = fmt.Errorf("%w: recovered request panic: %v", ErrInternal, r)
+		}
+	}()
+	return f()
+}
+
 func (s *Server) writeErr(bw *bufio.Writer, err error) bool {
 	code, msg := errToCode(err)
 	if errors.Is(err, context.Canceled) {
@@ -509,11 +627,32 @@ func (s *Server) handleRegister(payload []byte) error {
 	if err := pr.done("register request"); err != nil {
 		return err
 	}
+	// Budget the key bytes BEFORE deserializing: an oversized key set is
+	// shed while it is still one wire blob, not after it has been
+	// expanded into live polynomial memory.
+	if limit := s.adm.policyFor(name).MaxBytes; limit > 0 && int64(len(blob)) > limit {
+		return fmt.Errorf("%w: tenant %q key set of %d bytes exceeds the %d-byte budget",
+			ErrResourceExhausted, name, len(blob), limit)
+	}
 	evk, err := heax.ReadEvaluationKeySet(bytes.NewReader(blob), s.params)
 	if err != nil {
 		return err
 	}
-	return s.reg.register(name, evk)
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if err := s.reg.register(name, evk, int64(len(blob))); err != nil {
+		return err
+	}
+	if s.opts.tlog != nil {
+		if lerr := s.opts.tlog.AppendRegister(name, blob); lerr != nil {
+			// Roll back: an unlogged registration must not be acknowledged,
+			// or a crash would silently forget a tenant the client believes
+			// is registered.
+			s.reg.unregister(name)
+			return fmt.Errorf("serve: tenant log append failed (registration rolled back): %w", lerr)
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleUnregister(payload []byte) error {
@@ -524,6 +663,20 @@ func (s *Server) handleUnregister(payload []byte) error {
 	}
 	if err := pr.done("unregister request"); err != nil {
 		return err
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	// Log-before-evict, mirroring register's append-before-ack: if the
+	// append fails the tenant simply stays registered (durable state
+	// remains a faithful superset of acknowledged state), whereas
+	// evicting first would resurrect the tenant on restart.
+	if s.opts.tlog != nil {
+		if !s.reg.has(name) {
+			return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+		}
+		if lerr := s.opts.tlog.AppendUnregister(name); lerr != nil {
+			return fmt.Errorf("serve: tenant log append failed (tenant stays registered): %w", lerr)
+		}
 	}
 	return s.evictTenant(name)
 }
@@ -762,14 +915,16 @@ func (s *Server) executeRun(ctx context.Context, cancel context.CancelFunc, conn
 	errs := make([]error, len(req.batches))
 	var wg sync.WaitGroup
 	jobs := make([]*runJob, len(req.batches))
+	runBytes := cp.plan.FootprintBytes()
 	for i, in := range req.batches {
-		jobs[i] = &runJob{ctx: ctx, cp: cp, in: in, idx: i, out: out, errs: errs, wg: &wg}
+		jobs[i] = &runJob{ctx: ctx, cp: cp, in: in, idx: i, bytes: runBytes, out: out, errs: errs, wg: &wg}
 	}
 	wg.Add(len(jobs))
-	// All-or-nothing admission: a full tenant queue or an unmeetable
-	// deadline rejects the whole request here, in O(ms), instead of
-	// blocking or timing out mid-run.
-	if err := s.adm.submit(req.tenant, jobs, req.budget, cp.estNS.Load()); err != nil {
+	// All-or-nothing admission: a full tenant queue, a blown memory
+	// budget (key bytes + live working set) or an unmeetable deadline
+	// rejects the whole request here, in O(ms), instead of blocking or
+	// timing out mid-run.
+	if err := s.adm.submit(req.tenant, jobs, cp.tenant.keyBytes, req.budget, cp.estNS.Load()); err != nil {
 		wg.Add(-len(jobs))
 		return nil, err
 	}
