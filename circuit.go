@@ -3,6 +3,7 @@ package heax
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Circuit is the build stage of the compile-once / run-many pipeline —
@@ -77,10 +78,15 @@ type cnode struct {
 	args []int
 	// Plaintext payload for MulPlain/AddPlain: an explicit slot vector,
 	// or a scalar broadcast across all slots (the width is only known
-	// at Compile, when the parameter set fixes the slot count).
-	vals      []float64
+	// at Compile, when the parameter set fixes the slot count). A
+	// periodic vector is tiled across all slots at compile time (its
+	// length must divide the slot count), which is how a circuit that
+	// does not know the parameter set expresses "this pattern in every
+	// block" — the plaintext layout BSGS linear transforms need.
+	vals      []complex128
 	scalar    float64
 	broadcast bool
+	periodic  bool
 	name      string // input name
 	step      int    // rotation step
 	n2        int    // InnerSum width
@@ -169,31 +175,65 @@ func (c *Circuit) MulRelin(a, b Node) Node {
 // vector, encoded by the compiler at the level and scale inference
 // assigns). len(values) must not exceed the parameter set's slot count.
 func (c *Circuit) MulPlain(a Node, values []float64) Node {
-	return c.plainNode(kindMulPlain, a, values)
+	return c.plainNode(kindMulPlain, a, realToComplex(values), false)
 }
 
 // AddPlain returns a + values, slot-wise.
 func (c *Circuit) AddPlain(a Node, values []float64) Node {
-	return c.plainNode(kindAddPlain, a, values)
+	return c.plainNode(kindAddPlain, a, realToComplex(values), false)
 }
 
-func (c *Circuit) plainNode(kind nodeKind, a Node, values []float64) Node {
+// MulPlainComplex is MulPlain with a complex payload, exercising both
+// halves of the canonical embedding.
+func (c *Circuit) MulPlainComplex(a Node, values []complex128) Node {
+	return c.plainNode(kindMulPlain, a, append([]complex128(nil), values...), false)
+}
+
+// AddPlainComplex is AddPlain with a complex payload.
+func (c *Circuit) AddPlainComplex(a Node, values []complex128) Node {
+	return c.plainNode(kindAddPlain, a, append([]complex128(nil), values...), false)
+}
+
+// MulPlainPeriodic returns a ⊙ tile(values): the payload is repeated
+// across all message slots at compile time, so a circuit built without
+// knowing the parameter set can still express a block-periodic plaintext
+// (the diagonal layout of heax/circuits.LinearTransform). len(values)
+// must divide the slot count once the circuit is compiled; Compile
+// rejects lengths that do not.
+func (c *Circuit) MulPlainPeriodic(a Node, values []complex128) Node {
+	return c.plainNode(kindMulPlain, a, append([]complex128(nil), values...), true)
+}
+
+// AddPlainPeriodic returns a + tile(values), slot-wise.
+func (c *Circuit) AddPlainPeriodic(a Node, values []complex128) Node {
+	return c.plainNode(kindAddPlain, a, append([]complex128(nil), values...), true)
+}
+
+func realToComplex(values []float64) []complex128 {
+	vals := make([]complex128, len(values))
+	for i, v := range values {
+		vals[i] = complex(v, 0)
+	}
+	return vals
+}
+
+// plainNode records a vector-payload plain operation. vals is already a
+// private copy owned by the node.
+func (c *Circuit) plainNode(kind nodeKind, a Node, vals []complex128, periodic bool) Node {
 	op := nodeKindNames[kind]
 	id, ok := c.arg(a, op)
 	if !ok {
 		return Node{c: c}
 	}
-	if len(values) == 0 {
+	if len(vals) == 0 {
 		return c.fail("%s: empty plaintext vector", op)
 	}
-	for i, v := range values {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+	for i, v := range vals {
+		if !isFinite(real(v)) || !isFinite(imag(v)) {
 			return c.fail("%s: value %d is %g", op, i, v)
 		}
 	}
-	vals := make([]float64, len(values))
-	copy(vals, values)
-	return c.push(cnode{kind: kind, args: []int{id}, vals: vals})
+	return c.push(cnode{kind: kind, args: []int{id}, vals: vals, periodic: periodic})
 }
 
 // MulConst returns v · a — MulPlain with v broadcast across all slots.
@@ -277,4 +317,52 @@ func (c *Circuit) Output(name string, a Node) Node {
 	c.outSet[name] = true
 	c.outputs = append(c.outputs, circuitOut{name: name, node: id})
 	return Node{c: c, id: id}
+}
+
+// RequiredRotations reports the distinct rotation steps the circuit
+// needs Galois keys for under the given parameter set: every live
+// Rotate step reduced by Params.NormalizeRotation plus the power-of-two
+// spans InnerSum lowers onto, after the same deduplication and
+// dead-node pruning Compile performs — so rotations that normalize to
+// the identity, collapse onto each other, or feed no output are not
+// reported. The result is sorted ascending and contains no zero; pass
+// it to GenEvaluationKeys to generate exactly the keys a Plan compiled
+// from this circuit will look up, instead of guessing.
+//
+// ConjugateSlots needs the separate conjugation key (the conjugate
+// argument of GenEvaluationKeys), not a rotation step, and is not
+// reported here.
+func (c *Circuit) RequiredRotations(params *Params) ([]int, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.outputs) == 0 {
+		return nil, fmt.Errorf("heax: circuit has no outputs")
+	}
+	rep := c.eliminateCommon(params)
+	reach := c.reachable(rep)
+	need := make(map[int]bool)
+	for id, n := range c.nodes {
+		if rep[id] != id || !reach[id] {
+			continue
+		}
+		switch n.kind {
+		case kindRotate:
+			// eliminateCommon collapsed normalized-0 rotations onto their
+			// operand, so the normalized step here is always nonzero.
+			need[params.NormalizeRotation(n.step)] = true
+		case kindInnerSum:
+			for span := n.n2 >> 1; span >= 1; span >>= 1 {
+				if norm := params.NormalizeRotation(span); norm != 0 {
+					need[norm] = true
+				}
+			}
+		}
+	}
+	steps := make([]int, 0, len(need))
+	for s := range need {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps, nil
 }

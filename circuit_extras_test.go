@@ -1,0 +1,169 @@
+package heax_test
+
+// Satellite coverage for the circuit front-end: the RequiredRotations
+// key report (normalization, dedup, InnerSum spans, dead-node pruning),
+// the ErrUnencodable guard on constants too small for the assigned
+// scale, and the JSON round trip of complex and periodic payloads.
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"heax"
+)
+
+// TestRequiredRotations: the report must match what Compile will look
+// up — normalized, deduplicated, sorted, with InnerSum's power-of-two
+// spans included and unreachable rotations excluded.
+func TestRequiredRotations(t *testing.T) {
+	k := newAPIKit(t)
+	slots := k.params.Slots()
+
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	a := c.Rotate(x, 1)
+	b := c.Rotate(x, 1+2*slots) // normalizes to 1: same key as a
+	neg := c.Rotate(x, -1)      // normalizes to slots-1
+	idt := c.Rotate(x, slots)   // normalizes to 0: no key at all
+	dead := c.Rotate(x, 5)      // feeds no output
+	_ = dead
+	sum := c.InnerSum(c.Add(c.Add(a, b), c.Add(neg, idt)), 8) // spans 4, 2, 1
+	c.Output("y", sum)
+
+	steps, err := c.RequiredRotations(k.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, slots - 1}
+	if len(steps) != len(want) {
+		t.Fatalf("RequiredRotations = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("RequiredRotations = %v, want %v", steps, want)
+		}
+	}
+
+	// The reported set is exactly sufficient: keys for it compile the
+	// circuit, and the full set is demanded (dropping one fails).
+	kg := heax.NewKeyGenerator(k.params, 1)
+	sk := kg.GenSecretKey()
+	if _, err := c.Compile(k.params, heax.GenEvaluationKeys(kg, sk, steps, false)); err != nil {
+		t.Fatalf("compile with the reported key set: %v", err)
+	}
+	if _, err := c.Compile(k.params, heax.GenEvaluationKeys(kg, sk, steps[1:], false)); !errors.Is(err, heax.ErrKeyMissing) {
+		t.Fatalf("compile without rotation key 1: got %v, want ErrKeyMissing", err)
+	}
+
+	// A rotation-free circuit reports an empty set.
+	c2 := heax.NewCircuit()
+	c2.Output("y", c2.MulConst(c2.Input("x"), 2))
+	if steps, err := c2.RequiredRotations(k.params); err != nil || len(steps) != 0 {
+		t.Fatalf("rotation-free circuit: got %v, %v", steps, err)
+	}
+
+	// No outputs is an error, mirroring Compile.
+	c3 := heax.NewCircuit()
+	c3.Input("x")
+	if _, err := c3.RequiredRotations(k.params); err == nil {
+		t.Fatal("RequiredRotations on an output-less circuit should fail")
+	}
+}
+
+// TestUnencodableConstants pins the typed error for constants whose
+// magnitude is below the assigned scale's precision — previously they
+// encoded to the zero plaintext and silently annihilated the operand.
+func TestUnencodableConstants(t *testing.T) {
+	k := newAPIKit(t)
+	for _, tc := range []struct {
+		name  string
+		build func(c *heax.Circuit, x heax.Node) heax.Node
+	}{
+		{"MulConst", func(c *heax.Circuit, x heax.Node) heax.Node { return c.MulConst(x, 1e-30) }},
+		{"AddConst", func(c *heax.Circuit, x heax.Node) heax.Node { return c.AddConst(x, 1e-30) }},
+		{"MulPlain", func(c *heax.Circuit, x heax.Node) heax.Node { return c.MulPlain(x, []float64{1e-30, -1e-31}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := heax.NewCircuit()
+			c.Output("y", tc.build(c, c.Input("x")))
+			_, err := c.Compile(k.params, k.evk)
+			if !errors.Is(err, heax.ErrUnencodable) {
+				t.Fatalf("got %v, want ErrUnencodable", err)
+			}
+		})
+	}
+
+	// A true zero payload is a valid (if degenerate) circuit, not an
+	// encoding failure: y = 0·x must compile and decrypt to zero.
+	c := heax.NewCircuit()
+	c.Output("y", c.MulConst(c.Input("x"), 0))
+	plan, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatalf("MulConst(x, 0): %v", err)
+	}
+	out, err := plan.Run(map[string]*heax.Ciphertext{"x": k.encrypt(t, []float64{1, -2, 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range k.decodeReal(t, out["y"], 3) {
+		if math.Abs(v) > 1e-6 {
+			t.Fatalf("slot %d of 0·x decrypted to %g", i, v)
+		}
+	}
+}
+
+// TestCircuitJSONComplexPayloads: complex and periodic payloads survive
+// the wire format, and circuits without them keep the original byte
+// layout (no values_im / periodic keys), so cached plan IDs from
+// earlier releases stay valid.
+func TestCircuitJSONComplexPayloads(t *testing.T) {
+	k := newAPIKit(t)
+
+	c := heax.NewCircuit()
+	x := c.Input("x")
+	lhs := c.MulPlainComplex(x, []complex128{1 + 2i, -0.5i})
+	rhs := c.AddPlainPeriodic(c.MulPlainPeriodic(x, []complex128{2i, 1}), []complex128{0.25, -1i})
+	c.Output("y", c.Add(lhs, rhs))
+
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"values_im", "periodic"} {
+		if !strings.Contains(string(blob), key) {
+			t.Fatalf("complex periodic circuit JSON lacks %q:\n%s", key, blob)
+		}
+	}
+	var imported heax.Circuit
+	if err := json.Unmarshal(blob, &imported); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := imported.Compile(k.params, k.evk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Describe() != p2.Describe() {
+		t.Fatalf("imported complex circuit compiles differently:\n--- original\n%s--- imported\n%s", p1.Describe(), p2.Describe())
+	}
+
+	// Purely real circuits must not grow the new keys: the serving plan
+	// cache hashes this encoding.
+	c2 := heax.NewCircuit()
+	c2.Output("y", c2.AddConst(c2.MulPlain(c2.Input("x"), []float64{1, 2}), 0.5))
+	blob2, err := json.Marshal(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"values_im", "periodic"} {
+		if strings.Contains(string(blob2), key) {
+			t.Fatalf("real circuit JSON grew a %q key:\n%s", key, blob2)
+		}
+	}
+}

@@ -31,11 +31,18 @@ type nodeJSON struct {
 	// Values and Scalar are mutually exclusive payloads of MulPlain /
 	// AddPlain: an explicit slot vector, or a broadcast constant (a
 	// pointer so that broadcasting 0 survives the round trip).
-	Values []float64 `json:"values,omitempty"`
-	Scalar *float64  `json:"scalar,omitempty"`
-	Name   string    `json:"name,omitempty"`
-	Step   int       `json:"step,omitempty"`
-	N2     int       `json:"n2,omitempty"`
+	// ValuesIm, when present, carries the imaginary parts of Values
+	// (same length); it is omitted for real payloads, so circuits built
+	// before complex payloads existed encode byte-identically.
+	Values   []float64 `json:"values,omitempty"`
+	ValuesIm []float64 `json:"values_im,omitempty"`
+	Scalar   *float64  `json:"scalar,omitempty"`
+	// Periodic marks a vector payload that Compile tiles across all
+	// message slots (its length must divide the slot count).
+	Periodic bool   `json:"periodic,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Step     int    `json:"step,omitempty"`
+	N2       int    `json:"n2,omitempty"`
 }
 
 type outputJSON struct {
@@ -90,7 +97,21 @@ func (c *Circuit) MarshalJSON() ([]byte, error) {
 			s := n.scalar
 			nj.Scalar = &s
 		} else if len(n.vals) > 0 {
-			nj.Values = append([]float64(nil), n.vals...)
+			nj.Values = make([]float64, len(n.vals))
+			anyIm := false
+			for j, v := range n.vals {
+				nj.Values[j] = real(v)
+				if imag(v) != 0 {
+					anyIm = true
+				}
+			}
+			if anyIm {
+				nj.ValuesIm = make([]float64, len(n.vals))
+				for j, v := range n.vals {
+					nj.ValuesIm[j] = imag(v)
+				}
+			}
+			nj.Periodic = n.periodic
 		}
 		enc.Nodes[i] = nj
 	}
@@ -145,20 +166,33 @@ func (c *Circuit) UnmarshalJSON(data []byte) error {
 			dec.inputs = append(dec.inputs, nj.Name)
 		case kindMulPlain, kindAddPlain:
 			switch {
-			case nj.Scalar != nil && len(nj.Values) > 0:
+			case nj.Scalar != nil && (len(nj.Values) > 0 || len(nj.ValuesIm) > 0):
 				return fmt.Errorf("heax: circuit decode: node %d (%s) carries both a scalar and a vector payload", i, nj.Op)
 			case nj.Scalar != nil:
+				if nj.Periodic {
+					return fmt.Errorf("heax: circuit decode: node %d (%s): a broadcast constant cannot be periodic", i, nj.Op)
+				}
 				if !isFinite(*nj.Scalar) {
 					return fmt.Errorf("heax: circuit decode: node %d (%s): constant is %g", i, nj.Op, *nj.Scalar)
 				}
 				n.scalar, n.broadcast = *nj.Scalar, true
 			case len(nj.Values) > 0:
-				for j, v := range nj.Values {
-					if !isFinite(v) {
-						return fmt.Errorf("heax: circuit decode: node %d (%s): value %d is %g", i, nj.Op, j, v)
-					}
+				if len(nj.ValuesIm) > 0 && len(nj.ValuesIm) != len(nj.Values) {
+					return fmt.Errorf("heax: circuit decode: node %d (%s) has %d imaginary parts for %d values",
+						i, nj.Op, len(nj.ValuesIm), len(nj.Values))
 				}
-				n.vals = append([]float64(nil), nj.Values...)
+				n.vals = make([]complex128, len(nj.Values))
+				for j, v := range nj.Values {
+					im := 0.0
+					if len(nj.ValuesIm) > 0 {
+						im = nj.ValuesIm[j]
+					}
+					if !isFinite(v) || !isFinite(im) {
+						return fmt.Errorf("heax: circuit decode: node %d (%s): value %d is %g", i, nj.Op, j, complex(v, im))
+					}
+					n.vals[j] = complex(v, im)
+				}
+				n.periodic = nj.Periodic
 			default:
 				return fmt.Errorf("heax: circuit decode: node %d (%s) has no plaintext payload", i, nj.Op)
 			}

@@ -1,0 +1,28 @@
+// Package circuits is the reusable high-level circuit library above the
+// heax compiler: generators that emit heax.Circuit DAGs for the two
+// workhorse primitives of encrypted machine learning, structured so the
+// compiler's rotation hoisting and level inference do the expensive
+// bookkeeping.
+//
+// LinearTransform evaluates an encrypted matrix×vector product by the
+// diagonal method with baby-step/giant-step rotation structure: a
+// dimension-n transform costs about √n + √n key-switched rotations
+// instead of n, and the baby-step rotations all share the input
+// ciphertext as their source, so Compile collapses them into a single
+// hoisted-decomposition batch (Halevi–Shoup hoisting — the per-digit
+// decompose of Algorithm 7 is paid once for the whole group, the
+// HEAAN-Demystified host-side win HEAX exploits in hardware).
+//
+// Polynomial evaluates a polynomial approximation of a nonlinear
+// function — built by Chebyshev interpolation with Approximate, or
+// taken off the shelf with Sigmoid, Exp and Inverse — using a
+// Paterson–Stockmeyer/BSGS scheme that reaches multiplicative depth
+// ⌈log₂ d⌉ + O(1) with about √d + log₂ d relinearizations, so a
+// degree-7 sigmoid fits the Set-C modulus chain with room for a linear
+// layer in front of it.
+//
+// Both generators only build the symbolic DAG; levels, scales, rescales
+// and rotation batching are inferred by heax.Circuit.Compile, and
+// heax.Circuit.RequiredRotations reports exactly the Galois keys the
+// result needs.
+package circuits

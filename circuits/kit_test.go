@@ -1,0 +1,104 @@
+package circuits_test
+
+// Shared per-parameter-set test fixture. Parameter realization (prime
+// search + ring contexts) is the expensive part, so kits are cached for
+// the whole package run; evaluation keys are generated per test from
+// the exact rotation set the circuit under test reports.
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"heax"
+)
+
+type kit struct {
+	params    *heax.Params
+	kg        *heax.KeyGenerator
+	sk        *heax.SecretKey
+	enc       *heax.Encoder
+	encryptor *heax.Encryptor
+	decryptor *heax.Decryptor
+}
+
+var (
+	kitMu  sync.Mutex
+	kitMap = map[string]*kit{}
+)
+
+func newKit(t testing.TB, spec heax.ParamSpec) *kit {
+	t.Helper()
+	kitMu.Lock()
+	defer kitMu.Unlock()
+	if k, ok := kitMap[spec.Name]; ok {
+		return k
+	}
+	params, err := heax.NewParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := heax.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	k := &kit{
+		params:    params,
+		kg:        kg,
+		sk:        sk,
+		enc:       heax.NewEncoder(params),
+		encryptor: heax.NewEncryptor(params, pk, 2),
+		decryptor: heax.NewDecryptor(params, sk),
+	}
+	kitMap[spec.Name] = k
+	return k
+}
+
+// keys generates an evaluation key set with the given Galois steps (and
+// always a relinearization key).
+func (k *kit) keys(t testing.TB, steps []int) *heax.EvaluationKeySet {
+	t.Helper()
+	return heax.GenEvaluationKeys(k.kg, k.sk, steps, false)
+}
+
+func (k *kit) encrypt(t testing.TB, vals []complex128) *heax.Ciphertext {
+	t.Helper()
+	pt, err := k.enc.Encode(vals, k.params.MaxLevel(), k.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.encryptor.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func (k *kit) decrypt(t testing.TB, ct *heax.Ciphertext) []complex128 {
+	t.Helper()
+	pt, err := k.decryptor.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.enc.Decode(pt)
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return v
+}
+
+// stepCounts tallies Plan.Describe lines by step kind name.
+func stepCounts(desc string) map[string]int {
+	counts := make(map[string]int)
+	for _, line := range strings.Split(desc, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			counts[f[1]]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,387 @@
+package circuits_test
+
+// LinearTransform property tests: encrypted matvec against a cleartext
+// oracle across every standard parameter set and awkward shapes (1×1,
+// prime, non-square), the BSGS structure assertions at full slot width,
+// and the batched-dot layout.
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"heax"
+	"heax/circuits"
+)
+
+// matvecTol is the per-slot error budget for an encrypted matvec on a
+// given parameter set: Set-A's 2^30 scale leaves ~20 bits of mantissa
+// after one plaintext product, the 2^40 sets far more.
+func matvecTol(spec heax.ParamSpec) float64 {
+	if spec.LogScale < 40 {
+		return 2e-3
+	}
+	return 1e-5
+}
+
+// TestMatVecOracle runs random complex matrices of awkward shapes —
+// including dimension 1, a prime dimension, and non-square tall/wide —
+// through FromMatrix/Apply on every standard parameter set and checks
+// every slot of the first two replica blocks against the cleartext
+// product, padding included.
+func TestMatVecOracle(t *testing.T) {
+	dims := []struct{ rows, cols int }{{1, 1}, {7, 7}, {12, 5}, {3, 7}, {8, 8}}
+	for _, spec := range heax.StandardSets {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			k := newKit(t, spec)
+			rng := rand.New(rand.NewSource(42))
+			for _, dim := range dims {
+				m := make([][]complex128, dim.rows)
+				for i := range m {
+					m[i] = randComplex(rng, dim.cols)
+				}
+				x := randComplex(rng, dim.cols)
+
+				lt, err := circuits.FromMatrix(m)
+				if err != nil {
+					t.Fatalf("%dx%d: FromMatrix: %v", dim.rows, dim.cols, err)
+				}
+				c := heax.NewCircuit()
+				out, err := lt.Apply(c, c.Input("x"))
+				if err != nil {
+					t.Fatalf("%dx%d: Apply: %v", dim.rows, dim.cols, err)
+				}
+				c.Output("y", out)
+				steps, err := c.RequiredRotations(k.params)
+				if err != nil {
+					t.Fatalf("%dx%d: RequiredRotations: %v", dim.rows, dim.cols, err)
+				}
+				plan, err := c.Compile(k.params, k.keys(t, steps))
+				if err != nil {
+					t.Fatalf("%dx%d: Compile: %v", dim.rows, dim.cols, err)
+				}
+				xs, err := circuits.Replicate(x, lt.Dimension, k.params.Slots())
+				if err != nil {
+					t.Fatalf("%dx%d: Replicate: %v", dim.rows, dim.cols, err)
+				}
+				res, err := plan.Run(map[string]*heax.Ciphertext{"x": k.encrypt(t, xs)})
+				if err != nil {
+					t.Fatalf("%dx%d: Run: %v", dim.rows, dim.cols, err)
+				}
+				got := k.decrypt(t, res["y"])
+
+				n := lt.Dimension
+				tol := matvecTol(spec)
+				for block := 0; block < 2; block++ {
+					for i := 0; i < n; i++ {
+						var want complex128
+						if i < dim.rows {
+							for j := 0; j < dim.cols; j++ {
+								want += m[i][j] * x[j]
+							}
+						}
+						if d := cmplx.Abs(got[block*n+i] - want); d > tol {
+							t.Fatalf("%dx%d on %s: block %d slot %d: |got-want| = %g (got %v, want %v)",
+								dim.rows, dim.cols, spec.Name, block, i, d, got[block*n+i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatVecDenseAtSlotWidth is the acceptance check for the BSGS
+// structure: a dense transform at n = slots (2048 on Set-A, all 2048
+// diagonals nonzero) must compile to O(√n) rotations — one hoisted
+// baby-step batch plus n/n1 − 1 giant-step rotations — not O(n).
+func TestMatVecDenseAtSlotWidth(t *testing.T) {
+	k := newKit(t, heax.SetA)
+	n := k.params.Slots() // 2048
+	rng := rand.New(rand.NewSource(7))
+
+	// Every diagonal nonzero, value in slot 0 only: the transform is
+	// y[0] = Σ_d w_d·x[d], y[i≠0] = 0 — dense in diagonals (what BSGS
+	// cost depends on) while keeping the plan's plaintext footprint
+	// small.
+	w := make([]complex128, n)
+	diags := make(map[int][]complex128, n)
+	for d := 0; d < n; d++ {
+		w[d] = complex(2*rng.Float64()-1, 0)
+		diags[d] = []complex128{w[d]}
+	}
+	lt := &circuits.LinearTransform{Dimension: n, Diagonals: diags}
+
+	c := heax.NewCircuit()
+	out, err := lt.Apply(c, c.Input("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Output("y", out)
+
+	// √n accounting: the picker should land on n1 = 64 (63 babies + 31
+	// giants = 94 distinct rotations for n = 2048).
+	steps, err := c.RequiredRotations(k.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 94 {
+		t.Fatalf("dense n=%d matvec needs %d distinct rotations, want 94 (n1+n/n1-2)", n, len(steps))
+	}
+
+	plan, err := c.Compile(k.params, k.keys(t, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := stepCounts(plan.Describe())
+	if counts["RotateHoisted"] != 1 {
+		t.Fatalf("baby-step rotations should compile to exactly 1 hoisted batch, got %d", counts["RotateHoisted"])
+	}
+	if counts["Rotate"] != 31 {
+		t.Fatalf("giant-step rotations should compile to 31 single Rotate steps, got %d", counts["Rotate"])
+	}
+
+	x := randComplex(rng, n)
+	res, err := plan.Run(map[string]*heax.Ciphertext{"x": k.encrypt(t, x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decrypt(t, res["y"])
+	var want complex128
+	for d := 0; d < n; d++ {
+		want += w[d] * x[d]
+	}
+	// The dot product sums 2048 terms, so allow the per-slot budget
+	// scaled by √n noise growth.
+	if d := cmplx.Abs(got[0] - want); d > 0.05 {
+		t.Fatalf("slot 0: |got-want| = %g (got %v, want %v)", d, got[0], want)
+	}
+	for _, i := range []int{1, 17, n - 1} {
+		if d := cmplx.Abs(got[i]); d > 0.05 {
+			t.Fatalf("slot %d should be ~0, got %v", i, got[i])
+		}
+	}
+}
+
+// TestBatchedDot scores slots/8 samples against one weight vector in a
+// single transform and checks both the values and the rotation set the
+// n1 picker selects.
+func TestBatchedDot(t *testing.T) {
+	k := newKit(t, heax.SetA)
+	rng := rand.New(rand.NewSource(11))
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = 2*rng.Float64() - 1
+	}
+	lt, err := circuits.BatchedDot(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Dimension != 8 {
+		t.Fatalf("BatchedDot dimension = %d, want 8", lt.Dimension)
+	}
+	// All 8 diagonals present: the picker should choose n1 = 4 (babies
+	// 1,2,3 + giant 4), beating n1 = 1 or 8 (7 rotations each).
+	rots, err := lt.Rotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 3, 4}; !equalInts(rots, want) {
+		t.Fatalf("Rotations() = %v, want %v", rots, want)
+	}
+
+	c := heax.NewCircuit()
+	out, err := lt.Apply(c, c.Input("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Output("scores", out)
+	steps, err := c.RequiredRotations(k.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(steps, rots) {
+		t.Fatalf("RequiredRotations = %v, want %v", steps, rots)
+	}
+	plan, err := c.Compile(k.params, k.keys(t, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One sample's features per 8-slot block, no replication.
+	slots := k.params.Slots()
+	x := make([]complex128, slots)
+	for i := range x {
+		x[i] = complex(2*rng.Float64()-1, 0)
+	}
+	res, err := plan.Run(map[string]*heax.Ciphertext{"x": k.encrypt(t, x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decrypt(t, res["scores"])
+	for s := 0; s < 16; s++ { // first 16 samples
+		base := s * 8
+		var want complex128
+		for j := 0; j < 8; j++ {
+			want += complex(w[j], 0) * x[base+j]
+		}
+		if d := cmplx.Abs(got[base] - want); d > 2e-3 {
+			t.Fatalf("sample %d: |got-want| = %g", s, d)
+		}
+		for j := 1; j < 8; j++ {
+			if d := cmplx.Abs(got[base+j]); d > 2e-3 {
+				t.Fatalf("sample %d slot %d should be ~0, got %v", s, j, got[base+j])
+			}
+		}
+	}
+}
+
+// TestZeroTransform: the all-zero matrix is a valid transform that
+// degenerates to the zero vector (and needs no rotation keys at all).
+func TestZeroTransform(t *testing.T) {
+	k := newKit(t, heax.SetA)
+	lt, err := circuits.FromRealMatrix([][]float64{{0, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots, err := lt.Rotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rots) != 0 {
+		t.Fatalf("zero transform Rotations() = %v, want none", rots)
+	}
+	c := heax.NewCircuit()
+	out, err := lt.Apply(c, c.Input("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Output("y", out)
+	plan, err := c.Compile(k.params, k.keys(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := circuits.ReplicateReal([]float64{3, -4}, lt.Dimension, k.params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(map[string]*heax.Ciphertext{"x": k.encrypt(t, xs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.decrypt(t, res["y"])
+	for i := 0; i < 8; i++ {
+		if math.Abs(real(got[i])) > 2e-3 || math.Abs(imag(got[i])) > 2e-3 {
+			t.Fatalf("slot %d of zero transform = %v, want ~0", i, got[i])
+		}
+	}
+}
+
+// TestLinearTransformValidation pins the error paths of the
+// constructors, the BSGS planner and Replicate.
+func TestLinearTransformValidation(t *testing.T) {
+	if _, err := circuits.FromMatrix(nil); err == nil {
+		t.Fatal("FromMatrix(nil) should fail")
+	}
+	if _, err := circuits.FromMatrix([][]complex128{{}}); err == nil {
+		t.Fatal("FromMatrix with empty rows should fail")
+	}
+	if _, err := circuits.FromMatrix([][]complex128{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix should fail")
+	}
+	if _, err := circuits.BatchedDot(nil); err == nil {
+		t.Fatal("BatchedDot(nil) should fail")
+	}
+
+	bad := []circuits.LinearTransform{
+		{Dimension: 3, Diagonals: map[int][]complex128{0: {1}}},             // non-pow2 dim
+		{Dimension: 0, Diagonals: map[int][]complex128{0: {1}}},             // zero dim
+		{Dimension: 4, Diagonals: nil},                                      // no diagonals
+		{Dimension: 4, Diagonals: map[int][]complex128{0: {1, 2, 3, 4, 5}}}, // oversize diagonal
+		{Dimension: 4, Diagonals: map[int][]complex128{1: {1}, 5: {2}}},     // 1 ≡ 5 mod 4
+		{Dimension: 4, Diagonals: map[int][]complex128{0: {cmplx.Inf()}}},   // non-finite value
+		{Dimension: 4, Diagonals: map[int][]complex128{1: {1}}, BabyDim: 3}, // bad BabyDim
+		{Dimension: 4, Diagonals: map[int][]complex128{1: {1}}, BabyDim: 8}, // BabyDim > dim
+		{Dimension: 4, Diagonals: map[int][]complex128{0: {complex(math.NaN(), 0)}}},
+	}
+	for i, lt := range bad {
+		lt := lt
+		if _, err := lt.Rotations(); err == nil {
+			t.Fatalf("case %d: Rotations should fail for %+v", i, lt)
+		}
+		c := heax.NewCircuit()
+		if _, err := lt.Apply(c, c.Input("x")); err == nil {
+			t.Fatalf("case %d: Apply should fail", i)
+		}
+	}
+
+	// Negative diagonal indices are canonicalized modulo the dimension.
+	lt := circuits.LinearTransform{Dimension: 8, Diagonals: map[int][]complex128{-1: {1}}}
+	rots, err := lt.Rotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rots, []int{7}) {
+		t.Fatalf("diagonal -1 mod 8: Rotations() = %v, want [7]", rots)
+	}
+
+	if _, err := circuits.Replicate(nil, 3, 8); err == nil {
+		t.Fatal("Replicate with non-pow2 dim should fail")
+	}
+	if _, err := circuits.Replicate(make([]complex128, 5), 4, 8); err == nil {
+		t.Fatal("Replicate with oversize vector should fail")
+	}
+	if _, err := circuits.Replicate(make([]complex128, 4), 16, 8); err == nil {
+		t.Fatal("Replicate with dim > slots should fail")
+	}
+
+	got, err := circuits.ReplicateReal([]float64{1, 2, 3}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{1, 2, 3, 0, 1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Replicate layout slot %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBabyDimOverride: an explicit BabyDim changes the rotation set as
+// documented (n1 = 1 degenerates to one rotation per diagonal).
+func TestBabyDimOverride(t *testing.T) {
+	diags := map[int][]complex128{}
+	for d := 0; d < 8; d++ {
+		diags[d] = []complex128{1}
+	}
+	lt := circuits.LinearTransform{Dimension: 8, Diagonals: diags, BabyDim: 1}
+	rots, err := lt.Rotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rots, []int{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("BabyDim=1 Rotations() = %v, want all giants", rots)
+	}
+	lt.BabyDim = 8
+	rots, err = lt.Rotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rots, []int{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("BabyDim=8 Rotations() = %v, want all babies", rots)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"heax/internal/ckks"
 )
 
 // Compile is the middle stage of build → compile → run: it runs scale
@@ -15,16 +17,24 @@ import (
 // decomposition batches, and returns an immutable, concurrency-safe
 // Plan bound to params and evk.
 //
-// Inference assigns scales by the canonical ladder (Params.ScaleLadder
-// in internal/ckks): a node is either *base* — carrying its level's
-// ladder scale S_ℓ — or a *product* carrying S_ℓ². Multiplication
-// operands are first rescaled to base form, plaintext factors are
-// encoded at S_ℓ, and additions meet mismatched operands by rescaling
-// and, when levels differ, multiplying the shallower operand by an
-// encoded 1 at S_ℓ (a "lift") so both sides land on bit-identical
-// scales. No valid assignment — a multiplication below level 0, a
-// scale outgrowing the level's modulus, a key the EvaluationKeySet
-// lacks — fails here, before anything runs, with the usual sentinels
+// Inference tracks a free per-node (level, scale) pair: a node is
+// either *base* (rescaled) or a *product* (unrescaled, carrying the
+// full product of its factors' scales). Plaintext factors are encoded
+// at the operand's own scale, so plaintext and ciphertext products
+// follow the same scale algebra (s·s) and same-level values keep
+// bit-identical scales. A rescale that would land below the default
+// scale Δ — the fate of every product on parameter sets whose primes
+// outsize Δ, such as Set-C's 49-bit primes against Δ = 2^40 — is
+// preceded by a multiplication with an encoded 1 at an exact power of
+// two (a "lift"), so every rescaled value keeps ≈Δ bits of precision
+// above the rounding noise and deep circuits use the whole modulus
+// chain. Additions meet mismatched operands by rescaling down to a
+// common level and lifting the smaller-scale side by the scale ratio
+// (exact for integer ratios; boosted above 2^30 otherwise so the
+// rounding of the encoded 1 stays below scheme noise). No valid
+// assignment — a multiplication below level 0, a scale outgrowing the
+// level's modulus or underflowing 1, a key the EvaluationKeySet lacks
+// — fails here, before anything runs, with the usual sentinels
 // (ErrLevelMismatch, ErrScaleMismatch, ErrKeyMissing).
 func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...CompileOption) (*Plan, error) {
 	if c.err != nil {
@@ -49,11 +59,10 @@ func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...Compile
 		params:  params,
 		evk:     evk,
 		enc:     NewEncoder(params),
-		ladder:  params.ScaleLadder(),
 		state:   make([]valState, len(c.nodes)),
 		rep:     rep,
 		canon:   make(map[int]valState),
-		lifted:  make(map[int]valState),
+		lifted:  make(map[liftKey]valState),
 		isInput: make(map[int]bool),
 	}
 	k.modBits = make([]float64, params.K())
@@ -215,7 +224,8 @@ func (c *Circuit) eliminateCommon(params *Params) []int {
 }
 
 func samePayload(a, b *cnode) bool {
-	if a.broadcast != b.broadcast || a.scalar != b.scalar || len(a.vals) != len(b.vals) {
+	if a.broadcast != b.broadcast || a.scalar != b.scalar ||
+		a.periodic != b.periodic || len(a.vals) != len(b.vals) {
 		return false
 	}
 	for i := range a.vals {
@@ -252,9 +262,21 @@ func (c *Circuit) reachable(rep []int) []bool {
 type tier uint8
 
 const (
-	tierBase    tier = iota // scale is the level's ladder scale S_ℓ
-	tierProduct             // scale is S_ℓ² (an unrescaled product)
+	tierBase    tier = iota // rescaled: feed multiplications as-is
+	tierProduct             // an unrescaled product: rescale before multiplying again
 )
+
+// minLiftScale is the smallest plaintext scale a compiler-inserted
+// multiplier (an encoded constant) may carry when the requested scale
+// ratio is not an exact integer: at t ≥ 2^30 the encoded round(t)/t
+// deviates from the intended multiplier by at most 2^-31, below scheme
+// noise. Exact-integer ratios encode exactly at any magnitude.
+const minLiftScale = float64(1 << 30)
+
+// minPlainBits is the minimum scale headroom (in bits) a plaintext
+// factor must get; below this the payload would be quantized to junk,
+// so compilation fails with ErrScaleMismatch instead.
+const minPlainBits = 12.0
 
 // valState is the inferred placement of one circuit value.
 type valState struct {
@@ -264,12 +286,19 @@ type valState struct {
 	tier  tier
 }
 
+// liftKey identifies one compiler-inserted multiply-by-encoded-1: the
+// source slot and the bit pattern of the plaintext scale it was lifted
+// by (different ratios are different steps; same ratio is shared).
+type liftKey struct {
+	slot int
+	t    uint64
+}
+
 type compiler struct {
 	circ   *Circuit
 	params *Params
 	evk    *EvaluationKeySet
 	enc    *Encoder
-	ladder []float64
 	// modBits[ℓ] is log2 of the ciphertext modulus at level ℓ, for the
 	// scale-overflow guard.
 	modBits []float64
@@ -277,10 +306,10 @@ type compiler struct {
 	rep   []int
 	state []valState
 	// canon caches the rescaled (base) form per slot; lifted caches the
-	// ones-multiplied (product) form per slot — so shared consumers pay
+	// ones-multiplied forms per (slot, scale) — so shared consumers pay
 	// each maintenance op once.
 	canon  map[int]valState
-	lifted map[int]valState
+	lifted map[liftKey]valState
 
 	steps      []planStep
 	nSlots     int
@@ -318,7 +347,11 @@ func (k *compiler) checkScale(what string, level int, scale float64) error {
 }
 
 // canonical returns v in base form, inserting the Rescale when v is a
-// product (memoized per slot).
+// product (memoized per slot). When the rescale would land below the
+// default scale — a product of already-rescaled operands divided by a
+// prime that outsizes them — the value is first lifted by an exact
+// power of two so the result keeps ≈Δ bits of precision above the
+// rescale's rounding noise.
 func (k *compiler) canonical(v valState) (valState, error) {
 	if v.tier == tierBase {
 		return v, nil
@@ -330,45 +363,61 @@ func (k *compiler) canonical(v valState) (valState, error) {
 		return v, fmt.Errorf("heax: compile: circuit needs a rescale below level 0 — more multiplicative depth than the parameter set provides: %w",
 			ErrLevelMismatch)
 	}
-	scale := v.scale / float64(k.params.Q[v.level])
+	orig := v.slot
+	q := float64(k.params.Q[v.level])
+	if target := k.params.DefaultScale(); v.scale/q < target {
+		r := math.Exp2(math.Ceil(math.Log2(target * q / v.scale)))
+		if r > 1 && math.Log2(v.scale*r) <= k.modBits[v.level]-4 {
+			var err error
+			if v, err = k.liftBy(v, r); err != nil {
+				return v, err
+			}
+		}
+	}
+	scale := v.scale / q
 	out := valState{level: v.level - 1, scale: scale, tier: tierBase}
 	if err := k.checkScale("rescale", out.level, scale); err != nil {
 		return v, err
 	}
 	out.slot = k.emit(planStep{kind: stepRescale, args: []int{v.slot}, level: out.level, scale: scale})
-	k.canon[v.slot] = out
+	k.canon[orig] = out
 	return out, nil
 }
 
-// lift returns base-form v as a product at the same level, inserting a
-// multiplication by an encoded 1 at the ladder scale (memoized per
-// slot). Lifting is how an addition meets a product operand without
-// spending a level.
-func (k *compiler) lift(v valState) (valState, error) {
-	if cached, ok := k.lifted[v.slot]; ok {
+// liftBy multiplies v by an encoded 1 at plaintext scale t, scaling v
+// up to v.scale·t without consuming a level (memoized per slot and
+// ratio). Lifting is how an addition meets an operand at a larger
+// scale, and — with t = q_ℓ — how a value hops down a level without
+// changing its scale.
+func (k *compiler) liftBy(v valState, t float64) (valState, error) {
+	key := liftKey{slot: v.slot, t: math.Float64bits(t)}
+	if cached, ok := k.lifted[key]; ok {
 		return cached, nil
 	}
-	pt, err := k.encodeConst(1, v.level, k.ladder[v.level])
+	pt, err := k.encodeConst(1, v.level, t)
 	if err != nil {
 		return v, err
 	}
-	out := valState{level: v.level, scale: v.scale * k.ladder[v.level], tier: tierProduct}
+	out := valState{level: v.level, scale: v.scale * t, tier: tierProduct}
 	if err := k.checkScale("lift", out.level, out.scale); err != nil {
 		return v, err
 	}
 	out.slot = k.emit(planStep{kind: stepMulPlain, args: []int{v.slot}, pt: pt, level: out.level, scale: out.scale, lifted: true})
-	k.lifted[v.slot] = out
+	k.lifted[key] = out
 	return out, nil
 }
 
-// bridge lowers base-form v to base form at the target level by
-// repeated lift+rescale (each hop consumes one level and lands exactly
-// on the target's ladder scale).
-func (k *compiler) bridge(v valState, level int) (valState, error) {
+// descend lowers v to the target level: products rescale (one level
+// each), base values hop by lift-at-q_ℓ + rescale — the q_ℓ divides
+// right back out, so a hop preserves the scale to the float rounding
+// the runtime itself performs.
+func (k *compiler) descend(v valState, level int) (valState, error) {
 	var err error
 	for v.level > level {
-		if v, err = k.lift(v); err != nil {
-			return v, err
+		if v.tier == tierBase {
+			if v, err = k.liftBy(v, float64(k.params.Q[v.level])); err != nil {
+				return v, err
+			}
 		}
 		if v, err = k.canonical(v); err != nil {
 			return v, err
@@ -377,58 +426,108 @@ func (k *compiler) bridge(v valState, level int) (valState, error) {
 	return v, nil
 }
 
-// toProduct converts any state to product form at exactly the target
-// level — the meeting point reconcile picks for mixed additions.
-func (k *compiler) toProduct(v valState, level int) (valState, error) {
-	var err error
-	if v.tier == tierProduct {
-		if v.level == level {
-			return v, nil
-		}
-		if v, err = k.canonical(v); err != nil {
-			return v, err
-		}
-	}
-	if v, err = k.bridge(v, level); err != nil {
-		return v, err
-	}
-	return k.lift(v)
-}
-
-// reconcile places two addition operands on a common (level, scale).
+// reconcile places two addition operands on a common level and
+// runtime-compatible (ScalesClose) scales: both descend to the lower
+// operand's level, then the smaller-scale side is lifted by the exact
+// scale ratio. Integer ratios (the common case — power-of-two scales)
+// encode exactly; fractional ratios below minLiftScale are boosted on
+// both sides so the rounding of the encoded constants stays below
+// scheme noise. Operand order is preserved (Sub is order-sensitive).
 func (k *compiler) reconcile(a, b valState) (valState, valState, error) {
-	if a.tier == b.tier && a.level == b.level {
+	level := min(a.level, b.level)
+	var err error
+	if a, err = k.descend(a, level); err != nil {
+		return a, b, err
+	}
+	if b, err = k.descend(b, level); err != nil {
+		return a, b, err
+	}
+	if ckks.ScalesClose(a.scale, b.scale) {
 		return a, b, nil
 	}
-	var err error
-	if a.tier == tierBase && b.tier == tierBase {
-		level := min(a.level, b.level)
-		if a, err = k.bridge(a, level); err != nil {
-			return a, b, err
-		}
-		b, err = k.bridge(b, level)
+	lo, hi := &a, &b
+	if lo.scale > hi.scale {
+		lo, hi = hi, lo
+	}
+	r := hi.scale / lo.scale
+	if r == math.Trunc(r) || r >= minLiftScale {
+		*lo, err = k.liftBy(*lo, r)
 		return a, b, err
 	}
-	level := min(a.level, b.level)
-	if a, err = k.toProduct(a, level); err != nil {
+	if *lo, err = k.liftBy(*lo, r*minLiftScale); err != nil {
 		return a, b, err
 	}
-	b, err = k.toProduct(b, level)
+	*hi, err = k.liftBy(*hi, minLiftScale)
 	return a, b, err
 }
 
 func (k *compiler) encodeVals(n *cnode, level int, scale float64) (*Plaintext, error) {
+	op := nodeKindNames[n.kind]
 	vals := n.vals
-	if n.broadcast {
-		vals = make([]float64, k.params.Slots())
+	switch {
+	case n.broadcast:
+		vals = make([]complex128, k.params.Slots())
 		for i := range vals {
-			vals[i] = n.scalar
+			vals[i] = complex(n.scalar, 0)
 		}
-	} else if len(vals) > k.params.Slots() {
+	case n.periodic:
+		if k.params.Slots()%len(vals) != 0 {
+			return nil, fmt.Errorf("heax: compile: %s: periodic payload of %d values does not divide the %d slots of %s",
+				op, len(vals), k.params.Slots(), k.paramName())
+		}
+		tiled := make([]complex128, k.params.Slots())
+		for i := range tiled {
+			tiled[i] = vals[i%len(vals)]
+		}
+		vals = tiled
+	case len(vals) > k.params.Slots():
 		return nil, fmt.Errorf("heax: compile: %d plaintext values exceed the %d slots of %s",
 			len(vals), k.params.Slots(), k.paramName())
 	}
-	return k.enc.EncodeReal(vals, level, scale)
+	pt, err := k.enc.Encode(vals, level, scale)
+	if err != nil {
+		return nil, err
+	}
+	// A nonzero payload whose every coefficient rounds to zero at this
+	// scale would silently turn the operation into ⊙0 / +0; that is a
+	// compile error, not a plaintext (exact check: the encoded polynomial
+	// itself, so slot patterns that merely lose precision still pass).
+	if !zeroPayload(vals) && zeroPlaintext(pt) {
+		return nil, fmt.Errorf("heax: compile: %s: payload with max magnitude %g encodes to the zero plaintext at level-%d scale 2^%.1f: %w",
+			op, maxMagnitude(vals), level, math.Log2(scale), ErrUnencodable)
+	}
+	return pt, nil
+}
+
+func zeroPayload(vals []complex128) bool {
+	for _, v := range vals {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func maxMagnitude(vals []complex128) float64 {
+	m := 0.0
+	for _, v := range vals {
+		m = math.Max(m, math.Max(math.Abs(real(v)), math.Abs(imag(v))))
+	}
+	return m
+}
+
+// zeroPlaintext reports whether an encoded plaintext is identically
+// zero (the NTT is linear, so zero in evaluation form is zero in
+// coefficient form).
+func zeroPlaintext(pt *Plaintext) bool {
+	for _, row := range pt.Value.Coeffs {
+		for _, c := range row {
+			if c != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (k *compiler) encodeConst(v float64, level int, scale float64) (*Plaintext, error) {
@@ -474,14 +573,20 @@ func (k *compiler) lower(id int) error {
 			return err
 		}
 		level := min(a.level, b.level)
-		if a, err = k.bridge(a, level); err != nil {
+		if a, err = k.descend(a, level); err != nil {
 			return err
 		}
-		if b, err = k.bridge(b, level); err != nil {
+		if b, err = k.descend(b, level); err != nil {
 			return err
 		}
 		scale := a.scale * b.scale
 		if err := k.checkScale(name, level, scale); err != nil {
+			if level == 0 {
+				// The product can't be held and there is no level left to
+				// rescale into: the chain is out of depth, not out of scale.
+				return fmt.Errorf("heax: compile: circuit needs a rescale below level 0 — more multiplicative depth than the parameter set provides: %w",
+					ErrLevelMismatch)
+			}
 			return err
 		}
 		slot := k.emit(planStep{kind: stepMulRelin, args: []int{a.slot, b.slot}, level: level, scale: scale})
@@ -493,11 +598,26 @@ func (k *compiler) lower(id int) error {
 		if err != nil {
 			return err
 		}
-		pt, err := k.encodeVals(n, a.level, k.ladder[a.level])
+		// Encode the factor at the operand's own scale, so a plaintext
+		// product carries scale s² exactly like a ciphertext product of
+		// equal operands — same-level values keep bit-identical scales
+		// and additions reconcile without inserted lifts. When the
+		// modulus can't hold s², fall back to the largest power-of-two
+		// scale that fits (a power of two keeps downstream scale ratios
+		// exact integers).
+		t := a.scale
+		if head := k.modBits[a.level] - 4 - math.Log2(a.scale); math.Log2(t) > head {
+			if head < minPlainBits {
+				return fmt.Errorf("heax: compile: %s at level %d has only 2^%.1f of modulus headroom for a plaintext factor (operand scale 2^%.1f, modulus 2^%.1f): %w",
+					name, a.level, head, math.Log2(a.scale), k.modBits[a.level], ErrScaleMismatch)
+			}
+			t = math.Exp2(math.Floor(head))
+		}
+		pt, err := k.encodeVals(n, a.level, t)
 		if err != nil {
 			return err
 		}
-		scale := a.scale * k.ladder[a.level]
+		scale := a.scale * t
 		if err := k.checkScale(name, a.level, scale); err != nil {
 			return err
 		}
@@ -524,8 +644,14 @@ func (k *compiler) lower(id int) error {
 		if n.kind == kindSub {
 			kind = stepSub
 		}
+		// A sum with a product operand is itself an unrescaled product:
+		// rescale before it feeds another multiplication.
+		tr := a.tier
+		if b.tier == tierProduct {
+			tr = tierProduct
+		}
 		slot := k.emit(planStep{kind: kind, args: []int{a.slot, b.slot}, level: a.level, scale: a.scale})
-		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
+		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: tr}
 		return nil
 
 	case kindRotate:

@@ -33,4 +33,10 @@ var (
 	// runs and the process keep going (crash-only serving depends on a
 	// panic poisoning one request, not the daemon).
 	ErrInternal = errors.New("heax: internal error")
+	// ErrUnencodable: a nonzero plaintext payload (MulConst, AddConst,
+	// MulPlain, ...) whose every coefficient rounds to zero at the scale
+	// inference assigned — e.g. a constant below the ladder scale's
+	// precision. Encoding it would silently turn the operation into
+	// ⊙0 / +0, so Compile rejects the circuit instead.
+	ErrUnencodable = errors.New("heax: plaintext payload not representable at the assigned scale")
 )

@@ -13,6 +13,8 @@ out=${1:-api.txt}
 {
 	go doc -all heax
 	echo
+	go doc -all heax/circuits
+	echo
 	go doc -all heax/serve
 	echo
 	go doc -all heax/serve/durable

@@ -9,19 +9,22 @@
 # baseline directly), and the wire-serving Serve_* benches (heax/serve
 # loopback: Serve_RunBatchMatvec is the full framed round trip per
 # input set, Serve_CompileCached the plan-cache hit, Serve_Admission
-# the weighted-fair submit→dispatch→done admission path per input set)
-# into a JSON file so the perf trajectory is tracked across PRs.
+# the weighted-fair submit→dispatch→done admission path per input set),
+# and the circuits-layer benches (Circuits_MatVec: 256×256 BSGS matvec
+# per run, one hoisted baby batch; Circuits_ChebyshevEval: degree-3
+# Paterson–Stockmeyer polynomial per run) into a JSON file so the perf
+# trajectory is tracked across PRs.
 #
-#   scripts/bench.sh [out.json]     # default: BENCH_6.json
+#   scripts/bench.sh [out.json]     # default: BENCH_8.json
 #   BENCHTIME=3s scripts/bench.sh   # steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_8.json}
 benchtime=${BENCHTIME:-1s}
 maxprocs=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
 
-go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_|Serve_' -benchmem -benchtime="$benchtime" . ./serve/ |
+go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_|Serve_|Circuits_' -benchmem -benchtime="$benchtime" . ./serve/ ./circuits/ |
 	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$maxprocs" '
 BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"results\": [\n", date, procs }
 /^Benchmark/ {
