@@ -14,6 +14,7 @@
 //	           [-tenant-weights alice=3,bob=1] [-tenant-queue 64]
 //	           [-tenant-inflight 0] [-dedup 256]
 //	           [-state-dir DIR] [-fsync always] [-max-tenant-bytes 0]
+//	           [-metrics-addr :9090] [-trace-steps] [-slow-run 0]
 //	           [-version]
 //
 // -params picks the paper's Table 2 parameter set (A, B or C) — one
@@ -33,6 +34,14 @@
 // the working set of queued and executing runs); excess work is shed
 // with a typed resource-exhausted error before allocation.
 //
+// -metrics-addr starts a second HTTP listener with the observability
+// surface: /metrics (Prometheus text exposition — per-tenant admission
+// counters, plan-cache hit rate, per-plan and per-step-kind latency
+// histograms), /healthz (200 while serving, 503 while draining), and
+// /debug/pprof. -trace-steps (default on) times every executed plan
+// step by kind; -slow-run logs any Run slower than the given threshold
+// with tenant, plan id and duration.
+//
 // On SIGTERM the daemon drains gracefully: listeners close, in-flight
 // runs finish and flush their responses, new work is refused with the
 // typed draining error, and the process exits 0 once idle (1 if the
@@ -45,6 +54,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -59,10 +70,10 @@ import (
 	"heax/serve/durable"
 )
 
-// version reports the module version and VCS revision baked into the
+// buildInfo reports the module version and VCS revision baked into the
 // binary by the Go toolchain (no build-time ldflags needed).
-func version() string {
-	mod, rev, dirty := "(devel)", "unknown", ""
+func buildInfo() (mod, rev, dirty string) {
+	mod, rev = "(devel)", "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if bi.Main.Version != "" {
 			mod = bi.Main.Version
@@ -78,7 +89,59 @@ func version() string {
 			}
 		}
 	}
+	return mod, rev, dirty
+}
+
+func version() string {
+	mod, rev, dirty := buildInfo()
 	return fmt.Sprintf("heax-serve %s (revision %s%s, %s)", mod, rev, dirty, runtime.Version())
+}
+
+// serveMetricsHTTP mounts the observability surface on its own
+// listener: /metrics (Prometheus exposition), /healthz (503 while
+// draining, so load balancers stop routing before the listener dies),
+// and /debug/pprof. Returns the bound listener so callers can log the
+// resolved address.
+func serveMetricsHTTP(addr string, srv *serve.Server) (net.Listener, error) {
+	reg := srv.MetricsRegistry()
+	mod, rev, dirty := buildInfo()
+	reg.NewGaugeVec("heax_build_info",
+		"Build metadata; the value is always 1.", "version", "revision", "goversion").
+		With(mod, rev+dirty, runtime.Version()).Set(1)
+	start := time.Now()
+	reg.NewGaugeFunc("heax_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if srv.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !isClosedErr(err) {
+			log.Printf("metrics listener: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
+func isClosedErr(err error) bool {
+	return strings.Contains(err.Error(), "use of closed network connection")
 }
 
 // parseTenantWeights parses "name=weight,name=weight" into per-tenant
@@ -119,6 +182,9 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for durable tenant state (empty = in-memory only; registrations do not survive restart)")
 	fsyncMode := flag.String("fsync", "always", "tenant-log fsync policy: always (crash-safe per record) or never (leave flushing to the OS)")
 	maxTenantBytes := flag.Int64("max-tenant-bytes", 0, "per-tenant memory budget in bytes: keys + live run working set (0 = unlimited)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	traceSteps := flag.Bool("trace-steps", true, "record per-step-kind execution latency on every compiled plan")
+	slowRun := flag.Duration("slow-run", 0, "log any Run request slower than this threshold (0 = disabled)")
 	showVersion := flag.Bool("version", false, "print version and revision, then exit")
 	flag.Parse()
 
@@ -153,6 +219,10 @@ func main() {
 			MaxBytes:    *maxTenantBytes,
 		}),
 		serve.WithDedupCapacity(*dedup),
+		serve.WithStepTracing(*traceSteps),
+	}
+	if *slowRun > 0 {
+		opts = append(opts, serve.WithSlowRunLog(*slowRun, log.Printf))
 	}
 
 	var store *durable.Store
@@ -206,6 +276,14 @@ func main() {
 			log.Printf("restored %d tenant(s) from %s (no key re-upload needed)", len(tenants), *stateDir)
 		}
 	}
+	var mln net.Listener
+	if *metricsAddr != "" {
+		mln, err = serveMetricsHTTP(*metricsAddr, srv)
+		if err != nil {
+			log.Fatalf("metrics listener on %s: %v", *metricsAddr, err)
+		}
+		log.Printf("metrics on http://%s/metrics (healthz, pprof)", mln.Addr())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -244,6 +322,11 @@ func main() {
 		log.Fatal(err)
 	}
 	code := <-exited
+	// The metrics listener outlives the drain on purpose (healthz keeps
+	// answering 503 while runs finish); close it only now.
+	if mln != nil {
+		mln.Close()
+	}
 	// os.Exit skips defers; close the store explicitly so the final WAL
 	// records hit disk even under -fsync never.
 	if store != nil {

@@ -14,16 +14,25 @@
 //	go run ./examples/client -addr localhost:7609
 //
 // With no -addr, the demo starts an in-process server on a loopback
-// port so it is self-contained.
+// port so it is self-contained — including a live /metrics endpoint,
+// which the demo scrapes after the batches to print the server-side
+// run-latency histogram for the tenant (client-visible observability).
+// Against a remote daemon started with -metrics-addr, pass the same
+// endpoint via -metrics to get the same summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 
 	"heax"
 	"heax/serve"
@@ -37,6 +46,7 @@ func main() {
 	addr := flag.String("addr", "", "heax-serve address (empty: start an in-process server)")
 	skipRegister := flag.Bool("skip-register", false, "do not upload evaluation keys (tenant \"demo\" is already registered, e.g. restored from a -state-dir after a restart)")
 	keepTenant := flag.Bool("keep-tenant", false, "leave tenant \"demo\" registered on exit (so a daemon with -state-dir can restore it later)")
+	metricsURL := flag.String("metrics", "", "server /metrics URL to scrape after the batches (e.g. http://localhost:9090/metrics); automatic for the in-process server")
 	flag.Parse()
 
 	target := *addr
@@ -57,6 +67,19 @@ func main() {
 		defer srv.Close()
 		target = ln.Addr().String()
 		fmt.Printf("no -addr given: in-process heax-serve on %s (Set-A)\n", target)
+		if *metricsURL == "" {
+			// A real loopback /metrics endpoint, so the scrape below is
+			// the same HTTP round trip a Prometheus agent would make.
+			mln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", srv.MetricsRegistry().Handler())
+			go http.Serve(mln, mux)
+			defer mln.Close()
+			*metricsURL = fmt.Sprintf("http://%s/metrics", mln.Addr())
+		}
 	}
 
 	cl, err := serve.Dial(target)
@@ -189,6 +212,9 @@ func main() {
 	if !identical {
 		log.Fatal("wire results diverged from the in-process oracle")
 	}
+	if *metricsURL != "" {
+		printRunLatency(*metricsURL, "demo")
+	}
 	if *keepTenant {
 		fmt.Println("tenant left registered; done")
 		return
@@ -197,6 +223,76 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("tenant evicted; done")
+}
+
+// printRunLatency scrapes the server's Prometheus exposition and
+// prints the tenant's heax_serve_run_seconds histogram: run count,
+// mean latency, and the populated buckets of the latency distribution
+// — exactly what a fleet dashboard would chart, read straight off the
+// wire.
+func printRunLatency(url, tenant string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Printf("scraping %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("scraping %s: %v", url, err)
+		return
+	}
+	sel := fmt.Sprintf("tenant=%q", tenant)
+	var count, sum float64
+	type bucket struct{ le, cum float64 }
+	var buckets []bucket
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "heax_serve_run_seconds") || !strings.Contains(line, sel) {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "heax_serve_run_seconds_count"):
+			count = v
+		case strings.HasPrefix(name, "heax_serve_run_seconds_sum"):
+			sum = v
+		case strings.HasPrefix(name, "heax_serve_run_seconds_bucket"):
+			if i := strings.Index(name, `le="`); i >= 0 {
+				leStr := name[i+4:]
+				leStr = leStr[:strings.IndexByte(leStr, '"')]
+				le := math.Inf(1)
+				if leStr != "+Inf" {
+					le, _ = strconv.ParseFloat(leStr, 64)
+				}
+				buckets = append(buckets, bucket{le: le, cum: v})
+			}
+		}
+	}
+	if count == 0 {
+		fmt.Printf("no %s run-latency samples for tenant %q yet\n", url, tenant)
+		return
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	fmt.Printf("server run-latency for tenant %q (scraped from %s):\n", tenant, url)
+	fmt.Printf("  %d runs, mean %.2fms\n", int(count), sum/count*1e3)
+	prev := 0.0
+	for _, b := range buckets {
+		if n := b.cum - prev; n > 0 {
+			if math.IsInf(b.le, 1) {
+				fmt.Printf("    > last bucket: %d\n", int(n))
+			} else {
+				fmt.Printf("    <= %gms: %d\n", b.le*1e3, int(n))
+			}
+		}
+		prev = b.cum
+	}
 }
 
 func ctEqual(a, b *heax.Ciphertext) bool {

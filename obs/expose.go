@@ -1,0 +1,151 @@
+package obs
+
+// Prometheus text-format exposition (version 0.0.4). The rendering is
+// deterministic — families sorted by name, children by label values —
+// so the output is pinnable in golden tests and diffs cleanly between
+// scrapes.
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders every registered family in the Prometheus text
+// format. It is safe to call while instruments are being updated: each
+// value is read atomically, and a histogram's +Inf bucket always
+// equals its _count line (both come from one snapshot of the bucket
+// counts).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		renderFamily(&b, f)
+	}
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}
+
+// Handler returns an http.Handler serving the text exposition — mount
+// it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+func renderFamily(b *bytes.Buffer, f *family) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.typ.String())
+	b.WriteByte('\n')
+
+	if f.fn != nil {
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(f.fn()))
+		b.WriteByte('\n')
+		return
+	}
+	for _, ch := range f.snapshot() {
+		switch f.typ {
+		case typeCounter:
+			writeSample(b, f.name, "", f.labels, ch.values, "", "", strconv.FormatUint(ch.c.Value(), 10))
+		case typeGauge:
+			writeSample(b, f.name, "", f.labels, ch.values, "", "", formatFloat(ch.g.Value()))
+		case typeHistogram:
+			renderHistogram(b, f, ch)
+		}
+	}
+}
+
+func renderHistogram(b *bytes.Buffer, f *family, ch *child) {
+	h := ch.h
+	// One snapshot of the bucket counts keeps the cumulative ladder
+	// monotonic and the +Inf bucket equal to _count even mid-load.
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeSample(b, f.name, "_bucket", f.labels, ch.values, "le", formatFloat(bound), strconv.FormatUint(cum, 10))
+	}
+	cum += counts[len(h.bounds)]
+	writeSample(b, f.name, "_bucket", f.labels, ch.values, "le", "+Inf", strconv.FormatUint(cum, 10))
+	writeSample(b, f.name, "_sum", f.labels, ch.values, "", "", formatFloat(h.Sum()))
+	writeSample(b, f.name, "_count", f.labels, ch.values, "", "", strconv.FormatUint(cum, 10))
+}
+
+// writeSample renders one line: name[suffix]{labels...[,extraK="extraV"]} value.
+func writeSample(b *bytes.Buffer, name, suffix string, labels, values []string, extraK, extraV, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraK)
+			b.WriteString(`="`)
+			b.WriteString(extraV)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float64 the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP line: backslash and newline.
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

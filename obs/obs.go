@@ -1,0 +1,449 @@
+// Package obs is the fleet observability substrate: a dependency-free
+// metrics registry with Prometheus text-format exposition.
+//
+// The package exists so every layer of the serving stack — admission
+// queues, plan caches, key registries, plan executors — can publish
+// the host-side signals that determine sustained FHE throughput (queue
+// depth, cache hit rate, ns/op per circuit, per-step-kind latency)
+// without pulling a client library into the module. Everything is
+// stdlib-only.
+//
+// Three instrument kinds cover the serving stack:
+//
+//   - Counter: a monotonically increasing event count. The increment
+//     is one atomic add — zero allocations, safe on the hottest path.
+//   - Gauge: a float64 that goes up and down (queue depth, bytes).
+//   - Histogram: observations bucketed under fixed upper bounds
+//     chosen at registration; Observe is a bounds scan plus two
+//     atomic operations, zero allocations.
+//
+// Each instrument exists either as a bare scalar (NewCounter, ...) or
+// as a labeled family (NewCounterVec, ...) whose With(values...)
+// returns the child for one label combination. With caches children,
+// but the call itself allocates its variadic slice — hot paths should
+// look the child up once and hold the pointer, which makes every
+// subsequent increment allocation-free.
+//
+// Registration happens at startup and panics on programmer error
+// (duplicate or invalid names, label arity mismatches), mirroring the
+// Prometheus client convention; the steady-state read and write paths
+// never panic and never allocate.
+//
+// Exposition (Registry.WriteTo, Registry.Handler) renders the
+// Prometheus text format deterministically: families sorted by name,
+// children sorted by label values, HELP/TYPE lines first, label
+// values escaped. Scrapes may run concurrently with increments; a
+// histogram's +Inf bucket and _count line are always consistent with
+// each other.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. Inc and Add are
+// single atomic operations: zero allocations, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down. Set is one atomic store;
+// Add is a compare-and-swap loop. Both are allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat adds v to a float64 stored as bits, atomically.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Histogram buckets observations under fixed upper bounds (inclusive,
+// as Prometheus "le"). Observe scans the bounds — a handful of
+// predictable branches — and lands two atomic operations: zero
+// allocations on the hot path, safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	// counts[i] is the number of observations in (bounds[i-1],
+	// bounds[i]]; the final extra slot is the +Inf overflow bucket.
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start, each factor times the previous — the usual latency ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n upper bounds starting at start, stepping by
+// width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets wants width > 0, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start += width
+	}
+	return b
+}
+
+// metricType tags a family's instrument kind.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one label combination's instrument within a family;
+// exactly one of c/g/h is non-nil, matching the family type.
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one metric name: its metadata plus every labeled child
+// (an unlabeled scalar is the single child with no label values).
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64      // histograms only
+	fn      func() float64 // callback gauges only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// childKey builds an unambiguous map key from label values
+// (length-prefixed, so no separator can collide with a value).
+func childKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range values {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// with returns (creating on first use) the child for one label
+// combination. Callers on hot paths hold the returned instrument.
+func (f *family) with(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has %d labels, got %d values", f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[key]
+	if !ok {
+		ch = &child{values: append([]string(nil), values...)}
+		switch f.typ {
+		case typeCounter:
+			ch.c = &Counter{}
+		case typeGauge:
+			ch.g = &Gauge{}
+		case typeHistogram:
+			ch.h = newHistogram(f.buckets)
+		}
+		f.children[key] = ch
+	}
+	return ch
+}
+
+// delete drops one label combination's child.
+func (f *family) delete(values []string) {
+	f.mu.Lock()
+	delete(f.children, childKey(values))
+	f.mu.Unlock()
+}
+
+// snapshot returns the children sorted by label values, for
+// deterministic exposition.
+func (f *family) snapshot() []*child {
+	f.mu.Lock()
+	kids := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		kids = append(kids, ch)
+	}
+	f.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool {
+		a, b := kids[i].values, kids[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return kids
+}
+
+// CounterVec is a counter family labeled by a fixed set of label
+// names.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label-value combination, creating
+// it on first use. Hot paths should cache the returned *Counter: the
+// child lookup locks and the variadic call allocates, but increments
+// on the held pointer are allocation-free.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).c }
+
+// Delete drops one label combination (bounding label cardinality when
+// a tenant or plan goes away). A held child pointer stays usable but
+// is no longer exposed.
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
+
+// GaugeVec is a gauge family labeled by a fixed set of label names.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label-value combination (see
+// CounterVec.With for the caching contract).
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).g }
+
+// Delete drops one label combination.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
+
+// HistogramVec is a histogram family labeled by a fixed set of label
+// names; every child shares the family's bucket bounds.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label-value combination (see
+// CounterVec.With for the caching contract).
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).h }
+
+// Delete drops one label combination.
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }
+
+// Registry holds metric families and renders them in the Prometheus
+// text format. All methods are safe for concurrent use. Registration
+// panics on programmer error (invalid or duplicate names, bad
+// buckets); the increment and exposition paths never do.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and installs a family, panicking on duplicates —
+// a second registration of the same name is a wiring bug, caught at
+// startup.
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l))
+		}
+	}
+	f.children = make(map[string]*child)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[f.name]; ok {
+		panic(fmt.Sprintf("obs: metric %s registered twice", f.name))
+	}
+	r.families[f.name] = f
+}
+
+// NewCounter registers and returns an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := &family{name: name, help: help, typ: typeCounter}
+	r.register(f)
+	return f.with(nil).c
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	f := &family{name: name, help: help, typ: typeCounter, labels: labels}
+	r.register(f)
+	return &CounterVec{f: f}
+}
+
+// NewGauge registers and returns an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := &family{name: name, help: help, typ: typeGauge}
+	r.register(f)
+	return f.with(nil).g
+}
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := &family{name: name, help: help, typ: typeGauge, labels: labels}
+	r.register(f)
+	return &GaugeVec{f: f}
+}
+
+// NewGaugeFunc registers a callback gauge: fn is invoked at exposition
+// time, so a component can expose a value it already maintains under
+// its own lock (registry size, queue occupancy) without mirroring it.
+// fn must not call back into this registry.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: metric %s: nil gauge func", name))
+	}
+	r.register(&family{name: name, help: help, typ: typeGauge, fn: fn})
+}
+
+// NewHistogram registers and returns an unlabeled histogram with the
+// given upper bounds (strictly increasing, finite; a trailing +Inf is
+// implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := &family{name: name, help: help, typ: typeHistogram, buckets: checkBuckets(name, buckets)}
+	r.register(f)
+	return f.with(nil).h
+}
+
+// NewHistogramVec registers a histogram family with the given bounds
+// and label names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := &family{name: name, help: help, typ: typeHistogram, buckets: checkBuckets(name, buckets), labels: labels}
+	r.register(f)
+	return &HistogramVec{f: f}
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: metric %s: empty bucket list", name))
+	}
+	out := append([]float64(nil), buckets...)
+	// A caller-supplied trailing +Inf is the implicit overflow bucket.
+	if math.IsInf(out[len(out)-1], 1) {
+		out = out[:len(out)-1]
+	}
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: metric %s: bucket %d is not finite", name, i))
+		}
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("obs: metric %s: buckets must be strictly increasing", name))
+		}
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("obs: metric %s: empty bucket list", name))
+	}
+	return out
+}
+
+// validName reports whether s is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabel reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -9,9 +9,48 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"heax/internal/ckks"
 )
+
+// Tracer receives the wall-clock latency of every executed plan step,
+// keyed by step kind ("MulRelin", "Rotate", "Rescale", ... — see
+// StepKinds). It is the software analogue of HEAX's per-core occupancy
+// counters: aggregate step latency tells you which kernel class bounds
+// a circuit's throughput. Implementations must be safe for concurrent
+// use — steps from one run (and from overlapping runs) report in
+// parallel. ObserveStep must be cheap; it runs inside the executor's
+// kernel slot.
+type Tracer interface {
+	ObserveStep(kind string, d time.Duration)
+}
+
+// tracerBox wraps a Tracer so the Plan can hold it in an
+// atomic.Pointer: the executor's fast path is a single pointer load
+// and nil check, adding zero allocations and no synchronization when
+// tracing is off.
+type tracerBox struct{ t Tracer }
+
+// SetTracer installs (or, with nil, removes) the plan's step tracer.
+// Safe to call concurrently with running steps; in-flight steps may
+// report to either the old or new tracer.
+func (p *Plan) SetTracer(t Tracer) {
+	if t == nil {
+		p.tracer.Store(nil)
+		return
+	}
+	p.tracer.Store(&tracerBox{t: t})
+}
+
+// StepKinds returns the canonical step-kind names a Tracer may
+// observe, in a fixed order suitable for pre-registering metric
+// children.
+func StepKinds() []string {
+	out := make([]string, len(stepKindNames))
+	copy(out, stepKindNames[:])
+	return out
+}
 
 // Plan is a compiled circuit: an immutable step list with every level,
 // scale, rescale and rotation batch fixed at compile time. A Plan is
@@ -56,6 +95,9 @@ type Plan struct {
 	// state per request (the done channels are per-run by construction:
 	// a closed channel cannot be reused).
 	slotStates sync.Pool
+	// tracer, when set, observes per-step kernel latency. Held boxed
+	// behind an atomic pointer so the untraced hot path costs one load.
+	tracer atomic.Pointer[tracerBox]
 	// failStep, when non-nil, injects an error into the named step
 	// after its output buffers are drawn — a test seam for exercising
 	// the executor's error paths (buffer recycling, ErrDependency
@@ -401,7 +443,16 @@ func (p *Plan) runStep(ctx context.Context, idx int, slots []runSlot) {
 			// Re-check after the (possibly long) semaphore wait so a
 			// cancelled run stops admitting kernels.
 			if err = ctx.Err(); err == nil {
-				err = p.exec(idx, st, in, slots)
+				// Timed only around kernel execution (inside the
+				// semaphore), so the tracer sees compute latency, not
+				// queueing.
+				if tb := p.tracer.Load(); tb != nil {
+					t0 := time.Now()
+					err = p.exec(idx, st, in, slots)
+					tb.t.ObserveStep(stepKindNames[st.kind], time.Since(t0))
+				} else {
+					err = p.exec(idx, st, in, slots)
+				}
 			}
 			<-p.sem
 		case <-ctx.Done():

@@ -15,6 +15,8 @@ out=${1:-api.txt}
 	echo
 	go doc -all heax/circuits
 	echo
+	go doc -all heax/obs
+	echo
 	go doc -all heax/serve
 	echo
 	go doc -all heax/serve/durable

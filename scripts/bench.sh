@@ -6,7 +6,7 @@
 # compiled-plan Plan_*/PlanBatch_* benches — PlanBatch_MulRelin reports
 # ns per MulRelin exactly like Session_SubmitMulRelin, so the two rows
 # compare the circuit API's streaming throughput against the imperative
-# baseline directly), and the wire-serving Serve_* benches (heax/serve
+# baseline directly), the wire-serving Serve_* benches (heax/serve
 # loopback: Serve_RunBatchMatvec is the full framed round trip per
 # input set, Serve_CompileCached the plan-cache hit, Serve_Admission
 # the weighted-fair submit→dispatch→done admission path per input set),
@@ -15,29 +15,60 @@
 # Paterson–Stockmeyer polynomial per run) into a JSON file so the perf
 # trajectory is tracked across PRs.
 #
-#   scripts/bench.sh [out.json]     # default: BENCH_8.json
+# The file also records a GOMAXPROCS sweep (1, 2, 4, 8) over the
+# parallelism-sensitive throughput benches — the measured baseline the
+# multi-core roadmap item scales against.
+#
+#   scripts/bench.sh [out.json]     # default: BENCH_9.json
 #   BENCHTIME=3s scripts/bench.sh   # steadier numbers
+#   SWEEP=0 scripts/bench.sh        # skip the GOMAXPROCS sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 benchtime=${BENCHTIME:-1s}
 maxprocs=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
+sweep=${SWEEP:-1}
 
-go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_|Serve_|Circuits_' -benchmem -benchtime="$benchtime" . ./serve/ ./circuits/ |
-	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$maxprocs" '
-BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"results\": [\n", date, procs }
+# rows converts `go test -bench` output on stdin into JSON result rows
+# (no surrounding brackets), indented by $1.
+rows() {
+	awk -v indent="$1" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	allocs = ""
 	for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
-	printf "%s    {\"bench\": \"%s\", \"ns_per_op\": %s", sep, name, $3
+	printf "%s%s{\"bench\": \"%s\", \"ns_per_op\": %s", sep, indent, name, $3
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 	printf "}"
 	sep = ",\n"
 }
-END { printf "\n  ]\n}\n" }
-' >"$out"
+END { printf "\n" }
+'
+}
+
+{
+	printf '{\n  "generated": "%s",\n  "gomaxprocs": %s,\n  "results": [\n' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$maxprocs"
+	go test -run=NONE -bench='Table7_CPU|Table8_CPU|API_|Session_|Plan_|PlanBatch_|Serve_|Circuits_' \
+		-benchmem -benchtime="$benchtime" . ./serve/ ./circuits/ | rows '    '
+	printf '  ]'
+	if [ "$sweep" = 1 ]; then
+		printf ',\n  "sweep": [\n'
+		sep=''
+		for procs in 1 2 4 8; do
+			echo "GOMAXPROCS=$procs sweep..." >&2
+			printf '%s    {"gomaxprocs": %s, "results": [\n' "$sep" "$procs"
+			GOMAXPROCS=$procs go test -run=NONE \
+				-bench='Table8_CPU_KeySwitchThroughput|Table8_CPU_MulRelinThroughput|PlanBatch_MulRelin|Serve_RunBatchMatvec' \
+				-benchmem -benchtime="$benchtime" . ./serve/ | rows '      '
+			printf '    ]}'
+			sep=$',\n'
+		done
+		printf '\n  ]'
+	fi
+	printf '\n}\n'
+} >"$out"
 
 echo "wrote $out"

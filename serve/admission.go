@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"heax/obs"
 )
 
 // TenantPolicy shapes one tenant's share of the admission layer.
@@ -71,6 +73,13 @@ type tenantQueue struct {
 	// executing jobs, charged at submit and released by done — the run
 	// half of the MaxBytes budget (keys are charged by the caller).
 	liveBytes int64
+
+	// Cached obs children (set once in queueFor, immutable after): the
+	// hot-path updates below are single atomic ops, never a vec lookup.
+	mDepth     *obs.Gauge
+	mLag       *obs.Gauge
+	mQueued    *obs.Counter
+	mCompleted *obs.Counter
 }
 
 type admitter struct {
@@ -89,14 +98,17 @@ type admitter struct {
 	inFlightTotal int
 	shedTotal     int64
 	closed        bool
+
+	m *serveMetrics
 }
 
-func newAdmitter(workers int, def TenantPolicy, pinned map[string]TenantPolicy) *admitter {
+func newAdmitter(workers int, def TenantPolicy, pinned map[string]TenantPolicy, m *serveMetrics) *admitter {
 	a := &admitter{
 		workers: workers,
 		def:     normalizePolicy(def, TenantPolicy{Weight: 1, MaxQueued: DefaultTenantQueue}),
 		pinned:  make(map[string]TenantPolicy, len(pinned)),
 		queues:  make(map[string]*tenantQueue),
+		m:       m,
 	}
 	for name, pol := range pinned {
 		a.pinned[name] = pol
@@ -139,7 +151,14 @@ func normalizePolicy(p, def TenantPolicy) TenantPolicy {
 func (a *admitter) queueFor(name string) *tenantQueue {
 	tq, ok := a.queues[name]
 	if !ok {
-		tq = &tenantQueue{name: name, pol: normalizePolicy(a.pinned[name], a.def)}
+		tq = &tenantQueue{
+			name:       name,
+			pol:        normalizePolicy(a.pinned[name], a.def),
+			mDepth:     a.m.queueDepth.With(name),
+			mLag:       a.m.strideLag.With(name),
+			mQueued:    a.m.queued.With(name),
+			mCompleted: a.m.completed.With(name),
+		}
 		a.queues[name] = tq
 	}
 	return tq
@@ -163,6 +182,7 @@ func (a *admitter) submit(name string, jobs []*runJob, keyBytes int64, budget ti
 	tq := a.queueFor(name)
 	if len(tq.jobs)+len(jobs) > tq.pol.MaxQueued {
 		a.shedTotal++
+		a.m.shed.With(name, "overloaded").Inc()
 		return fmt.Errorf("%w: tenant %q admission queue holds %d of %d input sets",
 			ErrOverloaded, name, len(tq.jobs), tq.pol.MaxQueued)
 	}
@@ -172,6 +192,7 @@ func (a *admitter) submit(name string, jobs []*runJob, keyBytes int64, budget ti
 	}
 	if tq.pol.MaxBytes > 0 && keyBytes+tq.liveBytes+runBytes > tq.pol.MaxBytes {
 		a.shedTotal++
+		a.m.shed.With(name, "memory").Inc()
 		return fmt.Errorf("%w: tenant %q would hold %d bytes (keys %d + live runs %d + this request %d) of a %d-byte budget",
 			ErrResourceExhausted, name, keyBytes+tq.liveBytes+runBytes, keyBytes, tq.liveBytes, runBytes, tq.pol.MaxBytes)
 	}
@@ -183,6 +204,7 @@ func (a *admitter) submit(name string, jobs []*runJob, keyBytes int64, budget ti
 		need := wait + time.Duration(waves)*est
 		if need > budget {
 			a.shedTotal++
+			a.m.shed.With(name, "deadline").Inc()
 			return fmt.Errorf("%w: estimated %v queue wait + run time exceeds the %v budget (shed before queuing)",
 				ErrDeadlineExceeded, need.Round(time.Microsecond), budget.Round(time.Microsecond))
 		}
@@ -193,6 +215,8 @@ func (a *admitter) submit(name string, jobs []*runJob, keyBytes int64, budget ti
 	tq.jobs = append(tq.jobs, jobs...)
 	tq.liveBytes += runBytes
 	a.queuedTotal += len(jobs)
+	tq.mQueued.Add(uint64(len(jobs)))
+	tq.mDepth.Set(float64(len(tq.jobs)))
 	a.cond.Broadcast()
 	return nil
 }
@@ -231,6 +255,11 @@ func (a *admitter) next() (*runJob, *tenantQueue, bool) {
 			a.inFlightTotal++
 			a.vtime = best.pass
 			best.pass += strideScale / uint64(best.pol.Weight)
+			best.mDepth.Set(float64(len(best.jobs)))
+			// pass and vtime are monotonic uint64s; the signed difference
+			// survives wraparound and reads as "how far ahead of the
+			// scheduler's clock this tenant has been pushed".
+			best.mLag.Set(float64(int64(best.pass - a.vtime)))
 			return job, best, true
 		}
 		if a.closed && a.queuedTotal == 0 {
@@ -299,11 +328,13 @@ func (a *admitter) close() {
 }
 
 // dropIdle forgets an evicted tenant's queue state if it is quiescent
-// (a non-empty queue keeps its state until the jobs drain).
+// (a non-empty queue keeps its state until the jobs drain), and with it
+// the tenant's per-tenant metric children.
 func (a *admitter) dropIdle(name string) {
 	a.mu.Lock()
 	if tq, ok := a.queues[name]; ok && len(tq.jobs) == 0 && tq.inFlight == 0 {
 		delete(a.queues, name)
+		a.m.dropTenant(name)
 	}
 	a.mu.Unlock()
 }

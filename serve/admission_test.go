@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"heax/obs"
 )
 
 func mkJobs(n int) []*runJob {
@@ -28,7 +30,7 @@ func TestAdmitterWeightedFairDeterministic(t *testing.T) {
 	adm := newAdmitter(1, TenantPolicy{}, map[string]TenantPolicy{
 		"heavy": {Weight: 2},
 		"light": {Weight: 1},
-	})
+	}, newServeMetrics(obs.NewRegistry()))
 	if err := adm.submit("heavy", mkJobs(20), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestAdmitterWeightedFairDeterministic(t *testing.T) {
 // light tenant's jobs out indefinitely — the light tenant's first job
 // dispatches within weight+1 rounds of its submission.
 func TestAdmitterNoStarvation(t *testing.T) {
-	adm := newAdmitter(1, TenantPolicy{}, map[string]TenantPolicy{"flood": {Weight: 8, MaxQueued: 1 << 12}})
+	adm := newAdmitter(1, TenantPolicy{}, map[string]TenantPolicy{"flood": {Weight: 8, MaxQueued: 1 << 12}}, newServeMetrics(obs.NewRegistry()))
 	if err := adm.submit("flood", mkJobs(64), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestAdmitterNoStarvation(t *testing.T) {
 // TestAdmitterQueueBound: the per-tenant queue rejects with a typed
 // ErrOverloaded instead of blocking, all-or-nothing.
 func TestAdmitterQueueBound(t *testing.T) {
-	adm := newAdmitter(1, TenantPolicy{MaxQueued: 4}, nil)
+	adm := newAdmitter(1, TenantPolicy{MaxQueued: 4}, nil, newServeMetrics(obs.NewRegistry()))
 	if err := adm.submit("t", mkJobs(4), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestAdmitterQueueBound(t *testing.T) {
 // budget the queue would eat is rejected up front with
 // ErrDeadlineExceeded; a generous budget is admitted.
 func TestAdmitterDeadlineShed(t *testing.T) {
-	adm := newAdmitter(1, TenantPolicy{MaxQueued: 1 << 10}, nil)
+	adm := newAdmitter(1, TenantPolicy{MaxQueued: 1 << 10}, nil, newServeMetrics(obs.NewRegistry()))
 	est := int64(10 * time.Millisecond)
 	if err := adm.submit("t", mkJobs(8), 0, 0, 0); err != nil { // 8 queued sets
 		t.Fatal(err)
@@ -127,7 +129,7 @@ func TestAdmitterDeadlineShed(t *testing.T) {
 // TestAdmitterInFlightCapSkips: a tenant at its in-flight cap is
 // skipped, not waited on — another tenant's job dispatches instead.
 func TestAdmitterInFlightCapSkips(t *testing.T) {
-	adm := newAdmitter(4, TenantPolicy{}, map[string]TenantPolicy{"capped": {MaxInFlight: 1}})
+	adm := newAdmitter(4, TenantPolicy{}, map[string]TenantPolicy{"capped": {MaxInFlight: 1}}, newServeMetrics(obs.NewRegistry()))
 	if err := adm.submit("capped", mkJobs(4), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestAdmitterInFlightCapSkips(t *testing.T) {
 // to executors (their contexts are cancelled, so they error out), and
 // next returns ok=false only once empty.
 func TestAdmitterCloseDrainsQueued(t *testing.T) {
-	adm := newAdmitter(1, TenantPolicy{}, nil)
+	adm := newAdmitter(1, TenantPolicy{}, nil, newServeMetrics(obs.NewRegistry()))
 	if err := adm.submit("t", mkJobs(3), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +186,7 @@ func BenchmarkServe_Admission(b *testing.B) {
 	adm := newAdmitter(2, TenantPolicy{MaxQueued: 1 << 20}, map[string]TenantPolicy{
 		"a": {Weight: 2},
 		"b": {Weight: 1},
-	})
+	}, newServeMetrics(obs.NewRegistry()))
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	names := [2]string{"a", "b"}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"heax"
+	"heax/obs"
 )
 
 // PlanID names a cached plan: the SHA-256 digest of the canonical
@@ -36,6 +37,12 @@ type cachedPlan struct {
 	plan   *heax.Plan
 	tenant *tenantEntry // the registry reference this plan holds
 	steps  int
+	// hist is the plan's run-latency histogram child
+	// (heax_serve_run_seconds{tenant,plan}), cached at compile so the
+	// executor's success path observes without a vec lookup.
+	hist *obs.Histogram
+	// tag is the plan id rendered once as its metric label value.
+	tag string
 	// estNS is a moving estimate (EWMA, α=¼) of one input set's run
 	// time through this plan, fed back by the executors and consumed by
 	// the admitter's deadline shedding. 0 = no completed run yet.
@@ -57,17 +64,45 @@ type planCache struct {
 	cap   int
 	order *list.List // front = most recently used
 	byKey map[cacheKey]*list.Element
+
+	// Hit/miss/eviction counts live under c.mu and are mirrored to the
+	// obs counters inside the same critical section — Stats and a
+	// /metrics scrape can disagree only by scrape timing, never by a
+	// lost or double-counted event.
+	hits      int64
+	misses    int64
+	evictions int64
+	m         *serveMetrics
 }
 
-func newPlanCache(capacity int) *planCache {
+func newPlanCache(capacity int, m *serveMetrics) *planCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &planCache{cap: capacity, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+	return &planCache{cap: capacity, order: list.New(), byKey: make(map[cacheKey]*list.Element), m: m}
 }
 
-// get returns the cached plan and refreshes its recency.
+// get returns the cached plan and refreshes its recency, counting the
+// outcome. Only compile-path lookups call get — a hit rate diluted by
+// executeRun's per-request plan fetches would measure protocol traffic,
+// not cache effectiveness; those use lookup.
 func (c *planCache) get(key cacheKey) (*cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		c.m.cacheMisses.Inc()
+		return nil, false
+	}
+	c.hits++
+	c.m.cacheHits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cachedPlan), true
+}
+
+// lookup is get without hit/miss accounting (run-path plan fetches).
+func (c *planCache) lookup(key cacheKey) (*cachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -96,6 +131,8 @@ func (c *planCache) add(cp *cachedPlan) (evicted []*cachedPlan) {
 		c.order.Remove(oldest)
 		old := oldest.Value.(*cachedPlan)
 		delete(c.byKey, old.key)
+		c.evictions++
+		c.m.cacheEvictions.Inc()
 		evicted = append(evicted, old)
 	}
 	return evicted
@@ -113,6 +150,8 @@ func (c *planCache) removeEntry(cp *cachedPlan) bool {
 	}
 	c.order.Remove(el)
 	delete(c.byKey, cp.key)
+	c.evictions++
+	c.m.cacheEvictions.Inc()
 	return true
 }
 
@@ -127,6 +166,8 @@ func (c *planCache) purgeTenant(tenant string) (purged []*cachedPlan) {
 		if cp.key.tenant == tenant {
 			c.order.Remove(el)
 			delete(c.byKey, cp.key)
+			c.evictions++
+			c.m.cacheEvictions.Inc()
 			purged = append(purged, cp)
 		}
 		el = next
@@ -138,4 +179,11 @@ func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// stats snapshots the cache counters for Stats.
+func (c *planCache) stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"heax"
+	"heax/obs"
 )
 
 func TestRegistryRefCountedEviction(t *testing.T) {
@@ -62,7 +63,7 @@ func TestRegistryRefCountedEviction(t *testing.T) {
 }
 
 func TestPlanCacheLRU(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(2, newServeMetrics(obs.NewRegistry()))
 	mk := func(tenant string, b byte) *cachedPlan {
 		var id PlanID
 		id[0] = b

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"heax/obs"
 )
 
 // TestDedupInFlightJoinRacesEviction: joiners pile onto one in-flight
@@ -118,7 +120,7 @@ func TestDedupInFlightJoinRacesEviction(t *testing.T) {
 // drains the books are exactly zero.
 func TestAdmitterPolicyUpdateMidBacklog(t *testing.T) {
 	const jobBytes, backlog = 100, 64
-	adm := newAdmitter(2, TenantPolicy{MaxQueued: 1 << 10}, nil)
+	adm := newAdmitter(2, TenantPolicy{MaxQueued: 1 << 10}, nil, newServeMetrics(obs.NewRegistry()))
 	mk := func(n int) []*runJob {
 		jobs := make([]*runJob, n)
 		for i := range jobs {

@@ -157,3 +157,17 @@ func (r *registry) len() int {
 	defer r.mu.Unlock()
 	return len(r.tenants)
 }
+
+// keyBytes reports the serialized key footprint of every currently
+// registered tenant — the registration half of the MaxBytes budget.
+// Keys kept live past unregister by in-flight holders are excluded:
+// this is the admitted footprint, not the transient one.
+func (r *registry) keyBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, e := range r.tenants {
+		total += e.keyBytes
+	}
+	return total
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"heax"
+	"heax/obs"
 )
 
 // Server is the multi-tenant plan-serving daemon: one process, one
@@ -25,6 +26,11 @@ type Server struct {
 	reg        *registry
 	cache      *planCache
 	opts       serverOptions
+
+	// metrics is the server's obs instrumentation bundle; always
+	// non-nil (a private registry is created unless WithMetricsRegistry
+	// supplies one), so no instrumentation site needs a nil check.
+	metrics *serveMetrics
 
 	// adm is the weighted-fair admission layer (admission.go): one
 	// bounded queue per tenant, stride-scheduled dispatch, deadline
@@ -89,6 +95,10 @@ type serverOptions struct {
 	policies    map[string]TenantPolicy
 	compileOpts []heax.CompileOption
 	tlog        TenantLog
+	metricsReg  *obs.Registry
+	traceSteps  bool
+	slowRun     time.Duration
+	slowLogf    func(format string, args ...any)
 }
 
 // Option configures a Server at construction.
@@ -171,6 +181,35 @@ func WithDedupCapacity(n int) Option {
 	}
 }
 
+// WithMetricsRegistry has the server register its metric families on
+// an existing obs registry (serve /metrics for several subsystems from
+// one endpoint) instead of a private one. A registry can back at most
+// one Server: family names are process-wide within a registry and
+// duplicate registration panics.
+func WithMetricsRegistry(r *obs.Registry) Option {
+	return func(o *serverOptions) { o.metricsReg = r }
+}
+
+// WithStepTracing toggles per-step execution tracing on every plan the
+// server compiles (default on): step-kind latency histograms feed
+// heax_plan_step_seconds. The traced path adds one clock read pair per
+// executed step; turn it off to shave that from latency-critical
+// deployments.
+func WithStepTracing(on bool) Option {
+	return func(o *serverOptions) { o.traceSteps = on }
+}
+
+// WithSlowRunLog logs every Run request slower than threshold through
+// logf (e.g. log.Printf) with tenant, plan id, batch count, duration
+// and outcome — the structured breadcrumb for tail-latency triage.
+// A zero threshold or nil logf disables it.
+func WithSlowRunLog(threshold time.Duration, logf func(format string, args ...any)) Option {
+	return func(o *serverOptions) {
+		o.slowRun = threshold
+		o.slowLogf = logf
+	}
+}
+
 // NewServer builds a server for one parameter set and starts its
 // executor pool. Callers own the listeners: combine with Serve, and
 // Close to shut down.
@@ -179,10 +218,11 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 		return nil, errors.New("serve: nil parameters")
 	}
 	o := serverOptions{
-		cacheCap:  64,
-		admission: runtime.GOMAXPROCS(0),
-		maxFrame:  DefaultMaxFrame,
-		dedupCap:  256,
+		cacheCap:   64,
+		admission:  runtime.GOMAXPROCS(0),
+		maxFrame:   DefaultMaxFrame,
+		dedupCap:   256,
+		traceSteps: true,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -191,26 +231,53 @@ func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 	if err := heax.WriteParams(&pb, params); err != nil {
 		return nil, fmt.Errorf("serve: serializing parameters: %w", err)
 	}
+	mreg := o.metricsReg
+	if mreg == nil {
+		mreg = obs.NewRegistry()
+	}
+	m := newServeMetrics(mreg)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		params:     params,
 		paramsBlob: pb.Bytes(),
 		reg:        newRegistry(),
-		cache:      newPlanCache(o.cacheCap),
+		cache:      newPlanCache(o.cacheCap, m),
 		opts:       o,
-		adm:        newAdmitter(o.admission, o.defPolicy, o.policies),
+		metrics:    m,
+		adm:        newAdmitter(o.admission, o.defPolicy, o.policies, m),
 		dedup:      newDedupCache(o.dedupCap),
 		ctx:        ctx,
 		cancel:     cancel,
 		listeners:  make(map[net.Listener]bool),
 		conns:      make(map[net.Conn]bool),
 	}
+	// Snapshot-style occupancy gauges read component state under the
+	// component's own lock at scrape time (exposition holds no registry
+	// lock while calling them, so the lock order is scrape → component,
+	// never the reverse — no cycle).
+	mreg.NewGaugeFunc("heax_serve_tenants",
+		"Currently registered tenants.",
+		func() float64 { return float64(s.reg.len()) })
+	mreg.NewGaugeFunc("heax_serve_key_bytes",
+		"Serialized evaluation-key bytes held for registered tenants.",
+		func() float64 { return float64(s.reg.keyBytes()) })
+	mreg.NewGaugeFunc("heax_serve_cached_plans",
+		"Compiled plans resident in the LRU cache.",
+		func() float64 { return float64(s.cache.len()) })
+	mreg.NewGaugeFunc("heax_serve_queued_runs",
+		"Input sets queued at admission across all tenants.",
+		func() float64 { queued, _ := s.adm.snapshot(); return float64(queued) })
 	s.execWG.Add(o.admission)
 	for i := 0; i < o.admission; i++ {
 		go s.executor()
 	}
 	return s, nil
 }
+
+// MetricsRegistry returns the obs registry holding the server's metric
+// families — mount its Handler at /metrics (cmd/heax-serve does this
+// behind -metrics-addr).
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics.reg }
 
 // runJob is one input set bound for one plan — the unit of admission.
 type runJob struct {
@@ -247,6 +314,7 @@ func (s *Server) runOne(job *runJob, tq *tenantQueue) {
 		if r := recover(); r != nil {
 			job.errs[job.idx] = fmt.Errorf("%w: recovered executor panic: %v", ErrInternal, r)
 			s.panicsRecovered.Add(1)
+			s.metrics.panics.Inc()
 		}
 		s.adm.done(tq, job.bytes)
 		job.wg.Done()
@@ -256,6 +324,7 @@ func (s *Server) runOne(job *runJob, tq *tenantQueue) {
 		// without burning executor time.
 		job.errs[job.idx] = err
 		s.canceledRuns.Add(1)
+		s.metrics.canceled.Inc()
 		return
 	}
 	start := time.Now()
@@ -267,10 +336,14 @@ func (s *Server) runOne(job *runJob, tq *tenantQueue) {
 	}
 	job.out[job.idx], job.errs[job.idx] = job.cp.plan.RunContext(job.ctx, job.in)
 	if job.errs[job.idx] == nil {
-		job.cp.observe(time.Since(start))
+		elapsed := time.Since(start)
+		job.cp.observe(elapsed)
+		job.cp.hist.Observe(elapsed.Seconds())
 		s.completedRuns.Add(1)
+		tq.mCompleted.Inc()
 	} else if errors.Is(job.errs[job.idx], context.Canceled) {
 		s.canceledRuns.Add(1)
+		s.metrics.canceled.Inc()
 	}
 }
 
@@ -451,11 +524,31 @@ type Stats struct {
 	// and refused (over-release, release without unregister) instead of
 	// panicking the process.
 	RefcountBugs int64
+	// CacheHits / CacheMisses count compile-path plan-cache lookups (a
+	// Run's plan fetch is deliberately uncounted); CacheEvictions counts
+	// plans dropped for capacity, tenant eviction or staleness. All
+	// three are kept under the cache mutex in the same critical section
+	// as the obs counters, so Stats and a /metrics scrape never diverge
+	// by more than scrape timing.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// KeyBytes is the serialized evaluation-key footprint of every
+	// currently registered tenant.
+	KeyBytes int64
+	// Draining reports a graceful shutdown in progress (new work is
+	// being rejected while admitted runs finish) — the signal a
+	// /healthz endpoint should turn into "not ready".
+	Draining bool
 }
 
 // Stats snapshots registry, cache and admission occupancy.
 func (s *Server) Stats() Stats {
 	queued, shed := s.adm.snapshot()
+	hits, misses, evictions := s.cache.stats()
+	s.mu.Lock()
+	draining := s.draining || s.closed
+	s.mu.Unlock()
 	return Stats{
 		Tenants:         s.reg.len(),
 		CachedPlans:     s.cache.len(),
@@ -466,6 +559,11 @@ func (s *Server) Stats() Stats {
 		DedupHits:       s.dedupHits.Load(),
 		PanicsRecovered: s.panicsRecovered.Load(),
 		RefcountBugs:    s.reg.bugs.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		KeyBytes:        s.reg.keyBytes(),
+		Draining:        draining,
 	}
 }
 
@@ -502,6 +600,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// connection, never the daemon.
 		if r := recover(); r != nil {
 			s.panicsRecovered.Add(1)
+			s.metrics.panics.Inc()
 		}
 		conn.Close()
 		s.mu.Lock()
@@ -594,6 +693,7 @@ func (s *Server) guard(f func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicsRecovered.Add(1)
+			s.metrics.panics.Inc()
 			err = fmt.Errorf("%w: recovered request panic: %v", ErrInternal, r)
 		}
 	}()
@@ -692,10 +792,22 @@ func (s *Server) evictTenant(name string) error {
 	}
 	for _, cp := range s.cache.purgeTenant(name) {
 		s.reg.release(cp.tenant)
+		s.dropPlanMetrics(cp, nil)
 	}
 	s.dedup.purgeTenant(name)
 	s.adm.dropIdle(name)
 	return nil
+}
+
+// dropPlanMetrics deletes an evicted plan's run-latency series unless
+// keep (an entry staying cached) carries the same label values — the
+// racing-duplicate compile path retires the newcomer while the
+// incumbent must keep its (tenant, plan) series alive.
+func (s *Server) dropPlanMetrics(old, keep *cachedPlan) {
+	if keep != nil && old.key == keep.key {
+		return
+	}
+	s.metrics.runSeconds.Delete(old.key.tenant, old.tag)
 }
 
 func (s *Server) handleCompile(payload []byte) ([]byte, error) {
@@ -733,6 +845,7 @@ func (s *Server) handleCompile(payload []byte) ([]byte, error) {
 		}
 		if s.cache.removeEntry(cp) {
 			s.reg.release(cp.tenant)
+			s.dropPlanMetrics(cp, nil)
 		}
 	}
 	entry, err := s.reg.acquire(name)
@@ -747,9 +860,14 @@ func (s *Server) handleCompile(payload []byte) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: %v", errCompile, err)
 	}
-	cp := &cachedPlan{key: key, plan: plan, tenant: entry, steps: plan.NumSteps()}
+	cp := &cachedPlan{key: key, plan: plan, tenant: entry, steps: plan.NumSteps(), tag: planTag(id)}
+	cp.hist = s.metrics.runSeconds.With(name, cp.tag)
+	if s.opts.traceSteps {
+		plan.SetTracer(s.metrics.tracer)
+	}
 	for _, old := range s.cache.add(cp) {
 		s.reg.release(old.tenant)
+		s.dropPlanMetrics(old, cp)
 	}
 	// If the tenant was evicted while we compiled, the purge may have
 	// run before our insert landed; retire the entry ourselves rather
@@ -759,6 +877,7 @@ func (s *Server) handleCompile(payload []byte) ([]byte, error) {
 	// released twice.
 	if !s.reg.live(entry) && s.cache.removeEntry(cp) {
 		s.reg.release(entry)
+		s.dropPlanMetrics(cp, nil)
 	}
 	return compileResponse(id, cp.steps, false), nil
 }
@@ -840,10 +959,19 @@ func (s *Server) parseRunRequest(payload []byte, legacy bool) (*runRequest, erro
 	return req, nil
 }
 
-func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, payload []byte, legacy bool) ([]byte, error) {
-	req, err := s.parseRunRequest(payload, legacy)
-	if err != nil {
-		return nil, err
+func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, payload []byte, legacy bool) (resp []byte, err error) {
+	req, perr := s.parseRunRequest(payload, legacy)
+	if perr != nil {
+		return nil, perr
+	}
+	if s.opts.slowRun > 0 && s.opts.slowLogf != nil {
+		start := time.Now()
+		defer func() {
+			if d := time.Since(start); d >= s.opts.slowRun {
+				s.opts.slowLogf("serve: slow run tenant=%q plan=%x batches=%d dur=%v err=%v",
+					req.tenant, req.id[:8], len(req.batches), d.Round(time.Microsecond), err)
+			}
+		}()
 	}
 	if req.reqID == (requestID{}) {
 		return s.executeRun(ctx, cancel, conn, br, req)
@@ -869,6 +997,7 @@ func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn 
 				continue
 			}
 			s.dedupHits.Add(1)
+			s.metrics.dedupHits.With(req.tenant).Inc()
 			return e.resp, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -877,13 +1006,16 @@ func (s *Server) handleRun(ctx context.Context, cancel context.CancelFunc, conn 
 }
 
 func (s *Server) executeRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, br *bufio.Reader, req *runRequest) ([]byte, error) {
-	cp, ok := s.cache.get(cacheKey{tenant: req.tenant, id: req.id})
+	// lookup, not get: run-path plan fetches must not dilute the
+	// compile-path hit rate.
+	cp, ok := s.cache.lookup(cacheKey{tenant: req.tenant, id: req.id})
 	if ok && !s.reg.live(cp.tenant) {
 		// Stale entry from an evicted (possibly re-registered) tenant:
 		// never serve it — a fresh registration under the same name
 		// must recompile against its own keys.
 		if s.cache.removeEntry(cp) {
 			s.reg.release(cp.tenant)
+			s.dropPlanMetrics(cp, nil)
 		}
 		ok = false
 	}
