@@ -337,7 +337,7 @@ func (c *Circuit) RequiredRotations(params *Params) ([]int, error) {
 		return nil, c.err
 	}
 	if len(c.outputs) == 0 {
-		return nil, fmt.Errorf("heax: circuit has no outputs")
+		return nil, fmt.Errorf("heax: circuit has no outputs: %w", ErrInvalidCircuit)
 	}
 	rep := c.eliminateCommon(params)
 	reach := c.reachable(rep)

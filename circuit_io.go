@@ -134,20 +134,20 @@ func (c *Circuit) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("heax: circuit decode: %w", err)
 	}
 	if enc.Version != circuitEncodingVersion {
-		return fmt.Errorf("heax: circuit decode: unsupported version %d (want %d)", enc.Version, circuitEncodingVersion)
+		return fmt.Errorf("heax: circuit decode: unsupported version %d (want %d): %w", enc.Version, circuitEncodingVersion, ErrCorrupt)
 	}
 	dec := Circuit{inputID: make(map[string]int), outSet: make(map[string]bool)}
 	for i, nj := range enc.Nodes {
 		kind, ok := kindByName[nj.Op]
 		if !ok {
-			return fmt.Errorf("heax: circuit decode: node %d has unknown op %q", i, nj.Op)
+			return fmt.Errorf("heax: circuit decode: node %d has unknown op %q: %w", i, nj.Op, ErrCorrupt)
 		}
 		if len(nj.Args) != argCount(kind) {
-			return fmt.Errorf("heax: circuit decode: node %d (%s) has %d operands, want %d", i, nj.Op, len(nj.Args), argCount(kind))
+			return fmt.Errorf("heax: circuit decode: node %d (%s) has %d operands, want %d: %w", i, nj.Op, len(nj.Args), argCount(kind), ErrCorrupt)
 		}
 		for _, a := range nj.Args {
 			if a < 0 || a >= i {
-				return fmt.Errorf("heax: circuit decode: node %d (%s) references node %d (operands must reference earlier nodes)", i, nj.Op, a)
+				return fmt.Errorf("heax: circuit decode: node %d (%s) references node %d (operands must reference earlier nodes): %w", i, nj.Op, a, ErrCorrupt)
 			}
 		}
 		n := cnode{kind: kind, step: nj.Step, n2: nj.N2, name: nj.Name}
@@ -157,29 +157,29 @@ func (c *Circuit) UnmarshalJSON(data []byte) error {
 		switch kind {
 		case kindInput:
 			if nj.Name == "" {
-				return fmt.Errorf("heax: circuit decode: node %d: input with empty name", i)
+				return fmt.Errorf("heax: circuit decode: node %d: input with empty name: %w", i, ErrCorrupt)
 			}
 			if _, dup := dec.inputID[nj.Name]; dup {
-				return fmt.Errorf("heax: circuit decode: node %d: duplicate input %q", i, nj.Name)
+				return fmt.Errorf("heax: circuit decode: node %d: duplicate input %q: %w", i, nj.Name, ErrCorrupt)
 			}
 			dec.inputID[nj.Name] = i
 			dec.inputs = append(dec.inputs, nj.Name)
 		case kindMulPlain, kindAddPlain:
 			switch {
 			case nj.Scalar != nil && (len(nj.Values) > 0 || len(nj.ValuesIm) > 0):
-				return fmt.Errorf("heax: circuit decode: node %d (%s) carries both a scalar and a vector payload", i, nj.Op)
+				return fmt.Errorf("heax: circuit decode: node %d (%s) carries both a scalar and a vector payload: %w", i, nj.Op, ErrCorrupt)
 			case nj.Scalar != nil:
 				if nj.Periodic {
-					return fmt.Errorf("heax: circuit decode: node %d (%s): a broadcast constant cannot be periodic", i, nj.Op)
+					return fmt.Errorf("heax: circuit decode: node %d (%s): a broadcast constant cannot be periodic: %w", i, nj.Op, ErrCorrupt)
 				}
 				if !isFinite(*nj.Scalar) {
-					return fmt.Errorf("heax: circuit decode: node %d (%s): constant is %g", i, nj.Op, *nj.Scalar)
+					return fmt.Errorf("heax: circuit decode: node %d (%s): constant is %g: %w", i, nj.Op, *nj.Scalar, ErrCorrupt)
 				}
 				n.scalar, n.broadcast = *nj.Scalar, true
 			case len(nj.Values) > 0:
 				if len(nj.ValuesIm) > 0 && len(nj.ValuesIm) != len(nj.Values) {
-					return fmt.Errorf("heax: circuit decode: node %d (%s) has %d imaginary parts for %d values",
-						i, nj.Op, len(nj.ValuesIm), len(nj.Values))
+					return fmt.Errorf("heax: circuit decode: node %d (%s) has %d imaginary parts for %d values: %w",
+						i, nj.Op, len(nj.ValuesIm), len(nj.Values), ErrCorrupt)
 				}
 				n.vals = make([]complex128, len(nj.Values))
 				for j, v := range nj.Values {
@@ -188,33 +188,33 @@ func (c *Circuit) UnmarshalJSON(data []byte) error {
 						im = nj.ValuesIm[j]
 					}
 					if !isFinite(v) || !isFinite(im) {
-						return fmt.Errorf("heax: circuit decode: node %d (%s): value %d is %g", i, nj.Op, j, complex(v, im))
+						return fmt.Errorf("heax: circuit decode: node %d (%s): value %d is %g: %w", i, nj.Op, j, complex(v, im), ErrCorrupt)
 					}
 					n.vals[j] = complex(v, im)
 				}
 				n.periodic = nj.Periodic
 			default:
-				return fmt.Errorf("heax: circuit decode: node %d (%s) has no plaintext payload", i, nj.Op)
+				return fmt.Errorf("heax: circuit decode: node %d (%s) has no plaintext payload: %w", i, nj.Op, ErrCorrupt)
 			}
 		case kindInnerSum:
 			if nj.N2 < 1 || nj.N2&(nj.N2-1) != 0 {
-				return fmt.Errorf("heax: circuit decode: node %d: InnerSum width %d must be a power of two", i, nj.N2)
+				return fmt.Errorf("heax: circuit decode: node %d: InnerSum width %d must be a power of two: %w", i, nj.N2, ErrCorrupt)
 			}
 		}
 		if kind != kindInput && nj.Name != "" {
-			return fmt.Errorf("heax: circuit decode: node %d (%s) must not carry an input name", i, nj.Op)
+			return fmt.Errorf("heax: circuit decode: node %d (%s) must not carry an input name: %w", i, nj.Op, ErrCorrupt)
 		}
 		dec.nodes = append(dec.nodes, n)
 	}
 	for _, oj := range enc.Outputs {
 		if oj.Name == "" {
-			return fmt.Errorf("heax: circuit decode: output with empty name")
+			return fmt.Errorf("heax: circuit decode: output with empty name: %w", ErrCorrupt)
 		}
 		if dec.outSet[oj.Name] {
-			return fmt.Errorf("heax: circuit decode: duplicate output %q", oj.Name)
+			return fmt.Errorf("heax: circuit decode: duplicate output %q: %w", oj.Name, ErrCorrupt)
 		}
 		if oj.Node < 0 || oj.Node >= len(dec.nodes) {
-			return fmt.Errorf("heax: circuit decode: output %q references node %d of %d", oj.Name, oj.Node, len(dec.nodes))
+			return fmt.Errorf("heax: circuit decode: output %q references node %d of %d: %w", oj.Name, oj.Node, len(dec.nodes), ErrCorrupt)
 		}
 		dec.outSet[oj.Name] = true
 		dec.outputs = append(dec.outputs, circuitOut{name: oj.Name, node: oj.Node})

@@ -30,10 +30,10 @@ type Polynomial struct {
 // degree+1 Chebyshev coefficients.
 func Approximate(f func(float64) float64, a, b float64, degree int) (Polynomial, error) {
 	if degree < 0 || degree > MaxDegree {
-		return Polynomial{}, fmt.Errorf("circuits: Approximate: degree %d out of range [0, %d]", degree, MaxDegree)
+		return Polynomial{}, fmt.Errorf("circuits: Approximate: degree %d out of range [0, %d]: %w", degree, MaxDegree, ErrInvalidArgument)
 	}
 	if !(a < b) || math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
-		return Polynomial{}, fmt.Errorf("circuits: Approximate: invalid interval [%g, %g]", a, b)
+		return Polynomial{}, fmt.Errorf("circuits: Approximate: invalid interval [%g, %g]: %w", a, b, ErrInvalidArgument)
 	}
 	n := degree + 1
 	mid, half := (a+b)/2, (b-a)/2
@@ -42,7 +42,7 @@ func Approximate(f func(float64) float64, a, b float64, degree int) (Polynomial,
 		x := mid + half*math.Cos(math.Pi*(float64(k)+0.5)/float64(n))
 		fx[k] = f(x)
 		if math.IsNaN(fx[k]) || math.IsInf(fx[k], 0) {
-			return Polynomial{}, fmt.Errorf("circuits: Approximate: f(%g) = %g", x, fx[k])
+			return Polynomial{}, fmt.Errorf("circuits: Approximate: f(%g) = %g: %w", x, fx[k], ErrInvalidArgument)
 		}
 	}
 	coeffs := make([]float64, n)
@@ -96,17 +96,17 @@ func (p Polynomial) Eval(x float64) float64 {
 // extrapolation.
 func (p Polynomial) Apply(c *heax.Circuit, in heax.Node) (heax.Node, error) {
 	if len(p.Coeffs) == 0 {
-		return heax.Node{}, fmt.Errorf("circuits: Polynomial: no coefficients")
+		return heax.Node{}, fmt.Errorf("circuits: Polynomial: no coefficients: %w", ErrInvalidArgument)
 	}
 	if len(p.Coeffs)-1 > MaxDegree {
-		return heax.Node{}, fmt.Errorf("circuits: Polynomial: degree %d exceeds %d", len(p.Coeffs)-1, MaxDegree)
+		return heax.Node{}, fmt.Errorf("circuits: Polynomial: degree %d exceeds %d: %w", len(p.Coeffs)-1, MaxDegree, ErrInvalidArgument)
 	}
 	if !(p.A < p.B) || math.IsInf(p.A, 0) || math.IsInf(p.B, 0) || math.IsNaN(p.A) || math.IsNaN(p.B) {
-		return heax.Node{}, fmt.Errorf("circuits: Polynomial: invalid interval [%g, %g]", p.A, p.B)
+		return heax.Node{}, fmt.Errorf("circuits: Polynomial: invalid interval [%g, %g]: %w", p.A, p.B, ErrInvalidArgument)
 	}
 	for j, v := range p.Coeffs {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return heax.Node{}, fmt.Errorf("circuits: Polynomial: coefficient %d is %g", j, v)
+			return heax.Node{}, fmt.Errorf("circuits: Polynomial: coefficient %d is %g: %w", j, v, ErrInvalidArgument)
 		}
 	}
 	// Chebyshev → monomial coefficients in u, trailing zeros trimmed.
@@ -328,13 +328,19 @@ func Inverse(degree int) Polynomial {
 	return mustApproximate("Inverse", func(x float64) float64 { return 1 / x }, 0.5, 2, degree)
 }
 
+// mustApproximate backs the fixed-function constructors (Sigmoid,
+// Inverse, ...), whose panic-on-bad-degree contract is documented on
+// each of them: the degree is a literal at the call site, so misuse is
+// a programming error caught on first run, never a request-path crash.
 func mustApproximate(name string, f func(float64) float64, a, b float64, degree int) Polynomial {
 	if degree < 1 || degree > MaxDegree {
+		//heax:allowpanic documented constructor-misuse contract
 		panic(fmt.Sprintf("circuits: %s: degree %d out of range [1, %d]", name, degree, MaxDegree))
 	}
 	p, err := Approximate(f, a, b, degree)
 	if err != nil {
-		panic(fmt.Sprintf("circuits: %s: %v", name, err)) // unreachable: fixed finite interval
+		//heax:allowpanic unreachable: fixed finite interval
+		panic(fmt.Sprintf("circuits: %s: %v", name, err))
 	}
 	return p
 }

@@ -1,0 +1,9 @@
+package circuits
+
+import "errors"
+
+// ErrInvalidArgument is the sentinel every constructor and builder in
+// this package wraps when its input is unusable: degrees or dimensions
+// out of range, non-finite values, malformed matrices. Branch with
+// errors.Is; the message carries the specifics.
+var ErrInvalidArgument = errors.New("circuits: invalid argument")

@@ -58,16 +58,16 @@ type LinearTransform struct {
 func FromMatrix(m [][]complex128) (*LinearTransform, error) {
 	rows := len(m)
 	if rows == 0 {
-		return nil, fmt.Errorf("circuits: FromMatrix: empty matrix")
+		return nil, fmt.Errorf("circuits: FromMatrix: empty matrix: %w", ErrInvalidArgument)
 	}
 	cols := len(m[0])
 	for i, r := range m {
 		if len(r) != cols {
-			return nil, fmt.Errorf("circuits: FromMatrix: row %d has %d columns, row 0 has %d", i, len(r), cols)
+			return nil, fmt.Errorf("circuits: FromMatrix: row %d has %d columns, row 0 has %d: %w", i, len(r), cols, ErrInvalidArgument)
 		}
 	}
 	if cols == 0 {
-		return nil, fmt.Errorf("circuits: FromMatrix: empty rows")
+		return nil, fmt.Errorf("circuits: FromMatrix: empty rows: %w", ErrInvalidArgument)
 	}
 	n := nextPow2(max(rows, cols))
 	diags := make(map[int][]complex128)
@@ -117,7 +117,7 @@ func FromRealMatrix(m [][]float64) (*LinearTransform, error) {
 // logistic-regression example serves.
 func BatchedDot(w []float64) (*LinearTransform, error) {
 	if len(w) == 0 {
-		return nil, fmt.Errorf("circuits: BatchedDot: empty weight vector")
+		return nil, fmt.Errorf("circuits: BatchedDot: empty weight vector: %w", ErrInvalidArgument)
 	}
 	n := nextPow2(len(w))
 	diags := make(map[int][]complex128, len(w))
@@ -140,13 +140,13 @@ func BatchedDot(w []float64) (*LinearTransform, error) {
 // cyclic rotation by step < dim wraps inside each replica.
 func Replicate(x []complex128, dim, slots int) ([]complex128, error) {
 	if dim < 1 || dim&(dim-1) != 0 {
-		return nil, fmt.Errorf("circuits: Replicate: dimension %d must be a power of two", dim)
+		return nil, fmt.Errorf("circuits: Replicate: dimension %d must be a power of two: %w", dim, ErrInvalidArgument)
 	}
 	if len(x) > dim {
-		return nil, fmt.Errorf("circuits: Replicate: %d values exceed dimension %d", len(x), dim)
+		return nil, fmt.Errorf("circuits: Replicate: %d values exceed dimension %d: %w", len(x), dim, ErrInvalidArgument)
 	}
 	if slots < dim || slots%dim != 0 {
-		return nil, fmt.Errorf("circuits: Replicate: dimension %d does not divide %d slots", dim, slots)
+		return nil, fmt.Errorf("circuits: Replicate: dimension %d does not divide %d slots: %w", dim, slots, ErrInvalidArgument)
 	}
 	out := make([]complex128, slots)
 	for i := range out {
@@ -181,25 +181,25 @@ type bsgsPlan struct {
 func (lt *LinearTransform) plan() (*bsgsPlan, error) {
 	n := lt.Dimension
 	if n < 1 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("circuits: LinearTransform: dimension %d must be a power of two", n)
+		return nil, fmt.Errorf("circuits: LinearTransform: dimension %d must be a power of two: %w", n, ErrInvalidArgument)
 	}
 	if len(lt.Diagonals) == 0 {
-		return nil, fmt.Errorf("circuits: LinearTransform: no diagonals")
+		return nil, fmt.Errorf("circuits: LinearTransform: no diagonals: %w", ErrInvalidArgument)
 	}
 	p := &bsgsPlan{n: n, diags: make(map[int][]complex128, len(lt.Diagonals))}
 	for d, vec := range lt.Diagonals {
 		if len(vec) > n {
-			return nil, fmt.Errorf("circuits: LinearTransform: diagonal %d has %d values, dimension is %d", d, len(vec), n)
+			return nil, fmt.Errorf("circuits: LinearTransform: diagonal %d has %d values, dimension is %d: %w", d, len(vec), n, ErrInvalidArgument)
 		}
 		cd := ((d % n) + n) % n
 		if _, dup := p.diags[cd]; dup {
-			return nil, fmt.Errorf("circuits: LinearTransform: diagonals %d and %d coincide modulo dimension %d", d, cd, n)
+			return nil, fmt.Errorf("circuits: LinearTransform: diagonals %d and %d coincide modulo dimension %d: %w", d, cd, n, ErrInvalidArgument)
 		}
 		full := make([]complex128, n)
 		zero := true
 		for i, v := range vec {
 			if !isFinite(v) {
-				return nil, fmt.Errorf("circuits: LinearTransform: diagonal %d value %d is %g", d, i, v)
+				return nil, fmt.Errorf("circuits: LinearTransform: diagonal %d value %d is %g: %w", d, i, v, ErrInvalidArgument)
 			}
 			if v != 0 {
 				zero = false
@@ -218,7 +218,7 @@ func (lt *LinearTransform) plan() (*bsgsPlan, error) {
 	p.n1 = lt.BabyDim
 	if p.n1 != 0 {
 		if p.n1 < 1 || p.n1 > n || p.n1&(p.n1-1) != 0 {
-			return nil, fmt.Errorf("circuits: LinearTransform: baby dimension %d must be a power of two dividing %d", p.n1, n)
+			return nil, fmt.Errorf("circuits: LinearTransform: baby dimension %d must be a power of two dividing %d: %w", p.n1, n, ErrInvalidArgument)
 		}
 	} else {
 		p.n1 = p.pickBabyDim()

@@ -1,0 +1,56 @@
+package circuits_test
+
+// Regression tests for ErrInvalidArgument: every argument rejection in
+// the public constructors is branchable with errors.Is.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"heax/circuits"
+)
+
+func TestApproximateWrapsErrInvalidArgument(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	cases := map[string]func() error{
+		"negative degree": func() error {
+			_, err := circuits.Approximate(id, -1, 1, -1)
+			return err
+		},
+		"degree over cap": func() error {
+			_, err := circuits.Approximate(id, -1, 1, circuits.MaxDegree+1)
+			return err
+		},
+		"empty interval": func() error {
+			_, err := circuits.Approximate(id, 1, 1, 3)
+			return err
+		},
+		"non-finite interval": func() error {
+			_, err := circuits.Approximate(id, math.Inf(-1), 1, 3)
+			return err
+		},
+		"non-finite sample": func() error {
+			_, err := circuits.Approximate(math.Log, -1, 1, 3)
+			return err
+		},
+	}
+	for name, run := range cases {
+		if err := run(); !errors.Is(err, circuits.ErrInvalidArgument) {
+			t.Errorf("%s: %v, want ErrInvalidArgument", name, err)
+		}
+	}
+}
+
+func TestFromMatrixWrapsErrInvalidArgument(t *testing.T) {
+	cases := map[string][][]complex128{
+		"empty matrix": {},
+		"empty rows":   {{}},
+		"ragged rows":  {{1, 2}, {3}},
+	}
+	for name, m := range cases {
+		if _, err := circuits.FromMatrix(m); !errors.Is(err, circuits.ErrInvalidArgument) {
+			t.Errorf("%s: %v, want ErrInvalidArgument", name, err)
+		}
+	}
+}

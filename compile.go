@@ -1,6 +1,7 @@
 package heax
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -41,7 +42,7 @@ func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...Compile
 		return nil, c.err
 	}
 	if len(c.outputs) == 0 {
-		return nil, fmt.Errorf("heax: circuit has no outputs")
+		return nil, fmt.Errorf("heax: circuit has no outputs: %w", ErrInvalidCircuit)
 	}
 	if evk == nil {
 		evk = &EvaluationKeySet{}
@@ -113,11 +114,16 @@ func (c *Circuit) Compile(params *Params, evk *EvaluationKeySet, opts ...Compile
 	for _, in := range p.inputs {
 		p.inputSlot[in.slot] = true
 	}
+	// Prove the pool's buffer shape constructible once, here, where an
+	// error can still be returned; the pool's New then runs panic-free
+	// on the request path (a plan buffer that cannot be represented is a
+	// compile-time rejection, not a runtime crash).
+	if _, err := NewCiphertext(params, 1, params.MaxLevel(), 0); err != nil {
+		return nil, fmt.Errorf("heax: compile: plan buffer shape (degree 1, level %d) rejected: %w",
+			params.MaxLevel(), errors.Join(ErrUnencodable, err))
+	}
 	p.bufs = &syncCtPool{p: sync.Pool{New: func() any {
-		ct, err := NewCiphertext(params, 1, params.MaxLevel(), 0)
-		if err != nil {
-			panic(err) // degree/level are fixed valid constants
-		}
+		ct, _ := NewCiphertext(params, 1, params.MaxLevel(), 0) // shape validated at compile time
 		return ct
 	}}}
 	return p, nil
@@ -472,8 +478,8 @@ func (k *compiler) encodeVals(n *cnode, level int, scale float64) (*Plaintext, e
 		}
 	case n.periodic:
 		if k.params.Slots()%len(vals) != 0 {
-			return nil, fmt.Errorf("heax: compile: %s: periodic payload of %d values does not divide the %d slots of %s",
-				op, len(vals), k.params.Slots(), k.paramName())
+			return nil, fmt.Errorf("heax: compile: %s: periodic payload of %d values does not divide the %d slots of %s: %w",
+				op, len(vals), k.params.Slots(), k.paramName(), ErrInvalidCircuit)
 		}
 		tiled := make([]complex128, k.params.Slots())
 		for i := range tiled {
@@ -481,8 +487,8 @@ func (k *compiler) encodeVals(n *cnode, level int, scale float64) (*Plaintext, e
 		}
 		vals = tiled
 	case len(vals) > k.params.Slots():
-		return nil, fmt.Errorf("heax: compile: %d plaintext values exceed the %d slots of %s",
-			len(vals), k.params.Slots(), k.paramName())
+		return nil, fmt.Errorf("heax: compile: %d plaintext values exceed the %d slots of %s: %w",
+			len(vals), k.params.Slots(), k.paramName(), ErrInvalidCircuit)
 	}
 	pt, err := k.enc.Encode(vals, level, scale)
 	if err != nil {
@@ -541,7 +547,10 @@ func (k *compiler) encodeConst(v float64, level int, scale float64) (*Plaintext,
 func (k *compiler) paramName() string { return fmt.Sprintf("LogN=%d", k.params.LogN) }
 
 func (k *compiler) rotationKeyPresent(step int) error {
-	if k.evk.Galois == nil || k.evk.Galois.Rotations[step] == nil {
+	// Keys are stored under normalized steps; looking up the raw step
+	// would falsely reject negative rotations whose key is present.
+	norm := k.params.NormalizeRotation(step)
+	if k.evk.Galois == nil || k.evk.Galois.Rotations[norm] == nil {
 		return fmt.Errorf("heax: compile: circuit rotates by %d but the evaluation keys have no Galois key for it: %w",
 			step, ErrKeyMissing)
 	}
@@ -688,7 +697,7 @@ func (k *compiler) lower(id int) error {
 		k.state[id] = valState{slot: slot, level: a.level, scale: a.scale, tier: a.tier}
 		return nil
 	}
-	return fmt.Errorf("heax: compile: unknown node kind %d", n.kind)
+	return fmt.Errorf("heax: compile: unknown node kind %d: %w", n.kind, ErrInternal)
 }
 
 // bindOutputs assigns each named output its slot, copying when an

@@ -39,4 +39,15 @@ var (
 	// precision. Encoding it would silently turn the operation into
 	// ⊙0 / +0, so Compile rejects the circuit instead.
 	ErrUnencodable = errors.New("heax: plaintext payload not representable at the assigned scale")
+	// ErrInvalidCircuit: the circuit handed to Compile is structurally
+	// unusable — no outputs, or a payload shape the parameters cannot
+	// encode (a periodic payload that does not divide the slot count,
+	// more plaintext values than slots).
+	ErrInvalidCircuit = errors.New("heax: invalid circuit")
+	// ErrUnknownOutput: the requested output name is not one the plan
+	// (or run result) defines.
+	ErrUnknownOutput = errors.New("heax: unknown output")
+	// ErrInputMissing: a Run call did not bind every input the compiled
+	// circuit declares.
+	ErrInputMissing = errors.New("heax: plan input missing")
 )

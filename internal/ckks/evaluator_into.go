@@ -213,6 +213,7 @@ func (ev *Evaluator) InnerSumInto(ct *Ciphertext, n2 int, gks *GaloisKeySet, out
 	}
 	ctx := ev.ctx
 	rows := ct.Level + 1
+	//heax:owns both polys ride in rot and are released by the two defers below
 	rot := &Ciphertext{Polys: []*ring.Poly{ctx.GetPolyNoZero(rows), ctx.GetPolyNoZero(rows)}}
 	defer ctx.PutPoly(rot.Polys[0])
 	defer ctx.PutPoly(rot.Polys[1])

@@ -399,6 +399,7 @@ func (ev *Evaluator) keySwitchMAC(c *ring.Poly, hd *HoistedDecomposition, table 
 
 	needINTT := hd == nil
 	if needINTT {
+		//heax:owns the job owns it; PutPoly(j.intt) runs before putJob below
 		j.intt = ctx.GetPolyNoZero(level + 1)
 	}
 
@@ -454,6 +455,7 @@ func (ev *Evaluator) decompose(c *ring.Poly, hd *HoistedDecomposition, level int
 	j := ev.getJob(level)
 	j.c, j.out = c, hd
 
+	//heax:owns the job owns it; PutPoly(j.intt) runs before putJob below
 	j.intt = ctx.GetPolyNoZero(level + 1)
 	if ctx.Workers() <= 1 {
 		for i := 0; i <= level; i++ {

@@ -471,16 +471,23 @@ func WriteEvaluationKeys(w io.Writer, rlk *RelinearizationKey, gks *GaloisKeySet
 		}
 	}
 	if gks != nil {
-		steps := make([]int, 0, len(gks.Rotations))
-		for s := range gks.Rotations {
-			steps = append(steps, s)
+		// Snapshot (step, key) pairs and sort by step: deterministic
+		// output without re-indexing the map (the keys are normalized by
+		// construction; rotnorm keeps raw-step lookups out of this file).
+		type stepKey struct {
+			step int
+			gk   *GaloisKey
 		}
-		sort.Ints(steps)
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(steps))); err != nil {
+		pairs := make([]stepKey, 0, len(gks.Rotations))
+		for s, gk := range gks.Rotations {
+			pairs = append(pairs, stepKey{s, gk})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].step < pairs[j].step })
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(pairs))); err != nil {
 			return err
 		}
-		for _, s := range steps {
-			gk := gks.Rotations[s]
+		for _, p := range pairs {
+			s, gk := p.step, p.gk
 			if err := binary.Write(bw, binary.LittleEndian, int64(s)); err != nil {
 				return err
 			}
@@ -562,14 +569,21 @@ func ReadEvaluationKeys(r io.Reader, params *Params) (*RelinearizationKey, *Galo
 			if step <= 0 || step >= int64(params.Slots()) {
 				return nil, nil, fmt.Errorf("ckks: rotation step %d out of range [1, %d): %w", step, params.Slots(), ErrCorrupt)
 			}
-			if _, dup := gks.Rotations[int(step)]; dup {
+			// A wire step must already be in normalized form — a
+			// denormalized one would land the key where no lookup
+			// (which always normalizes) could find it.
+			norm := params.NormalizeRotation(int(step))
+			if norm != int(step) {
+				return nil, nil, fmt.Errorf("ckks: denormalized rotation step %d (normal form %d): %w", step, norm, ErrCorrupt)
+			}
+			if _, dup := gks.Rotations[norm]; dup {
 				return nil, nil, fmt.Errorf("ckks: duplicate rotation step %d: %w", step, ErrCorrupt)
 			}
 			gk, err := readGaloisKeyBody(br, params)
 			if err != nil {
 				return nil, nil, err
 			}
-			gks.Rotations[int(step)] = gk
+			gks.Rotations[norm] = gk
 		}
 		if flags&4 != 0 {
 			gk, err := readGaloisKeyBody(br, params)

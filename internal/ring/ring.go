@@ -412,6 +412,8 @@ func (c *Context) MulCoeffsLazy(a, b, bShoup, out *Poly) {
 }
 
 // MulCoeffsLazyRow is MulCoeffsLazy for a single RNS row (basis index i).
+//
+//heax:noalloc
 func (c *Context) MulCoeffsLazyRow(a, b, bShoup, out []uint64, i int) {
 	p := c.Basis.Primes[i]
 	if c.RowIFMA(i) {
@@ -435,6 +437,8 @@ func (c *Context) MulAddLazy(a, b, bShoup, out *Poly) {
 }
 
 // MulAddLazyRow is MulAddLazy for a single RNS row (basis index i).
+//
+//heax:noalloc
 func (c *Context) MulAddLazyRow(a, b, bShoup, out []uint64, i int) {
 	p := c.Basis.Primes[i]
 	if c.RowIFMA(i) {
@@ -451,6 +455,8 @@ func (c *Context) MulAddLazyRow(a, b, bShoup, out []uint64, i int) {
 // tile: out0 += a ⊙ b0 and out1 += a ⊙ b1 in a single pass, loading the
 // shared operand a once. On IFMA rows it falls back to the two vector
 // kernels (which already stream at full width).
+//
+//heax:noalloc
 func (c *Context) MulAddLazyRow2(a, b0, b0Shoup, out0, b1, b1Shoup, out1 []uint64, i int) {
 	p := c.Basis.Primes[i]
 	if c.RowIFMA(i) {

@@ -51,9 +51,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//heax:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//heax:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value reports the current count.
@@ -64,15 +68,21 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set replaces the gauge value.
+//
+//heax:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta (negative deltas decrement).
+//
+//heax:noalloc
 func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
 
 // Value reports the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // addFloat adds v to a float64 stored as bits, atomically.
+//
+//heax:noalloc
 func addFloat(bits *atomic.Uint64, v float64) {
 	for {
 		old := bits.Load()
@@ -99,6 +109,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//heax:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -124,6 +136,7 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // start, each factor times the previous — the usual latency ladder.
 func ExpBuckets(start, factor float64, n int) []float64 {
 	if start <= 0 || factor <= 1 || n < 1 {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
 	}
 	b := make([]float64, n)
@@ -138,6 +151,7 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // width.
 func LinearBuckets(start, width float64, n int) []float64 {
 	if width <= 0 || n < 1 {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic("obs: LinearBuckets wants width > 0, n >= 1")
 	}
 	b := make([]float64, n)
@@ -209,6 +223,7 @@ func childKey(values []string) string {
 // combination. Callers on hot paths hold the returned instrument.
 func (f *family) with(values []string) *child {
 	if len(values) != len(f.labels) {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: metric %s has %d labels, got %d values", f.name, len(f.labels), len(values)))
 	}
 	key := childKey(values)
@@ -313,10 +328,12 @@ func NewRegistry() *Registry {
 // startup.
 func (r *Registry) register(f *family) {
 	if !validName(f.name) {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
 	}
 	for _, l := range f.labels {
 		if !validLabel(l) {
+			//heax:allowpanic constructor/registration misuse, caught at startup
 			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l))
 		}
 	}
@@ -324,6 +341,7 @@ func (r *Registry) register(f *family) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.families[f.name]; ok {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: metric %s registered twice", f.name))
 	}
 	r.families[f.name] = f
@@ -363,6 +381,7 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 // fn must not call back into this registry.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 	if fn == nil {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: metric %s: nil gauge func", name))
 	}
 	r.register(&family{name: name, help: help, typ: typeGauge, fn: fn})
@@ -387,6 +406,7 @@ func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels 
 
 func checkBuckets(name string, buckets []float64) []float64 {
 	if len(buckets) == 0 {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: metric %s: empty bucket list", name))
 	}
 	out := append([]float64(nil), buckets...)
@@ -396,13 +416,16 @@ func checkBuckets(name string, buckets []float64) []float64 {
 	}
 	for i, b := range out {
 		if math.IsNaN(b) || math.IsInf(b, 0) {
+			//heax:allowpanic constructor/registration misuse, caught at startup
 			panic(fmt.Sprintf("obs: metric %s: bucket %d is not finite", name, i))
 		}
 		if i > 0 && out[i-1] >= b {
+			//heax:allowpanic constructor/registration misuse, caught at startup
 			panic(fmt.Sprintf("obs: metric %s: buckets must be strictly increasing", name))
 		}
 	}
 	if len(out) == 0 {
+		//heax:allowpanic constructor/registration misuse, caught at startup
 		panic(fmt.Sprintf("obs: metric %s: empty bucket list", name))
 	}
 	return out

@@ -208,7 +208,7 @@ func (p *Plan) output(name string) (planOutput, error) {
 			return o, nil
 		}
 	}
-	return planOutput{}, fmt.Errorf("heax: plan has no output %q", name)
+	return planOutput{}, fmt.Errorf("heax: plan has no output %q: %w", name, ErrUnknownOutput)
 }
 
 // OutputLevel reports the level inference assigned to a named output.
@@ -271,7 +271,7 @@ func (p *Plan) validateInputs(in map[string]*Ciphertext) error {
 	for _, pi := range p.inputs {
 		ct, ok := in[pi.name]
 		if !ok || ct == nil {
-			return fmt.Errorf("heax: plan input %q missing", pi.name)
+			return fmt.Errorf("heax: plan input %q missing: %w", pi.name, ErrInputMissing)
 		}
 		if ct.Degree() != 1 {
 			return fmt.Errorf("heax: plan input %q has degree %d, want 1: %w", pi.name, ct.Degree(), ErrDegreeMismatch)
@@ -501,6 +501,7 @@ func (p *Plan) exec(idx int, st *planStep, in []*Ciphertext, slots []runSlot) er
 			c0, c1 := p.params.RingQP.NewPolyPair(st.level + 1)
 			outs[i] = &Ciphertext{Polys: []*Poly{c0, c1}}
 		} else {
+			//heax:owns handed to the run slot: execKernel publishes it and the consumers' refcount release repools it
 			outs[i] = p.bufs.get()
 		}
 	}
@@ -568,7 +569,7 @@ func (p *Plan) execKernel(idx int, st *planStep, in, outs []*Ciphertext) (err er
 		case stepCopy:
 			err = e.inner.CopyInto(in[0], outs[0])
 		default:
-			err = fmt.Errorf("unknown step kind %d", st.kind)
+			err = fmt.Errorf("unknown step kind %d: %w", st.kind, ErrInternal)
 		}
 	}
 	return err

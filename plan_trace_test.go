@@ -135,12 +135,19 @@ func TestPlanTracerConcurrentRuns(t *testing.T) {
 	tr := &countingTracer{kinds: make(map[string]int)}
 	plan.SetTracer(tr)
 	const runs = 8
+	// Encrypt serially before the fan-out: the kit's encryptor (its
+	// sampler's rand.Rand) is not safe for concurrent use, and the
+	// subject under test is the concurrent Run, not Encrypt.
+	ins := make([]map[string]*heax.Ciphertext, runs)
+	for i := range ins {
+		ins[i] = map[string]*heax.Ciphertext{"x": encryptVals(t, k, []float64{0.5, -0.75})}
+	}
 	var wg sync.WaitGroup
 	wg.Add(runs)
 	for i := 0; i < runs; i++ {
+		in := ins[i]
 		go func() {
 			defer wg.Done()
-			in := map[string]*heax.Ciphertext{"x": encryptVals(t, k, []float64{0.5, -0.75})}
 			if _, err := plan.Run(in); err != nil {
 				t.Error(err)
 			}

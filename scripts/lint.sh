@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the heaxlint analyzer suite (tools/heaxlint) over the root module.
+#
+# heaxlint is a separate module so the root stays dependency-free; it
+# builds a go vet -vettool compatible multichecker enforcing the
+# codebase's pooling, panic, error-wrapping, rotation-normalization,
+# and hot-path allocation invariants (see DESIGN.md "Static analysis").
+#
+#   scripts/lint.sh          # build heaxlint, vet the root module with it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tool=$(mktemp -t heaxlint.XXXXXX)
+trap 'rm -f "$tool"' EXIT
+
+echo "building heaxlint..." >&2
+(cd tools/heaxlint && go build -o "$tool" ./cmd/heaxlint)
+
+echo "running heaxlint analyzer tests..." >&2
+(cd tools/heaxlint && go test ./...)
+
+echo "vetting root module with heaxlint..." >&2
+go vet -vettool="$tool" ./...
+
+# staticcheck lane: run when the binary is present (not vendored here —
+# the repo builds offline). Pin the version so local runs and CI agree.
+# Install with: go install honnef.co/go/tools/cmd/staticcheck@2023.1.7
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "running staticcheck..." >&2
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2023.1.7)" >&2
+fi
+
+echo "lint clean" >&2

@@ -65,6 +65,13 @@ var (
 	// ErrTorn: the buffer ends before the record does — the truncated
 	// tail a crash mid-append leaves behind.
 	ErrTorn = errors.New("durable: torn record")
+	// ErrInvalidRecord: EncodeRecord refused a record that would be
+	// unreadable on replay (empty or oversized name, keys on an
+	// unregister, unknown op). Nothing was written.
+	ErrInvalidRecord = errors.New("durable: invalid record")
+	// ErrClosed: the store has been closed; no further appends,
+	// compactions, or reads are possible.
+	ErrClosed = errors.New("durable: store closed")
 )
 
 // MaxNameLen bounds a tenant name in a record (matches the serving
@@ -134,16 +141,16 @@ type Options struct {
 // unregister) are refused rather than written unreadably.
 func EncodeRecord(buf []byte, r Record) ([]byte, error) {
 	if len(r.Name) == 0 || len(r.Name) > MaxNameLen {
-		return nil, fmt.Errorf("durable: tenant name length %d out of range [1, %d]", len(r.Name), MaxNameLen)
+		return nil, fmt.Errorf("%w: tenant name length %d out of range [1, %d]", ErrInvalidRecord, len(r.Name), MaxNameLen)
 	}
 	switch r.Op {
 	case OpRegister:
 	case OpUnregister:
 		if len(r.Keys) != 0 {
-			return nil, errors.New("durable: unregister record carries key bytes")
+			return nil, fmt.Errorf("%w: unregister record carries key bytes", ErrInvalidRecord)
 		}
 	default:
-		return nil, fmt.Errorf("durable: unknown record op %#x", r.Op)
+		return nil, fmt.Errorf("%w: unknown record op %#x", ErrInvalidRecord, r.Op)
 	}
 	payloadLen := 1 + 4 + len(r.Name)
 	if r.Op == OpRegister {
@@ -386,7 +393,7 @@ func (s *Store) append(rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("durable: store closed")
+		return ErrClosed
 	}
 	if _, err := s.wal.Write(b); err != nil {
 		return fmt.Errorf("durable: appending WAL record: %w", err)
@@ -412,7 +419,7 @@ func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("durable: store closed")
+		return ErrClosed
 	}
 	return s.compactLocked()
 }

@@ -1,0 +1,45 @@
+package durable
+
+// Regression tests for the sentinels sentinelwrap introduced here:
+// encode-time refusals wrap ErrInvalidRecord and use-after-Close wraps
+// ErrClosed, so callers branch with errors.Is instead of substring
+// matching.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEncodeRecordWrapsErrInvalidRecord(t *testing.T) {
+	cases := map[string]Record{
+		"empty name":         {Op: OpRegister, Name: ""},
+		"oversized name":     {Op: OpRegister, Name: strings.Repeat("x", MaxNameLen+1)},
+		"keys on unregister": {Op: OpUnregister, Name: "t", Keys: []byte{1}},
+		"unknown op":         {Op: 0x7F, Name: "t"},
+	}
+	for name, rec := range cases {
+		if _, err := EncodeRecord(nil, rec); !errors.Is(err, ErrInvalidRecord) {
+			t.Errorf("%s: %v, want ErrInvalidRecord", name, err)
+		}
+	}
+}
+
+func TestClosedStoreWrapsErrClosed(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister("t", []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("AppendRegister after Close: %v, want ErrClosed", err)
+	}
+	if err := s.AppendUnregister("t"); !errors.Is(err, ErrClosed) {
+		t.Errorf("AppendUnregister after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close: %v, want ErrClosed", err)
+	}
+}

@@ -84,6 +84,12 @@ var (
 	// (Server.Shutdown); in-flight runs finish, but new work is
 	// rejected. Retry against another replica.
 	ErrServerDraining = errors.New("serve: server draining")
+	// ErrFrameTooLarge: a frame payload (request or response) exceeds
+	// what the wire format or the configured frame cap can carry. The
+	// frame was refused before any bytes hit the socket, so the stream
+	// stays synchronized; send less per frame or raise the cap on both
+	// sides.
+	ErrFrameTooLarge = errors.New("serve: frame too large")
 	// ErrOverloaded: the tenant's bounded admission queue is full. The
 	// request was rejected immediately instead of queuing; back off and
 	// retry (Client retry with WithRetry does this automatically).
@@ -153,7 +159,7 @@ func codeToErr(code byte, msg string) error {
 	case codeCompile:
 		return fmt.Errorf("serve: remote: %s: %w", msg, errCompile)
 	case codeCanceled:
-		return fmt.Errorf("serve: remote: %s: request canceled", msg)
+		return fmt.Errorf("serve: remote: %s: %w", msg, context.Canceled)
 	case codeOverloaded:
 		return fmt.Errorf("serve: remote: %s: %w", msg, ErrOverloaded)
 	case codeDeadline:
@@ -165,7 +171,10 @@ func codeToErr(code byte, msg string) error {
 	case codeInternal:
 		return fmt.Errorf("serve: remote: %s: %w", msg, ErrInternal)
 	default:
-		return fmt.Errorf("serve: remote: %s", msg)
+		// An unrecognized code means the peer speaks a wire dialect this
+		// side does not: treat it as protocol corruption so retry logic
+		// refuses to hammer an incompatible endpoint.
+		return fmt.Errorf("serve: remote: unknown error code %d: %s: %w", code, msg, heax.ErrCorrupt)
 	}
 }
 
@@ -175,7 +184,7 @@ func codeToErr(code byte, msg string) error {
 // silently truncated into a desynchronized stream.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if int64(len(payload)) > int64(^uint32(0)) {
-		return fmt.Errorf("serve: frame payload of %d bytes exceeds the wire format's 4 GiB limit", len(payload))
+		return fmt.Errorf("serve: frame payload of %d bytes exceeds the wire format's 4 GiB limit: %w", len(payload), ErrFrameTooLarge)
 	}
 	var hdr [9]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
@@ -238,7 +247,7 @@ func (p *payloadWriter) bytes(b []byte) {
 
 func (p *payloadWriter) str(s string) error {
 	if len(s) == 0 || len(s) > maxStringLen {
-		return fmt.Errorf("serve: string field length %d out of range [1, %d]", len(s), maxStringLen)
+		return fmt.Errorf("serve: string field length %d out of range [1, %d]: %w", len(s), maxStringLen, heax.ErrCorrupt)
 	}
 	p.u32(uint32(len(s)))
 	p.buf = append(p.buf, s...)

@@ -210,12 +210,16 @@ func WithSlowRunLog(threshold time.Duration, logf func(format string, args ...an
 	}
 }
 
+// errNilParams is deliberately a package-level sentinel (sentinelwrap):
+// callers constructing servers from config can branch on it.
+var errNilParams = errors.New("serve: nil parameters")
+
 // NewServer builds a server for one parameter set and starts its
 // executor pool. Callers own the listeners: combine with Serve, and
 // Close to shut down.
 func NewServer(params *heax.Params, opts ...Option) (*Server, error) {
 	if params == nil {
-		return nil, errors.New("serve: nil parameters")
+		return nil, errNilParams
 	}
 	o := serverOptions{
 		cacheCap:   64,
@@ -1082,8 +1086,8 @@ func (s *Server) executeRun(ctx context.Context, cancel context.CancelFunc, conn
 		// explicit, actionable error beats shipping a frame the peer
 		// must reject as corrupt (both sides share one cap contract).
 		if len(pw.buf) > s.opts.maxFrame {
-			return nil, fmt.Errorf("serve: response of %d+ bytes exceeds the %d-byte frame cap (raise it on both sides or send fewer batches per request)",
-				len(pw.buf), s.opts.maxFrame)
+			return nil, fmt.Errorf("serve: response of %d+ bytes exceeds the %d-byte frame cap (raise it on both sides or send fewer batches per request): %w",
+				len(pw.buf), s.opts.maxFrame, ErrFrameTooLarge)
 		}
 	}
 	return pw.buf, nil

@@ -1,0 +1,157 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface that heaxlint's checkers
+// are written against. The repository's root module is intentionally
+// dependency-free and this build environment is offline, so rather
+// than vendoring x/tools the suite carries the small subset it needs:
+// an Analyzer/Pass pair, positional diagnostics, and the comment
+// directives (`//heax:owns`, `//heax:allowpanic`, `//heax:noalloc`)
+// the analyzers honor.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Name must be a valid identifier; it
+// prefixes every diagnostic the analyzer reports.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// A Pass is one analyzer applied to one package. The driver fills in
+// the syntax, type information and the Report sink; Run inspects and
+// reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	directives map[*ast.File]*Directives
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Directives indexes a file's `//heax:<name> [note]` comments by line.
+// A directive governs the source line it is written on and, when it
+// stands alone on its line, the line immediately below — so both
+//
+//	outs[i] = p.bufs.get() //heax:owns handed to the run slot
+//
+// and
+//
+//	//heax:owns handed to the run slot
+//	outs[i] = p.bufs.get()
+//
+// mark the same statement.
+type Directives struct {
+	fset  *token.FileSet
+	byLn  map[int][]string
+	alone map[int]bool
+}
+
+// FileDirectives scans (and caches) file's heax directives.
+func (p *Pass) FileDirectives(file *ast.File) *Directives {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]*Directives)
+	}
+	if d, ok := p.directives[file]; ok {
+		return d
+	}
+	// codeLines marks every line on which a statement or declaration
+	// starts, so a directive comment sharing a line with code governs
+	// that line, while one standing alone also governs the next.
+	codeLines := make(map[int]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			codeLines[p.Fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	d := &Directives{fset: p.Fset, byLn: make(map[int][]string), alone: make(map[int]bool)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//heax:")
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(text, " ")
+			line := p.Fset.Position(c.Pos()).Line
+			d.byLn[line] = append(d.byLn[line], name)
+			d.alone[line] = !codeLines[line]
+		}
+	}
+	p.directives[file] = d
+	return d
+}
+
+// Has reports whether directive name governs the line holding pos:
+// written on that line, or standing alone on the line above.
+func (d *Directives) Has(name string, pos token.Pos) bool {
+	line := d.fset.Position(pos).Line
+	for _, n := range d.byLn[line] {
+		if n == name {
+			return true
+		}
+	}
+	if d.alone[line-1] {
+		for _, n := range d.byLn[line-1] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether file came from a _test.go source file.
+// Test code exercises failure paths deliberately (panics, bare errors,
+// leaked buffers in teardown) and is exempt from every heaxlint check.
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// EnclosingFuncDecl returns the top-level function declaration whose
+// body spans pos, or nil.
+func EnclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos < fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncHas reports whether directive name governs fn as a whole: in its
+// doc comment, on its declaration line, or alone on the line above.
+func (d *Directives) FuncHas(name string, fn *ast.FuncDecl) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if text, ok := strings.CutPrefix(c.Text, "//heax:"); ok {
+				got, _, _ := strings.Cut(text, " ")
+				if got == name {
+					return true
+				}
+			}
+		}
+	}
+	return d.Has(name, fn.Pos())
+}

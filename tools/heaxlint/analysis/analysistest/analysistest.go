@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments in the
+// fixture source — the golden-test idiom of x/tools' analysistest,
+// reimplemented on the stdlib. Fixtures live under
+// <dir>/src/<pkgpath>/*.go and are typechecked with the source
+// importer, so they may import the standard library (compiled from
+// GOROOT/src, no network or export data needed) but must not import
+// other fixture packages.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+// wantRe extracts the expectation list of one `// want` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe extracts each double- or back-quoted pattern from the list.
+var quotedRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run applies a to the fixture package at <dir>/src/<pkgpath> and
+// reports mismatches between its diagnostics and the fixture's
+// `// want` comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	srcDir := filepath.Join(dir, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", srcDir)
+	}
+
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	checkDiagnostics(t, fset, a.Name, got, wants)
+}
+
+// a want is one expected-diagnostic pattern at a file:line.
+type want struct {
+	pos     string // "file.go:17"
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				quoted := quotedRe.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: malformed want comment %q", key, c.Text)
+					continue
+				}
+				for _, q := range quoted {
+					text := q[1]
+					if q[2] != "" {
+						text = q[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, text, err)
+						continue
+					}
+					wants = append(wants, &want{pos: key, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, name string, got []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.pos == key && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.pattern)
+		}
+	}
+}

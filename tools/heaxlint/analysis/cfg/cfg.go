@@ -1,0 +1,366 @@
+// Package cfg builds a per-function control-flow graph over statements,
+// precise enough for path-sensitive leak checking: edges out of an `if`
+// carry the branch condition (and whether the edge is the negation), so
+// a caller tracking "v is non-nil here" can prune impossible paths like
+// the false edge of `if v != nil { pool.Put(v) }`.
+//
+// Nodes inside a block never contain nested bodies — an IfStmt
+// contributes only its condition expression, a RangeStmt only the
+// ranged operand — so inspecting a block's nodes never double-visits
+// statements that the graph models as separate blocks.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// A Block is a straight-line sequence of nodes with condition-annotated
+// successor edges.
+type Block struct {
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// An Edge is one control transfer. When Cond is non-nil the edge is
+// taken iff Cond evaluates to !Negate. Panic marks exits through
+// panic/os.Exit/log.Fatal — abnormal termination a resource checker may
+// choose to ignore.
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr
+	Negate bool
+	Panic  bool
+}
+
+// New builds the CFG of body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.labels = make(map[string]*Block)
+	b.stmtList(body.List)
+	b.edge(Edge{To: b.cfg.Exit}) // fall off the end
+	return b.cfg
+}
+
+// scope is one enclosing breakable (and possibly continuable)
+// construct.
+type scope struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	cfg          *CFG
+	cur          *Block
+	scopes       []scope
+	labels       map[string]*Block
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(e Edge) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, e)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil && b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label a LabeledStmt left for the construct it
+// wraps.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(Edge{To: lb})
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.stmt2(s.Init)
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+
+		then := b.newBlock()
+		head.Succs = append(head.Succs, Edge{To: then, Cond: s.Cond})
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(Edge{To: join})
+
+		if s.Else != nil {
+			els := b.newBlock()
+			head.Succs = append(head.Succs, Edge{To: els, Cond: s.Cond, Negate: true})
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(Edge{To: join})
+		} else {
+			head.Succs = append(head.Succs, Edge{To: join, Cond: s.Cond, Negate: true})
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt2(s.Init)
+		head := b.newBlock()
+		b.edge(Edge{To: head})
+		b.cur = head
+		b.add(s.Cond)
+
+		body := b.newBlock()
+		exit := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		if s.Cond != nil {
+			head.Succs = append(head.Succs,
+				Edge{To: body, Cond: s.Cond},
+				Edge{To: exit, Cond: s.Cond, Negate: true})
+		} else {
+			head.Succs = append(head.Succs, Edge{To: body})
+		}
+		cont := head
+		if post != nil {
+			cont = post
+		}
+		b.scopes = append(b.scopes, scope{label: label, brk: exit, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(Edge{To: cont})
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if post != nil {
+			b.cur = post
+			b.stmt2(s.Post)
+			b.edge(Edge{To: head})
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(Edge{To: head})
+		body := b.newBlock()
+		exit := b.newBlock()
+		head.Succs = append(head.Succs, Edge{To: body}, Edge{To: exit})
+		b.scopes = append(b.scopes, scope{label: label, brk: exit, cont: head})
+		b.cur = body
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		b.stmtList(s.Body.List)
+		b.edge(Edge{To: head})
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var body *ast.BlockStmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			b.stmt2(s.Init)
+			b.add(s.Tag)
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			b.stmt2(s.Init)
+			b.add(s.Assign)
+			body = s.Body
+		}
+		head := b.cur
+		join := b.newBlock()
+		b.scopes = append(b.scopes, scope{label: label, brk: join})
+		var caseBlocks []*Block
+		hasDefault := false
+		for _, cc := range body.List {
+			cc := cc.(*ast.CaseClause)
+			cb := b.newBlock()
+			caseBlocks = append(caseBlocks, cb)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			head.Succs = append(head.Succs, Edge{To: cb})
+		}
+		for i, cc := range body.List {
+			cc := cc.(*ast.CaseClause)
+			b.cur = caseBlocks[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.stmtList(cc.Body)
+			if fallsThrough(cc.Body) && i+1 < len(caseBlocks) {
+				b.edge(Edge{To: caseBlocks[i+1]})
+			} else {
+				b.edge(Edge{To: join})
+			}
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if !hasDefault {
+			head.Succs = append(head.Succs, Edge{To: join})
+		}
+		b.cur = join
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.newBlock()
+		b.scopes = append(b.scopes, scope{label: label, brk: join})
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			cb := b.newBlock()
+			head.Succs = append(head.Succs, Edge{To: cb})
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			b.cur = cb
+			b.stmt2(cc.Comm)
+			b.stmtList(cc.Body)
+			b.edge(Edge{To: join})
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		_ = hasDefault // a select with no default still resumes at join when a case fires
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(Edge{To: b.cfg.Exit})
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findScope(s.Label, false); t != nil {
+				b.edge(Edge{To: t})
+			}
+		case token.CONTINUE:
+			if t := b.findScope(s.Label, true); t != nil {
+				b.edge(Edge{To: t})
+			}
+		case token.GOTO:
+			b.edge(Edge{To: b.labelBlock(s.Label.Name)})
+		case token.FALLTHROUGH:
+			// Edge added by the switch builder.
+			return
+		}
+		b.cur = b.newBlock() // unreachable continuation
+
+	default:
+		b.add(s)
+		if isTerminalStmt(s) {
+			b.edge(Edge{To: b.cfg.Exit, Panic: true})
+			b.cur = b.newBlock()
+		}
+	}
+}
+
+// stmt2 handles the optional init/post simple statements.
+func (b *builder) stmt2(s ast.Stmt) {
+	if s != nil {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findScope resolves a break (wantCont=false) or continue
+// (wantCont=true) target, honoring an optional label.
+func (b *builder) findScope(label *ast.Ident, wantCont bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if wantCont && sc.cont == nil {
+			continue
+		}
+		if label != nil && sc.label != label.Name {
+			continue
+		}
+		if wantCont {
+			return sc.cont
+		}
+		return sc.brk
+	}
+	return nil
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminalStmt recognizes statements that never return control:
+// panic(...), os.Exit(...), log.Fatal*(...).
+func isTerminalStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if x.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if x.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+// Package unitchecker implements the `go vet -vettool` protocol: cmd/go
+// invokes the tool once per package with a single JSON config-file
+// argument describing the compilation unit (source files, the export
+// data of every dependency, output paths), and expects diagnostics on
+// stderr with a nonzero exit when any are found.
+//
+// This is a stdlib-only reimplementation of the x/tools unitchecker:
+// type information for imports is loaded from the gc export data files
+// cmd/go already built (via go/importer's lookup hook), so the tool
+// needs no network, no module downloads, and no x/tools dependency.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig (src/cmd/go/internal/work/exec.go):
+// the JSON handed to a vet tool for one package. Unknown fields are
+// ignored, so the tool stays compatible across toolchain revisions.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the protocol for the given analyzers and exits. It handles
+// the -V=full build-ID handshake cmd/go performs before the first real
+// invocation.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		// cmd/go's toolID handshake: `<name> version devel ... buildID=<id>`.
+		// Hash our own executable so edits to the tool invalidate vet's
+		// result cache.
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if f, err := os.Open(exe); err == nil {
+				h := sha256.New()
+				io.Copy(h, f)
+				f.Close()
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+		}
+		fmt.Printf("%s version devel buildID=%s\n", progname, id)
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// cmd/go probes the tool's supported flags as a JSON array
+		// (cmd/go/internal/vet/vetflag.go). The suite takes none.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, `%s: must be run by "go vet"
+
+Usage:
+	go vet -vettool=$(which %s) ./...
+`, progname, progname)
+		os.Exit(1)
+	}
+	if err := run(args[0], analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	// Dependency-only invocation: cmd/go wants a facts (vetx) file so it
+	// can cache the run. None of our analyzers use cross-package facts,
+	// so the file is empty — written before any work, keeping dependency
+	// sweeps (the entire standard library on a cold cache) near-free.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return err
+	}
+
+	var diags []diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, diag{fset.Position(d.Pos), a.Name, d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	if len(diags) == 0 {
+		return nil
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos.Filename != diags[j].pos.Filename {
+			return diags[i].pos.Filename < diags[j].pos.Filename
+		}
+		if diags[i].pos.Line != diags[j].pos.Line {
+			return diags[i].pos.Line < diags[j].pos.Line
+		}
+		return diags[i].pos.Column < diags[j].pos.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.pos, d.name, d.msg)
+	}
+	os.Exit(2) // nonzero: go vet reports the package as failing
+	return nil
+}
+
+type diag struct {
+	pos  token.Position
+	name string
+	msg  string
+}
+
+// typecheck type-checks the unit against the export data cmd/go listed
+// in cfg.PackageFile, resolving source-level import paths through
+// cfg.ImportMap exactly as the compiler did.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Sizes:     types.SizesFor("gc", buildArch()),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,30 @@
+// Command heaxlint is the multichecker for the repository's custom
+// invariant analyzers. It is run by cmd/go, not by hand:
+//
+//	go build -o /tmp/heaxlint ./tools/heaxlint/cmd/heaxlint
+//	go vet -vettool=/tmp/heaxlint ./...
+//
+// or, from the repository root, via scripts/lint.sh. See DESIGN.md's
+// "Static analysis" section for what each analyzer enforces.
+package main
+
+import (
+	"heax/tools/heaxlint/analysis/unitchecker"
+	"heax/tools/heaxlint/passes/atomicalign"
+	"heax/tools/heaxlint/passes/noalloc"
+	"heax/tools/heaxlint/passes/nopanic"
+	"heax/tools/heaxlint/passes/poolbalance"
+	"heax/tools/heaxlint/passes/rotnorm"
+	"heax/tools/heaxlint/passes/sentinelwrap"
+)
+
+func main() {
+	unitchecker.Main(
+		poolbalance.Analyzer,
+		nopanic.Analyzer,
+		sentinelwrap.Analyzer,
+		rotnorm.Analyzer,
+		noalloc.Analyzer,
+		atomicalign.Analyzer,
+	)
+}

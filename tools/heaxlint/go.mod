@@ -1,0 +1,3 @@
+module heax/tools/heaxlint
+
+go 1.22

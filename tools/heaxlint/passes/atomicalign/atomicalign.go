@@ -1,0 +1,119 @@
+// Package atomicalign flags 64-bit sync/atomic operations applied to
+// struct fields that are not guaranteed 8-byte aligned on 32-bit
+// targets (GOARCH=386, arm), where such an operation faults at
+// runtime. The fix is either moving the field to the front of the
+// struct or, better, using the atomic.Int64/Uint64 wrapper types,
+// which carry their own alignment.
+package atomicalign
+
+import (
+	"go/ast"
+	"go/types"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic calls on struct fields must be 8-byte aligned on 32-bit targets",
+	Run:  run,
+}
+
+// ops64 is the set of sync/atomic functions whose first argument is a
+// *int64 or *uint64 that the hardware requires aligned.
+var ops64 = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 models gc's layout on a 32-bit target, where word-sized
+// fields are 4-aligned and a 64-bit field can land on a 4-byte
+// boundary.
+var sizes32 = types.SizesFor("gc", "386")
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !ops64[sel.Sel.Name] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			checkArg(pass, call.Args[0])
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkArg inspects &x.f arguments: when f's byte offset within its
+// struct is not a multiple of 8 under 32-bit layout, the call can
+// fault there.
+func checkArg(pass *analysis.Pass, arg ast.Expr) {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	// Resolve the field's offset in the innermost struct. Outer structs
+	// embedding this one could still misalign it; the innermost offset
+	// is what the programmer controls at the reported site.
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	index := selection.Index()
+	// Walk embedded structs along the selection path, accumulating
+	// offsets.
+	var offset int64
+	for depth, fi := range index {
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offs := sizes32.Offsetsof(fields)
+		offset += offs[fi]
+		if depth < len(index)-1 {
+			ft := st.Field(fi).Type()
+			if ptr, ok := ft.Underlying().(*types.Pointer); ok {
+				// An indirection resets alignment to the allocator's
+				// 8-byte guarantee for new objects — but only heap
+				// objects; be conservative and stop tracking.
+				_ = ptr
+				return
+			}
+			var ok bool
+			st, ok = ft.Underlying().(*types.Struct)
+			if !ok {
+				return
+			}
+		}
+	}
+	if offset%8 != 0 {
+		pass.Reportf(arg.Pos(), "64-bit atomic operation on a field at 32-bit offset %d (not 8-aligned): hoist the field or use atomic.Int64/Uint64", offset)
+	}
+}

@@ -1,0 +1,12 @@
+package atomicalign_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/atomicalign"
+)
+
+func TestAtomicAlign(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicalign.Analyzer, "heax")
+}

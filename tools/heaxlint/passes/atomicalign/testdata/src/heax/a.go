@@ -1,0 +1,38 @@
+package heax
+
+import "sync/atomic"
+
+// misaligned: on GOARCH=386 the uint64 lands at offset 4.
+type counters struct {
+	flag uint32
+	n    uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.n, 1) // want `not 8-aligned`
+}
+
+// hoisting the 64-bit field to the front fixes the layout.
+type countersFixed struct {
+	n    uint64
+	flag uint32
+}
+
+func bumpFixed(c *countersFixed) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// the wrapper types carry their own alignment: always fine.
+type countersModern struct {
+	flag uint32
+	n    atomic.Uint64
+}
+
+func bumpModern(c *countersModern) {
+	c.n.Add(1)
+}
+
+// 32-bit atomics have no alignment hazard.
+func bumpFlag(c *counters) {
+	atomic.AddUint32(&c.flag, 1)
+}

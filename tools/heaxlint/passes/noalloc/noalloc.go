@@ -1,0 +1,256 @@
+// Package noalloc verifies `//heax:noalloc`-marked hot functions: the
+// *Into kernels and the obs fast paths whose zero-allocation
+// steady state the benchmarks (TestIntoAllocations,
+// TestZeroAllocFastPath) depend on. The runtime tests catch a
+// regression only on the inputs they happen to drive; this check
+// rejects the allocating constructs themselves, the way escape
+// analysis sees them:
+//
+//   - composite literals and &T{...} (heap allocation when escaping)
+//   - make / new / append (growth)
+//   - function literals (closure allocation)
+//   - conversions of concrete values to interface types, explicit or
+//     implicit at call/assign/return boundaries (boxing)
+//   - string concatenation and string<->[]byte conversions
+//
+// Error paths are exempt: constructs inside an if- or case-body that
+// ends by returning a freshly built error are the documented cold
+// path (kernels report misuse with typed errors, which allocate), and
+// never run in steady state.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//heax:noalloc-marked functions must not contain allocating constructs outside error paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		dirs := pass.FileDirectives(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !dirs.FuncHas("noalloc", fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	cold := coldBlocks(pass, fn.Body)
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if inColdPath(stack, cold) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "composite literal in //heax:noalloc function %s may allocate", fn.Name.Name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in //heax:noalloc function %s allocates a closure", fn.Name.Name)
+			return false // do not descend: the closure body is not the hot frame
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in //heax:noalloc function %s allocates", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, fn, n)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					checkConvert(pass, fn, n.Rhs[i], pass.TypesInfo.Types[n.Lhs[i]].Type, "assignment")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags the allocating builtins, explicit conversions to
+// interface or between string and byte/rune slices, and implicit
+// boxing of concrete arguments into interface parameters.
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "new", "append":
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+				pass.Reportf(call.Pos(), "%s in //heax:noalloc function %s allocates", id.Name, fn.Name.Name)
+				return
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			checkConvert(pass, fn, call.Args[0], tv.Type, "conversion")
+			if isStringByteConv(pass, tv.Type, call.Args[0]) {
+				pass.Reportf(call.Pos(), "string<->[]byte conversion in //heax:noalloc function %s copies", fn.Name.Name)
+			}
+		}
+		return
+	}
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkConvert(pass, fn, arg, pt, "argument")
+	}
+}
+
+// checkReturn flags concrete values boxed into interface results.
+func checkReturn(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fn.Type.Results == nil {
+		return
+	}
+	var results []types.Type
+	for _, f := range fn.Type.Results.List {
+		t := pass.TypesInfo.Types[f.Type].Type
+		n := max(len(f.Names), 1)
+		for i := 0; i < n; i++ {
+			results = append(results, t)
+		}
+	}
+	if len(ret.Results) != len(results) {
+		return // naked return or multi-value call: nothing new converted here
+	}
+	for i, e := range ret.Results {
+		checkConvert(pass, fn, e, results[i], "return")
+	}
+}
+
+// checkConvert reports when expr (concrete, non-nil) is converted to
+// interface type target — the boxing escape analysis turns into a heap
+// allocation unless it proves otherwise.
+func checkConvert(pass *analysis.Pass, fn *ast.FuncDecl, expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // interface-to-interface: no boxing
+	}
+	if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s converts concrete %s to interface %s in //heax:noalloc function %s (boxing may allocate)", what, tv.Type, target, fn.Name.Name)
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isStringByteConv(pass *analysis.Pass, target types.Type, arg ast.Expr) bool {
+	tb, tIsStr := target.Underlying().(*types.Basic)
+	at := pass.TypesInfo.Types[arg].Type
+	if at == nil {
+		return false
+	}
+	ab, aIsStr := at.Underlying().(*types.Basic)
+	toString := tIsStr && tb.Info()&types.IsString != 0
+	fromString := aIsStr && ab.Info()&types.IsString != 0
+	_, toSlice := target.Underlying().(*types.Slice)
+	_, fromSlice := at.Underlying().(*types.Slice)
+	return (toString && fromSlice) || (toSlice && fromString)
+}
+
+// coldBlocks marks the if- and case-bodies that end by returning a
+// freshly constructed error: misuse guards, never the steady-state
+// path.
+func coldBlocks(pass *analysis.Pass, body *ast.BlockStmt) map[ast.Node]bool {
+	cold := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if endsInErrorReturn(pass, n.Body.List) {
+				cold[n.Body] = true
+			}
+		case *ast.CaseClause:
+			if endsInErrorReturn(pass, n.Body) {
+				cold[n] = true
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func endsInErrorReturn(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, e := range ret.Results {
+		t := pass.TypesInfo.Types[e].Type
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			if id, ok := ast.Unparen(e).(*ast.Ident); !ok || id.Name != "nil" {
+				return true
+			}
+		}
+		if types.IsInterface(t) && t.String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// inColdPath reports whether the innermost enclosing block recorded in
+// cold contains the current node.
+func inColdPath(stack []ast.Node, cold map[ast.Node]bool) bool {
+	for _, n := range stack {
+		if cold[n] {
+			return true
+		}
+	}
+	return false
+}

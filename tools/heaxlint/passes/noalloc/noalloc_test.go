@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "heax")
+}

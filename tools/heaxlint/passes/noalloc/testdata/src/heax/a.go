@@ -1,0 +1,68 @@
+package heax
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errRange = errors.New("heax: out of range")
+
+//heax:noalloc
+func hotClean(out, a, b []uint64, p uint64) {
+	for i := range out {
+		out[i] = (a[i] + b[i]) % p
+	}
+}
+
+//heax:noalloc
+func hotMake(n int) {
+	buf := make([]uint64, n) // want `make in //heax:noalloc function hotMake allocates`
+	_ = buf
+}
+
+//heax:noalloc
+func hotAppend(s []int, v int) []int {
+	return append(s, v) // want `append in //heax:noalloc function hotAppend allocates`
+}
+
+type pair struct{ a, b int }
+
+//heax:noalloc
+func hotComposite(a, b int) pair {
+	return pair{a, b} // want `composite literal in //heax:noalloc function hotComposite`
+}
+
+//heax:noalloc
+func hotClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `allocates a closure`
+}
+
+//heax:noalloc
+func hotBoxing(v int) {
+	fmt.Println(v) // want `converts concrete int to interface`
+}
+
+//heax:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+// The cold error path is exempt: a guard that returns a fresh error may
+// allocate, because it never runs in steady state.
+//
+//heax:noalloc
+func hotWithGuard(out, a []uint64, n int) error {
+	if len(out) < n {
+		return fmt.Errorf("heax: need %d slots, have %d: %w", n, len(out), errRange)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = a[i]
+	}
+	return nil
+}
+
+// Unmarked functions may allocate freely.
+func coldPath(n int) []uint64 {
+	return make([]uint64, n)
+}

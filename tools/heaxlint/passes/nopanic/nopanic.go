@@ -1,0 +1,74 @@
+// Package nopanic enforces the crash-only serving contract (PR 7): no
+// panic may be reachable from the serving and plan-execution packages.
+// A panic that escapes a request path kills the whole multi-tenant
+// daemon; the repository's discipline is that such failures become
+// typed ErrInternal returns instead, recovered at the executor and
+// connection boundaries.
+//
+// The check is syntactic: any `panic(...)` call in a governed package
+// is a violation unless the site (or its enclosing function) carries a
+// `//heax:allowpanic <why>` directive. The directive is reserved for
+// documented constructor-misuse panics — programming errors at process
+// start (obs metric registration, circuits degree bounds), never
+// request-time states.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panics in request-handling packages without //heax:allowpanic",
+	Run:  run,
+}
+
+// Packages lists the import paths the check governs: the public request
+// paths (root evaluator/plan/session, the serving daemon and its WAL,
+// observability and the circuits layer). Kernel packages under
+// internal/ keep their argument-contract panics: the plan executor's
+// recover boundary converts those into typed ErrInternal per request.
+var Packages = map[string]bool{
+	"heax":               true,
+	"heax/serve":         true,
+	"heax/serve/durable": true,
+	"heax/obs":           true,
+	"heax/circuits":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !Packages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		dirs := pass.FileDirectives(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Parent() != types.Universe {
+				return true // shadowed: something local named panic
+			}
+			if dirs.Has("allowpanic", call.Pos()) {
+				return true
+			}
+			if fn := analysis.EnclosingFuncDecl(file, call.Pos()); fn != nil && dirs.FuncHas("allowpanic", fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in request-handling package %s: return a typed error (wrap heax.ErrInternal) or document the constructor contract with //heax:allowpanic", pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

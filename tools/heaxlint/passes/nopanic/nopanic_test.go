@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "heax")
+}

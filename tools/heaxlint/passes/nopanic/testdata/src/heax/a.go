@@ -1,0 +1,37 @@
+package heax
+
+import "fmt"
+
+// reachable panics on request paths are the bug class PR 7 eliminated.
+func handle(n int) error {
+	if n < 0 {
+		panic("negative") // want `panic in request-handling package heax`
+	}
+	if n > 100 {
+		panic(fmt.Sprintf("n=%d", n)) // want `panic in request-handling package heax`
+	}
+	return nil
+}
+
+// allowlisted at the statement: documented constructor misuse.
+func mustPositive(n int) int {
+	if n <= 0 {
+		//heax:allowpanic constructor contract
+		panic("mustPositive")
+	}
+	return n
+}
+
+//heax:allowpanic whole function is a must-helper
+func mustEven(n int) int {
+	if n%2 != 0 {
+		panic("mustEven")
+	}
+	return n
+}
+
+// a shadowing declaration makes panic an ordinary function.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/poolbalance"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", poolbalance.Analyzer, "heax")
+}

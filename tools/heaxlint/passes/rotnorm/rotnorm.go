@@ -1,0 +1,159 @@
+// Package rotnorm enforces the rotation-step normalization invariant
+// (PR 5's hardening): Galois rotation keys are stored under steps
+// normalized into [0, Slots()) by Params.NormalizeRotation, and every
+// lookup must normalize the same way. Indexing the key map with a raw
+// step — one straight off the wire, or an un-reduced negative step —
+// silently misses the key (a spurious ErrKeyMissing at best, a
+// denormalized duplicate entry at worst).
+//
+// The rule: an index expression into a rotation-key map (any map with
+// int keys and *GaloisKey-shaped values, including via the .Rotations
+// field) must use a step that provably flowed through
+// NormalizeRotation — a direct call, or an identifier every one of
+// whose assignments in the enclosing function is such a call. Methods
+// declared on the type that owns the map (the GaloisKeySet accessor
+// layer) are exempt: they are the chokepoint the rest of the code is
+// being forced through.
+package rotnorm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rotnorm",
+	Doc:  "rotation-step map indexing must flow through Params.NormalizeRotation",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Identifiers sanitized by assignment from a NormalizeRotation call
+	// anywhere in this function. (Coarse, but reassigning a normalized
+	// step to a raw one in the same function would be its own smell.)
+	sanitized := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isNormalizeCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					sanitized[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					sanitized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		mt, ok := pass.TypesInfo.Types[ix.X].Type.Underlying().(*types.Map)
+		if !ok || !isRotationKeyMap(mt) {
+			return true
+		}
+		if receiverOwnsMap(pass, fn, ix.X) {
+			return true // the accessor layer itself
+		}
+		if indexSanitized(pass, ix.Index, sanitized) {
+			return true
+		}
+		pass.Reportf(ix.Pos(), "rotation-key map indexed with a step that did not flow through Params.NormalizeRotation")
+		return true
+	})
+}
+
+// isRotationKeyMap matches map[int]*GaloisKey (and map[int]GaloisKey),
+// by element type name so the check survives refactors of where the
+// map lives.
+func isRotationKeyMap(mt *types.Map) bool {
+	basic, ok := mt.Key().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Int {
+		return false
+	}
+	elem := mt.Elem()
+	if ptr, ok := elem.(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Name() == "GaloisKey"
+}
+
+// isNormalizeCall matches <anything>.NormalizeRotation(...).
+func isNormalizeCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "NormalizeRotation"
+}
+
+// indexSanitized reports whether the index expression provably carries
+// a normalized step: a NormalizeRotation call, a sanitized identifier,
+// or a constant (fixed steps are the key generator's own business).
+func indexSanitized(pass *analysis.Pass, index ast.Expr, sanitized map[types.Object]bool) bool {
+	index = ast.Unparen(index)
+	if isNormalizeCall(index) {
+		return true
+	}
+	if tv, ok := pass.TypesInfo.Types[index]; ok && tv.Value != nil {
+		return true // compile-time constant step
+	}
+	if id, ok := index.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && sanitized[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverOwnsMap reports whether fn is a method whose receiver type
+// declares the struct field being indexed (mapExpr is recv.Field or a
+// promotion of it) — the accessor layer owning the map.
+func receiverOwnsMap(pass *analysis.Pass, fn *ast.FuncDecl, mapExpr ast.Expr) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(mapExpr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil || len(fn.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recvObj := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	return recvObj != nil && obj == recvObj
+}

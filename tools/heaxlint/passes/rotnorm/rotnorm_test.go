@@ -1,0 +1,12 @@
+package rotnorm_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/rotnorm"
+)
+
+func TestRotNorm(t *testing.T) {
+	analysistest.Run(t, "testdata", rotnorm.Analyzer, "heax")
+}

@@ -1,0 +1,40 @@
+package heax
+
+// GaloisKey and the shapes around it mirror internal/ckks.
+type GaloisKey struct{ Elt uint64 }
+
+type GaloisKeySet struct {
+	Rotations map[int]*GaloisKey
+}
+
+type Params struct{ slots int }
+
+func (p *Params) NormalizeRotation(step int) int {
+	s := step % p.slots
+	if s < 0 {
+		s += p.slots
+	}
+	return s
+}
+
+func lookupRaw(gks *GaloisKeySet, step int) *GaloisKey {
+	return gks.Rotations[step] // want `did not flow through Params.NormalizeRotation`
+}
+
+func lookupNormalized(p *Params, gks *GaloisKeySet, step int) *GaloisKey {
+	return gks.Rotations[p.NormalizeRotation(step)]
+}
+
+func lookupViaVar(p *Params, gks *GaloisKeySet, step int) *GaloisKey {
+	norm := p.NormalizeRotation(step)
+	return gks.Rotations[norm]
+}
+
+func lookupConstant(gks *GaloisKeySet) *GaloisKey {
+	return gks.Rotations[4] // fixed step: the key generator's business
+}
+
+// The accessor layer owning the map is the chokepoint: exempt.
+func (g *GaloisKeySet) rotationKey(step int) *GaloisKey {
+	return g.Rotations[step]
+}

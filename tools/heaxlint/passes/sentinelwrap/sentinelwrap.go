@@ -1,0 +1,100 @@
+// Package sentinelwrap enforces the repository's error discipline
+// (PR 3): every error the public packages construct must be branchable
+// with errors.Is — built by wrapping a sentinel with fmt.Errorf's %w
+// verb (or errors.Join), or by returning a package-level sentinel
+// variable directly. Bare in-function errors.New calls and fmt.Errorf
+// calls whose constant format has no %w produce errors no caller can
+// classify without string matching, which the serving layer's wire
+// error codes (serve.errToCode) and every errors.Is site in the tree
+// depend on not happening.
+//
+// Package-level `var ErrX = errors.New(...)` declarations are the
+// sentinels themselves and are exempt; so are dynamic format strings
+// (the analyzer cannot prove them bare) and _test.go files.
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"heax/tools/heaxlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "errors crossing the public API must wrap a sentinel (%w or errors.Join), never bare fmt.Errorf/errors.New",
+	Run:  run,
+}
+
+// Packages lists the import paths whose errors cross the public API
+// boundary. internal/ packages are deliberately absent: their errors
+// reach callers only through the root package, which re-wraps them.
+var Packages = map[string]bool{
+	"heax":               true,
+	"heax/serve":         true,
+	"heax/serve/durable": true,
+	"heax/obs":           true,
+	"heax/circuits":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !Packages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		// Only function bodies are checked: package-level declarations
+		// are where sentinels are born.
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isPkgFunc(pass, call, "errors", "New"):
+					pass.Reportf(call.Pos(), "in-function errors.New creates an unclassifiable error: hoist it to a package-level sentinel or wrap one with fmt.Errorf(...%%w...)")
+				case isPkgFunc(pass, call, "fmt", "Errorf") && len(call.Args) > 0:
+					format, known := constFormat(pass, call.Args[0])
+					if known && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w produces an error no errors.Is can classify: wrap a sentinel (e.g. %%w with a package Err... var)")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isPkgFunc reports whether call invokes the function pkg.name, using
+// type information so renamed imports and shadowed identifiers resolve
+// correctly.
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkg
+}
+
+// constFormat evaluates the format argument if it is a compile-time
+// constant (a literal, a constant, or a concatenation of them).
+func constFormat(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

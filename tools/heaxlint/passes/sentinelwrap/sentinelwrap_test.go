@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"heax/tools/heaxlint/analysis/analysistest"
+	"heax/tools/heaxlint/passes/sentinelwrap"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelwrap.Analyzer, "heax")
+}

@@ -1,0 +1,35 @@
+package heax
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are where errors.New belongs: exempt.
+var ErrThing = errors.New("heax: thing failed")
+
+func bare() error {
+	return errors.New("oops") // want `in-function errors.New`
+}
+
+func bareFormat(n int) error {
+	return fmt.Errorf("heax: bad n %d", n) // want `fmt.Errorf without %w`
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("heax: bad n %d: %w", n, ErrThing)
+}
+
+const prefix = "heax: "
+
+func constConcat() error {
+	return fmt.Errorf(prefix + "assembled constant") // want `fmt.Errorf without %w`
+}
+
+func dynamic(format string) error {
+	return fmt.Errorf(format, 1) // not provably bare: skipped
+}
+
+func joined(a, b error) error {
+	return errors.Join(a, b)
+}
